@@ -1,0 +1,32 @@
+//! Baseline throttling policies to compare Stay-Away against.
+//!
+//! * [`NoPrevention`] — co-location with no mitigation at all: the paper's
+//!   "without Stay-Away" curves (upper utilisation band, worst QoS).
+//! * [`AlwaysThrottle`] — batch applications never run: the isolated-run
+//!   QoS bound (lower utilisation band, perfect QoS).
+//! * [`ReactivePolicy`] — throttle *after* observing a violation, resume
+//!   after a quiet cooldown: a Bubble-Flux-style phase-in/phase-out runtime
+//!   without Stay-Away's prediction.
+//! * [`StaticThresholdPolicy`] — an a-priori profiling rule ("only co-run
+//!   while the sensitive application uses less than X% CPU"), representing
+//!   the static approaches (§1) that cannot adapt to unknown workloads.
+//!
+//! [`FaultInjector`] additionally wraps any policy with sensor-dropout and
+//! actuation-failure faults for robustness testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod always;
+pub mod faults;
+pub mod reactive;
+pub mod static_threshold;
+
+pub use always::AlwaysThrottle;
+pub use faults::FaultInjector;
+pub use reactive::ReactivePolicy;
+pub use static_threshold::StaticThresholdPolicy;
+
+/// Co-location without any prevention (re-export of the simulator's
+/// [`stayaway_sim::NullPolicy`]).
+pub type NoPrevention = stayaway_sim::NullPolicy;

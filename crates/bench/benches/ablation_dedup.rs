@@ -1,0 +1,71 @@
+//! §4 optimisation — representative-sample deduplication.
+//!
+//! "Choosing one representative sample from the set of samples that are
+//! very close to each other … significantly reduces the computation time
+//! as it reduces the size of the observation matrix, while preserving the
+//! relative position of the different states." Measures SMACOF cost on the
+//! raw sample stream vs the deduplicated set, and reports the compression
+//! ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stayaway_mds::dedup::ReprSet;
+use stayaway_mds::distance::DistanceMatrix;
+use stayaway_mds::smacof::Smacof;
+
+/// A noisy resource-usage stream hovering around a handful of phases —
+/// realistic input where dedup pays off.
+fn phase_stream(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let phases = [
+        vec![0.2, 0.1, 0.1, 0.0, 0.1],
+        vec![0.8, 0.2, 0.4, 0.0, 0.5],
+        vec![0.9, 0.8, 0.9, 0.3, 0.5],
+        vec![0.1, 0.7, 0.8, 0.1, 0.0],
+    ];
+    (0..n)
+        .map(|i| {
+            let phase = &phases[(i / 40) % phases.len()];
+            phase
+                .iter()
+                .map(|v: &f64| (v + rng.gen_range(-0.02..0.02)).clamp(0.0, 1.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_dedup_vs_raw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed_stream");
+    group.sample_size(10);
+    for &n in &[120usize, 240, 480] {
+        let stream = phase_stream(n, 5);
+
+        // Raw: embed every sample.
+        let raw_dissim = DistanceMatrix::from_vectors(&stream).expect("matrix");
+        group.bench_with_input(BenchmarkId::new("raw", n), &raw_dissim, |b, d| {
+            let solver = Smacof::new(2).max_iterations(20);
+            b.iter(|| solver.embed(std::hint::black_box(d)).expect("embeds"));
+        });
+
+        // Dedup: embed the representatives only.
+        let mut set = ReprSet::new(0.05).expect("repr set");
+        for v in &stream {
+            set.insert(v).expect("insert");
+        }
+        let dd = DistanceMatrix::from_vectors(set.representatives()).expect("matrix");
+        println!(
+            "n={n}: dedup keeps {} representatives ({:.1}% of the stream)",
+            set.len(),
+            100.0 * set.len() as f64 / n as f64
+        );
+        group.bench_with_input(BenchmarkId::new("dedup", n), &dd, |b, d| {
+            let solver = Smacof::new(2).max_iterations(20);
+            b.iter(|| solver.embed(std::hint::black_box(d)).expect("embeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dedup_vs_raw);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Extension (§2.1) — multiple sensitive applications with priorities.
+//!
+//! "We introduce the constraint that either best-effort batch applications
+//! are scheduled with latency sensitive applications or multiple sensitive
+//! applications are scheduled with the notion of priorities. … if multiple
+//! sensitive applications are co-scheduled Stay-Away can choose to migrate
+//! or scale resources of the lower priority sensitive application." Our
+//! actuator is throttling, so the lower-priority sensitive application is
+//! demoted to the throttleable set: Stay-Away protects the top-priority
+//! application's QoS at the lower-priority one's expense.
+
+use stayaway_bench::{ExperimentSink, Table};
+use stayaway_core::{Controller, ControllerConfig};
+use stayaway_sim::apps::WebWorkload;
+use stayaway_sim::scenario::{Scenario, SensitiveKind};
+use stayaway_sim::workload::{DiurnalParams, Trace};
+use stayaway_sim::NullPolicy;
+
+fn scenario(seed: u64) -> Scenario {
+    // Priority 0: VLC streaming (protected). Priority 1: a CPU-hungry
+    // webservice that competes for the same cores.
+    Scenario::builder("vlc(prio0)+webservice-cpu(prio1)")
+        .seed(seed)
+        .sensitive(SensitiveKind::VlcStreaming {
+            trace: Trace::diurnal(DiurnalParams::default(), seed.wrapping_add(1)),
+        })
+        .secondary_sensitive(
+            SensitiveKind::Webservice {
+                workload: WebWorkload::CpuIntensive,
+                trace: Trace::diurnal(DiurnalParams::default(), seed.wrapping_add(2)),
+            },
+            1,
+            20,
+        )
+        .build()
+}
+
+fn main() {
+    println!("=== Extension: sensitive-vs-sensitive co-scheduling with priorities (§2.1) ===\n");
+    let ticks = 384;
+    let s = scenario(71);
+
+    let mut h0 = s.build_harness().expect("harness");
+    let base = h0.run(&mut NullPolicy::new(), ticks);
+
+    let mut h1 = s.build_harness().expect("harness");
+    let mut ctl = Controller::for_host(ControllerConfig::default(), h1.host().spec())
+        .expect("controller");
+    let guarded = h1.run(&mut ctl, ticks);
+
+    let mut table = Table::new(&[
+        "policy",
+        "vlc violations (prio 0)",
+        "vlc satisfaction",
+        "webservice throttled ticks",
+    ]);
+    let throttled = |out: &stayaway_sim::RunOutcome| {
+        // The demoted webservice is counted in batch_paused? No — it is a
+        // sensitive container; count paused sensitive via actions instead:
+        // the timeline reports only batch counters, so read the host state.
+        out.timeline.iter().filter(|r| r.actions > 0).count()
+    };
+    table.row(&[
+        "no-prevention".into(),
+        base.qos.violations.to_string(),
+        format!("{:.1}%", 100.0 * base.qos.satisfaction()),
+        "0".into(),
+    ]);
+    table.row(&[
+        "stay-away".into(),
+        guarded.qos.violations.to_string(),
+        format!("{:.1}%", 100.0 * guarded.qos.satisfaction()),
+        format!("{} action ticks", throttled(&guarded)),
+    ]);
+    println!("{}", table.render());
+
+    let stats = ctl.stats();
+    println!(
+        "controller: {} throttles / {} resumes against the lower-priority \
+         sensitive application; rejected actions: {} (the host never lets \
+         the top-priority application be paused)",
+        stats.throttles, stats.resumes, guarded.rejected_actions
+    );
+    println!(
+        "the §2.1 constraint generalises: \"batch\" in the mechanism means \
+         \"throttleable\", and priorities decide who is throttleable."
+    );
+
+    ExperimentSink::new("ext_priorities").write(&serde_json::json!({
+        "baseline_violations": base.qos.violations,
+        "stayaway_violations": guarded.qos.violations,
+        "baseline_satisfaction": base.qos.satisfaction(),
+        "stayaway_satisfaction": guarded.qos.satisfaction(),
+        "throttles": stats.throttles,
+        "rejected_actions": guarded.rejected_actions,
+    }));
+}

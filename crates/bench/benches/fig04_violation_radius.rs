@@ -1,0 +1,64 @@
+//! Figure 4 — variation of the violation-range radius as the distance
+//! between the violation-state and the nearest safe-state varies.
+//!
+//! Reproduces the Rayleigh-scaled radius curve `R(d) = d·exp(−d²/2c²)`:
+//! near-linear growth for small `d`, a peak at `d = c`, and a fading tail
+//! (the exploration range widening as safe states recede).
+
+use stayaway_bench::{ascii_chart, ExperimentSink, Table};
+use stayaway_statespace::{rayleigh_peak, rayleigh_radius};
+
+fn main() {
+    println!("=== Figure 4: violation-range radius R(d) = d·exp(-d²/2c²) ===\n");
+
+    let c_values = [0.25, 0.5, 1.0];
+    let d_max = 2.0;
+    let steps = 100;
+
+    for &c in &c_values {
+        let series: Vec<f64> = (0..=steps)
+            .map(|i| rayleigh_radius(i as f64 * d_max / steps as f64, c))
+            .collect();
+        let (peak_d, peak_r) = rayleigh_peak(c);
+        println!("c = {c} (peak at d = {peak_d:.2}, R = {peak_r:.3}):");
+        println!("{}", ascii_chart(&series, 60, 8));
+    }
+
+    let mut table = Table::new(&["d", "R (c=0.25)", "R (c=0.5)", "R (c=1.0)", "R/d (c=0.5)"]);
+    for i in (0..=20).map(|i| i as f64 * 0.1) {
+        table.row(&[
+            format!("{i:.1}"),
+            format!("{:.4}", rayleigh_radius(i, 0.25)),
+            format!("{:.4}", rayleigh_radius(i, 0.5)),
+            format!("{:.4}", rayleigh_radius(i, 1.0)),
+            format!(
+                "{:.4}",
+                if i > 0.0 {
+                    rayleigh_radius(i, 0.5) / i
+                } else {
+                    1.0
+                }
+            ),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "invariant: R < d everywhere (the nearest safe-state is never \
+         swallowed); exploration range = d - R grows as d → 0 or d → ∞"
+    );
+
+    let d_grid: Vec<f64> = (0..=steps).map(|i| i as f64 * d_max / steps as f64).collect();
+    ExperimentSink::new("fig04_violation_radius").write(&serde_json::json!({
+        "d": d_grid,
+        "curves": c_values
+            .iter()
+            .map(|&c| {
+                serde_json::json!({
+                    "c": c,
+                    "radius": d_grid.iter().map(|&d| rayleigh_radius(d, c)).collect::<Vec<_>>(),
+                })
+            })
+            .collect::<Vec<_>>(),
+    }));
+}

@@ -1,0 +1,92 @@
+//! Figure 6 — snapshot of *instantaneous* state transitions when VLC
+//! transcoding is co-located with CPUBomb (Stay-Away observing but not
+//! acting, "Action status: False").
+//!
+//! CPUBomb's arrival moves the mapped state in one large jump (the paper's
+//! point that CPU spikes leave "almost no time for the system to react"),
+//! in contrast to the gradual drift of Figure 7.
+
+use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_core::ControllerConfig;
+use stayaway_sim::scenario::Scenario;
+use stayaway_statespace::StateKind;
+
+fn main() {
+    println!("=== Figure 6: instantaneous transitions (VLC-transcode + CPUBomb) ===\n");
+    let scenario = Scenario::vlc_transcode_with_cpubomb(21);
+    let config = ControllerConfig {
+        actions_enabled: false, // Action status: False
+        ..ControllerConfig::default()
+    };
+    let run = run_stayaway(&scenario, config, 200);
+    let ctl = &run.controller;
+
+    // The mapped states with their labels (the A..G annotations of the
+    // paper's snapshot correspond to these clusters).
+    let mut table = Table::new(&["state", "position", "kind", "visits", "first mode"]);
+    for rep in 0..ctl.repr_count() {
+        let entry = ctl.state_map().entry(rep).expect("entry exists");
+        table.row(&[
+            format!("S{rep}"),
+            entry.point().to_string(),
+            match entry.kind() {
+                StateKind::Violation => "VIOLATION".into(),
+                StateKind::Safe => "safe".into(),
+            },
+            entry.visits().to_string(),
+            entry.first_mode().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let stats = run.stats();
+    println!("violations observed: {}", stats.violations_observed);
+    println!("violation-states:    {}", stats.violation_states);
+    println!("total states:        {}", stats.states);
+
+    // Per-tick QoS around the onset shows the step change.
+    println!("\nQoS around the CPUBomb onset (tick 30):");
+    for r in run
+        .outcome
+        .timeline
+        .iter()
+        .filter(|r| (25..40).contains(&r.tick))
+    {
+        println!(
+            "  t={} qos={:.3}{}",
+            r.tick,
+            r.qos_value,
+            if r.violated { " VIOLATION" } else { "" }
+        );
+    }
+    println!(
+        "\nthe violation appears within one control period of the onset — \
+         an instantaneous transition (compare Figure 7)."
+    );
+
+    // SVG rendering of the snapshot (the paper's scatter-plot view).
+    let svg_path = stayaway_bench::experiments_dir().join("fig06_instantaneous_transitions.svg");
+    std::fs::create_dir_all(svg_path.parent().expect("parent")).expect("dir");
+    stayaway_statespace::viz::MapRenderer::new(ctl.state_map(), 640, 480)
+        .title("Figure 6: VLC-transcode + CPUBomb (actions disabled)")
+        .save(&svg_path)
+        .expect("svg save");
+    println!("[artifact] {}", svg_path.display());
+
+    ExperimentSink::new("fig06_instantaneous_transitions").write(&serde_json::json!({
+        "states": (0..ctl.repr_count())
+            .map(|rep| {
+                let e = ctl.state_map().entry(rep).expect("entry");
+                serde_json::json!({
+                    "rep": rep,
+                    "x": e.point().x,
+                    "y": e.point().y,
+                    "violation": e.kind() == StateKind::Violation,
+                    "visits": e.visits(),
+                    "first_mode": e.first_mode().to_string(),
+                })
+            })
+            .collect::<Vec<_>>(),
+        "violations_observed": stats.violations_observed,
+    }));
+}

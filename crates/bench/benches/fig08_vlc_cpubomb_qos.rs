@@ -1,0 +1,18 @@
+//! Figure 8 — normalised QoS of the VLC streaming server co-located with
+//! CPUBomb, with and without Stay-Away.
+//!
+//! Expected shape (paper): numerous violations without prevention; with
+//! Stay-Away most violations are confined to the early learning phase,
+//! with occasional later spikes from instantaneous CPU transitions.
+
+use stayaway_bench::qos_timeline_figure;
+use stayaway_sim::scenario::Scenario;
+
+fn main() {
+    qos_timeline_figure(
+        "fig08_vlc_cpubomb_qos",
+        "Figure 8: VLC streaming + CPUBomb — QoS with/without Stay-Away",
+        &Scenario::vlc_with_cpubomb(8),
+        384, // four simulated days
+    );
+}

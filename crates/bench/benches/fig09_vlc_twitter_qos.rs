@@ -1,0 +1,18 @@
+//! Figure 9 — normalised QoS of the VLC streaming server co-located with
+//! Twitter-Analysis, with and without Stay-Away.
+//!
+//! Expected shape (paper): intermittent violations without prevention
+//! (Twitter-Analysis contends only in certain phases / workload levels);
+//! with Stay-Away a high level of QoS with most violations early.
+
+use stayaway_bench::qos_timeline_figure;
+use stayaway_sim::scenario::Scenario;
+
+fn main() {
+    qos_timeline_figure(
+        "fig09_vlc_twitter_qos",
+        "Figure 9: VLC streaming + Twitter-Analysis — QoS with/without Stay-Away",
+        &Scenario::vlc_with_twitter(9),
+        384,
+    );
+}

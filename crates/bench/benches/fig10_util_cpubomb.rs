@@ -1,0 +1,19 @@
+//! Figure 10 — gained machine utilisation when VLC streaming is co-located
+//! with CPUBomb.
+//!
+//! Expected shape (paper): the upper band (no prevention) is large but
+//! worthless (QoS destroyed); with Stay-Away the gain collapses to spiky
+//! ~5% — CPUBomb contends constantly and has no phase changes, so it is
+//! almost always throttled and only optimistic probes run it.
+
+use stayaway_bench::gained_utilization_figure;
+use stayaway_sim::scenario::Scenario;
+
+fn main() {
+    gained_utilization_figure(
+        "fig10_util_cpubomb",
+        "Figure 10: gained utilisation — VLC streaming + CPUBomb",
+        &Scenario::vlc_with_cpubomb(10),
+        384,
+    );
+}

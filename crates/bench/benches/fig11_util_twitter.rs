@@ -1,0 +1,18 @@
+//! Figure 11 — gained machine utilisation when VLC streaming is co-located
+//! with Twitter-Analysis.
+//!
+//! Expected shape (paper): Stay-Away recovers a large share of the upper
+//! band (~50% average machine utilisation gain) because Twitter-Analysis
+//! only needs throttling during contended phases / high-workload periods.
+
+use stayaway_bench::gained_utilization_figure;
+use stayaway_sim::scenario::Scenario;
+
+fn main() {
+    gained_utilization_figure(
+        "fig11_util_twitter",
+        "Figure 11: gained utilisation — VLC streaming + Twitter-Analysis",
+        &Scenario::vlc_with_twitter(11),
+        384,
+    );
+}

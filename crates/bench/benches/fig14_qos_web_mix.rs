@@ -1,0 +1,18 @@
+//! Figure 14 — QoS of the Webservice with a mixed CPU+memory workload when
+//! co-located with different batch applications, with/without Stay-Away.
+
+use stayaway_bench::qos_timeline_figure;
+use stayaway_sim::apps::WebWorkload;
+use stayaway_sim::scenario::{BatchKind, Scenario};
+
+fn main() {
+    for batch in BatchKind::ALL {
+        qos_timeline_figure(
+            &format!("fig14_qos_web_mix_{batch}"),
+            &format!("Figure 14: Webservice (mix) + {batch} — QoS with/without Stay-Away"),
+            &Scenario::webservice_with(WebWorkload::Mix, batch, 14),
+            300,
+        );
+        println!();
+    }
+}

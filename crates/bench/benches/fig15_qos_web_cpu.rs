@@ -1,0 +1,18 @@
+//! Figure 15 — QoS of the Webservice with a CPU-intensive workload when
+//! co-located with different batch applications, with/without Stay-Away.
+
+use stayaway_bench::qos_timeline_figure;
+use stayaway_sim::apps::WebWorkload;
+use stayaway_sim::scenario::{BatchKind, Scenario};
+
+fn main() {
+    for batch in BatchKind::ALL {
+        qos_timeline_figure(
+            &format!("fig15_qos_web_cpu_{batch}"),
+            &format!("Figure 15: Webservice (cpu) + {batch} — QoS with/without Stay-Away"),
+            &Scenario::webservice_with(WebWorkload::CpuIntensive, batch, 15),
+            300,
+        );
+        println!();
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure 16 — QoS of the Webservice with a memory-intensive workload when
+//! co-located with different batch applications, with/without Stay-Away.
+
+use stayaway_bench::qos_timeline_figure;
+use stayaway_sim::apps::WebWorkload;
+use stayaway_sim::scenario::{BatchKind, Scenario};
+
+fn main() {
+    for batch in BatchKind::ALL {
+        qos_timeline_figure(
+            &format!("fig16_qos_web_mem_{batch}"),
+            &format!("Figure 16: Webservice (mem) + {batch} — QoS with/without Stay-Away"),
+            &Scenario::webservice_with(WebWorkload::MemIntensive, batch, 16),
+            300,
+        );
+        println!();
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 17 — the state map captured while VLC streaming runs alongside
+//! CPUBomb, used as the *template* for future executions of the same
+//! sensitive application (§6, §7.3).
+
+use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_core::ControllerConfig;
+use stayaway_sim::scenario::Scenario;
+use stayaway_statespace::StateKind;
+
+fn main() {
+    println!("=== Figure 17: template capture (VLC streaming + CPUBomb) ===\n");
+    let scenario = Scenario::vlc_with_cpubomb(17);
+    let run = run_stayaway(&scenario, ControllerConfig::default(), 384);
+    let ctl = &run.controller;
+
+    let mut table = Table::new(&["state", "position", "kind", "visits"]);
+    for rep in 0..ctl.repr_count() {
+        let e = ctl.state_map().entry(rep).expect("entry exists");
+        table.row(&[
+            format!("S{rep}"),
+            e.point().to_string(),
+            match e.kind() {
+                StateKind::Violation => "VIOLATION".into(),
+                StateKind::Safe => "safe".into(),
+            },
+            e.visits().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let template = ctl
+        .export_template("vlc-streaming")
+        .expect("template export");
+    println!(
+        "captured template: {} states, {} violation-labelled",
+        template.len(),
+        template.violation_count()
+    );
+
+    // Persist the template itself: fig18 reloads it.
+    let dir = stayaway_bench::experiments_dir();
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join("fig17_vlc_template.json");
+    template.save_to_path(&path).expect("template save");
+    println!("[artifact] {}", path.display());
+
+    // SVG rendering of the snapshot (the paper's scatter-plot view).
+    let svg_path = stayaway_bench::experiments_dir().join("fig17_template_capture.svg");
+    std::fs::create_dir_all(svg_path.parent().expect("parent")).expect("dir");
+    stayaway_statespace::viz::MapRenderer::new(ctl.state_map(), 640, 480)
+        .title("Figure 17: template capture (VLC streaming + CPUBomb)")
+        .save(&svg_path)
+        .expect("svg save");
+    println!("[artifact] {}", svg_path.display());
+
+    ExperimentSink::new("fig17_template_capture").write(&serde_json::json!({
+        "states": template.len(),
+        "violation_states": template.violation_count(),
+        "violations_during_capture": run.outcome.qos.violations,
+    }));
+}

@@ -1,0 +1,71 @@
+//! §4 alternative — landmark MDS vs the dedup + warm-start pipeline.
+//!
+//! The paper bounds SMACOF's quadratic cost with representative-sample
+//! dedup and notes that incremental/progressive MDS schemes from the
+//! literature achieve the same with very low overhead. This bench compares
+//! the two on the same phase-structured sample stream: embedding cost and
+//! residual stress.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stayaway_mds::distance::DistanceMatrix;
+use stayaway_mds::landmark::LandmarkMds;
+use stayaway_mds::smacof::Smacof;
+
+fn phase_stream(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let phases = [
+        vec![0.2, 0.1, 0.1, 0.0, 0.1],
+        vec![0.8, 0.2, 0.4, 0.0, 0.5],
+        vec![0.9, 0.8, 0.9, 0.3, 0.5],
+        vec![0.1, 0.7, 0.8, 0.1, 0.0],
+    ];
+    (0..n)
+        .map(|i| {
+            let phase = &phases[(i / 40) % phases.len()];
+            phase
+                .iter()
+                .map(|v: &f64| (v + rng.gen_range(-0.02..0.02)).clamp(0.0, 1.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_landmark_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("landmark_vs_full_smacof");
+    group.sample_size(10);
+    for &n in &[120usize, 240, 480] {
+        let stream = phase_stream(n, 11);
+        let dissim = DistanceMatrix::from_vectors(&stream).expect("matrix");
+
+        // Quality report (printed once per size).
+        let full = Smacof::new(2)
+            .max_iterations(20)
+            .embed(&dissim)
+            .expect("full embeds");
+        let lmds = LandmarkMds::fit(&stream, 16, 2).expect("landmark fits");
+        let placed = lmds.place_all(&stream).expect("places");
+        println!(
+            "n={n}: stress full-smacof {:.4} vs landmark {:.4}",
+            full.stress(&dissim).expect("stress"),
+            placed.stress(&dissim).expect("stress"),
+        );
+
+        group.bench_with_input(BenchmarkId::new("full_smacof", n), &stream, |b, s| {
+            let d = DistanceMatrix::from_vectors(s).expect("matrix");
+            let solver = Smacof::new(2).max_iterations(20);
+            b.iter(|| solver.embed(std::hint::black_box(&d)).expect("embeds"));
+        });
+        group.bench_with_input(BenchmarkId::new("landmark", n), &stream, |b, s| {
+            b.iter(|| {
+                let l = LandmarkMds::fit(std::hint::black_box(s), 16, 2).expect("fits");
+                l.place_all(s).expect("places")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_landmark_vs_full);
+criterion_main!(benches);

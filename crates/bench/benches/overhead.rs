@@ -1,0 +1,67 @@
+//! §4 claim — "the induced overhead by Stay-Away in terms of resource
+//! consumption is very minimal and corresponds to an average 2% CPU usage".
+//!
+//! Measures the wall-clock cost of one controller period (its CPU budget
+//! per control interval) in steady state. With the paper's ~1 s control
+//! period, a period cost in the tens of microseconds corresponds to
+//! well under 1% CPU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stayaway_core::{Controller, ControllerConfig};
+use stayaway_sim::scenario::Scenario;
+use stayaway_sim::NullPolicy;
+
+fn bench_controller_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller");
+    group.sample_size(20);
+
+    // Warm a controller into steady state (map learned, no new states).
+    let scenario = Scenario::vlc_with_twitter(81);
+    let mut harness = scenario.build_harness().expect("harness");
+    let mut controller =
+        Controller::for_host(ControllerConfig::default(), harness.host().spec())
+            .expect("controller");
+    harness.run(&mut controller, 384);
+
+    // Capture a representative observation by replaying one more tick.
+    group.bench_function("steady_state_period", |b| {
+        b.iter(|| {
+            let (record, _) = harness.step_with(&mut controller);
+            std::hint::black_box(record);
+        });
+    });
+
+    // Reference: the bare simulator tick without any controller.
+    let mut bare = scenario.build_harness().expect("harness");
+    let mut noop = NullPolicy::new();
+    bare.run(&mut noop, 384);
+    group.bench_function("bare_simulator_tick", |b| {
+        b.iter(|| {
+            let (record, _) = bare.step_with(&mut noop);
+            std::hint::black_box(record);
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_cold_learning_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_cold");
+    group.sample_size(10);
+    // Worst-case period: the map still grows, so most ticks re-embed.
+    group.bench_function("first_100_periods", |b| {
+        b.iter(|| {
+            let scenario = Scenario::vlc_with_cpubomb(82);
+            let mut harness = scenario.build_harness().expect("harness");
+            let mut controller =
+                Controller::for_host(ControllerConfig::default(), harness.host().spec())
+                    .expect("controller");
+            let out = harness.run(&mut controller, 100);
+            std::hint::black_box(out);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller_period, bench_cold_learning_period);
+criterion_main!(benches);

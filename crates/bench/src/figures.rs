@@ -1,0 +1,148 @@
+//! Shared figure generators: QoS-timeline and gained-utilisation
+//! comparisons between no-prevention and Stay-Away runs.
+
+use crate::report::{ascii_chart, sparkline};
+use crate::runner::{outcome_json, run_policy, run_stayaway, ExperimentSink, StayAwayRun};
+use stayaway_core::ControllerConfig;
+use stayaway_sim::scenario::Scenario;
+use stayaway_sim::{NullPolicy, RunOutcome};
+
+/// The result of a paired (no-prevention vs Stay-Away) run.
+#[derive(Debug)]
+pub struct PairedRuns {
+    /// The unprotected run.
+    pub baseline: RunOutcome,
+    /// The Stay-Away-protected run.
+    pub stayaway: StayAwayRun,
+}
+
+/// Runs the same scenario with and without Stay-Away.
+pub fn paired_runs(scenario: &Scenario, ticks: u64) -> PairedRuns {
+    let baseline = run_policy(scenario, &mut NullPolicy::new(), ticks);
+    let stayaway = run_stayaway(scenario, ControllerConfig::default(), ticks);
+    PairedRuns { baseline, stayaway }
+}
+
+/// Prints a Figure-8/9/14/15/16-style normalised-QoS timeline comparison
+/// and writes the JSON artifact.
+pub fn qos_timeline_figure(id: &str, title: &str, scenario: &Scenario, ticks: u64) {
+    println!("=== {title} ===\n");
+    let runs = paired_runs(scenario, ticks);
+    let threshold = scenario
+        .build_harness()
+        .expect("scenario builds")
+        .qos_spec()
+        .threshold();
+
+    let base_series: Vec<f64> = runs.baseline.timeline.iter().map(|r| r.qos_value).collect();
+    let sa_series: Vec<f64> = runs
+        .stayaway
+        .outcome
+        .timeline
+        .iter()
+        .map(|r| r.qos_value)
+        .collect();
+
+    println!("normalised QoS without Stay-Away (threshold {threshold}):");
+    println!("{}", ascii_chart(&base_series, 80, 8));
+    println!("normalised QoS with Stay-Away:");
+    println!("{}", ascii_chart(&sa_series, 80, 8));
+
+    let b = &runs.baseline.qos;
+    let s = &runs.stayaway.outcome.qos;
+    println!(
+        "without: {:>4} violations / {} active ticks (satisfaction {:.1}%, worst {:.3})",
+        b.violations,
+        b.active_ticks,
+        100.0 * b.satisfaction(),
+        b.worst
+    );
+    println!(
+        "with:    {:>4} violations / {} active ticks (satisfaction {:.1}%, worst {:.3})",
+        s.violations,
+        s.active_ticks,
+        100.0 * s.satisfaction(),
+        s.worst
+    );
+    let early = runs
+        .stayaway
+        .outcome
+        .timeline
+        .iter()
+        .filter(|r| r.violated && r.tick < 96)
+        .count();
+    println!(
+        "Stay-Away violations in the first day (learning phase): {early} of {}",
+        s.violations
+    );
+
+    let cap = scenario.host_spec().cpu_cores;
+    ExperimentSink::new(id).write(&serde_json::json!({
+        "threshold": threshold,
+        "baseline": outcome_json(&runs.baseline, cap),
+        "stayaway": outcome_json(&runs.stayaway.outcome, cap),
+        "baseline_qos": base_series,
+        "stayaway_qos": sa_series,
+    }));
+}
+
+/// Prints a Figure-10/11-style gained-utilisation band comparison (upper
+/// band = no prevention, lower band = Stay-Away) and writes the artifact.
+pub fn gained_utilization_figure(id: &str, title: &str, scenario: &Scenario, ticks: u64) {
+    println!("=== {title} ===\n");
+    let runs = paired_runs(scenario, ticks);
+    let cap = scenario.host_spec().cpu_cores;
+
+    let upper = runs.baseline.gained_utilization_series(cap);
+    let lower = runs.stayaway.outcome.gained_utilization_series(cap);
+
+    println!("gained utilisation (fraction of machine) — upper band, no prevention:");
+    println!("{}", ascii_chart(&upper, 80, 6));
+    println!("gained utilisation — lower band, Stay-Away:");
+    println!("{}", ascii_chart(&lower, 80, 6));
+    println!("sparklines   upper {}", sparkline(&upper));
+    println!("             lower {}", sparkline(&lower));
+
+    let mean_upper = runs.baseline.mean_gained_utilization(cap);
+    let mean_lower = runs.stayaway.outcome.mean_gained_utilization(cap);
+    println!(
+        "\nmean gained utilisation: {:.1}% without prevention, {:.1}% with Stay-Away",
+        100.0 * mean_upper,
+        100.0 * mean_lower
+    );
+    if mean_upper > 0.0 {
+        println!(
+            "fraction of the possible gain retained by Stay-Away: {:.0}%",
+            100.0 * mean_lower / mean_upper
+        );
+    }
+    println!(
+        "QoS violations:          {} without, {} with",
+        runs.baseline.qos.violations, runs.stayaway.outcome.qos.violations
+    );
+
+    ExperimentSink::new(id).write(&serde_json::json!({
+        "upper_band": upper,
+        "lower_band": lower,
+        "mean_upper": mean_upper,
+        "mean_lower": mean_lower,
+        "baseline": outcome_json(&runs.baseline, cap),
+        "stayaway": outcome_json(&runs.stayaway.outcome, cap),
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_runs_share_the_scenario() {
+        let scenario = Scenario::vlc_with_cpubomb(3);
+        let runs = paired_runs(&scenario, 60);
+        assert_eq!(runs.baseline.timeline.len(), 60);
+        assert_eq!(runs.stayaway.outcome.timeline.len(), 60);
+        // Stay-Away never does worse on violations than no prevention over
+        // a learning-scale horizon.
+        assert!(runs.stayaway.outcome.qos.violations <= runs.baseline.qos.violations);
+    }
+}

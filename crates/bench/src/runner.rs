@@ -1,0 +1,161 @@
+//! Scenario execution helpers shared by every experiment target.
+
+use serde_json::Value;
+use stayaway_core::{Controller, ControllerConfig, ControllerStats};
+use stayaway_sim::scenario::Scenario;
+use stayaway_sim::{Policy, RunOutcome};
+
+/// Runs a scenario under an arbitrary policy for `ticks`.
+///
+/// # Panics
+///
+/// Panics if the scenario cannot build a harness (misconfigured scenario —
+/// a programming error in the experiment definition).
+pub fn run_policy(scenario: &Scenario, policy: &mut dyn Policy, ticks: u64) -> RunOutcome {
+    let mut harness = scenario
+        .build_harness()
+        .expect("scenario builds a harness");
+    harness.run(policy, ticks)
+}
+
+/// The outcome of a Stay-Away-driven run, with controller internals kept
+/// for inspection.
+#[derive(Debug)]
+pub struct StayAwayRun {
+    /// The run outcome.
+    pub outcome: RunOutcome,
+    /// The controller after the run (state map, events, template export).
+    pub controller: Controller,
+}
+
+impl StayAwayRun {
+    /// Controller statistics of the run.
+    pub fn stats(&self) -> ControllerStats {
+        self.controller.stats()
+    }
+}
+
+/// Runs a scenario under a fresh Stay-Away controller for `ticks`.
+///
+/// # Panics
+///
+/// Panics if the scenario or controller cannot be built.
+pub fn run_stayaway(scenario: &Scenario, config: ControllerConfig, ticks: u64) -> StayAwayRun {
+    let mut harness = scenario
+        .build_harness()
+        .expect("scenario builds a harness");
+    let mut controller =
+        Controller::for_host(config, harness.host().spec()).expect("valid controller config");
+    let outcome = harness.run(&mut controller, ticks);
+    StayAwayRun {
+        outcome,
+        controller,
+    }
+}
+
+/// The workspace-level `target/experiments/` directory, resolved from this
+/// crate's manifest location so artifacts land in one place regardless of
+/// the working directory cargo launches the bench with.
+pub fn experiments_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target")
+        .join("experiments")
+}
+
+/// Writes experiment artifacts under `target/experiments/<id>.json` so the
+/// printed series can be post-processed (e.g. plotted) without re-running.
+#[derive(Debug)]
+pub struct ExperimentSink {
+    id: String,
+}
+
+impl ExperimentSink {
+    /// Creates a sink for the experiment `id`.
+    pub fn new(id: &str) -> Self {
+        ExperimentSink { id: id.to_string() }
+    }
+
+    /// The output path for this experiment.
+    pub fn path(&self) -> std::path::PathBuf {
+        experiments_dir().join(format!("{}.json", self.id))
+    }
+
+    /// Writes the JSON document; failures are reported but non-fatal (the
+    /// printed output is the primary artifact).
+    pub fn write(&self, value: &Value) {
+        let path = self.path();
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return;
+            }
+        }
+        match std::fs::File::create(&path) {
+            Ok(f) => {
+                if let Err(e) = serde_json::to_writer_pretty(f, value) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                } else {
+                    println!("[artifact] {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot create {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Summarises a [`RunOutcome`] into a JSON object (shared shape across
+/// experiments).
+pub fn outcome_json(outcome: &RunOutcome, cpu_capacity: f64) -> Value {
+    serde_json::json!({
+        "policy": outcome.policy,
+        "active_ticks": outcome.qos.active_ticks,
+        "violations": outcome.qos.violations,
+        "satisfaction": outcome.qos.satisfaction(),
+        "mean_qos": outcome.qos.mean_qos(),
+        "worst_qos": outcome.qos.worst,
+        "mean_utilization": outcome.mean_utilization(),
+        "mean_gained_utilization": outcome.mean_gained_utilization(cpu_capacity),
+        "batch_work": outcome.batch_work,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stayaway_sim::NullPolicy;
+
+    #[test]
+    fn run_policy_and_stayaway_produce_outcomes() {
+        let scenario = Scenario::vlc_with_cpubomb(1);
+        let base = run_policy(&scenario, &mut NullPolicy::new(), 50);
+        assert_eq!(base.timeline.len(), 50);
+        let sa = run_stayaway(&scenario, ControllerConfig::default(), 50);
+        assert_eq!(sa.outcome.timeline.len(), 50);
+        assert!(sa.stats().periods == 50);
+    }
+
+    #[test]
+    fn outcome_json_has_expected_fields() {
+        let scenario = Scenario::vlc_with_cpubomb(1);
+        let base = run_policy(&scenario, &mut NullPolicy::new(), 30);
+        let v = outcome_json(&base, 4.0);
+        for key in [
+            "policy",
+            "violations",
+            "satisfaction",
+            "mean_gained_utilization",
+            "batch_work",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn sink_writes_artifact() {
+        let sink = ExperimentSink::new("unit-test-artifact");
+        sink.write(&serde_json::json!({"ok": true}));
+        assert!(sink.path().exists());
+        std::fs::remove_file(sink.path()).ok();
+    }
+}

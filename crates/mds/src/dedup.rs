@@ -1,0 +1,273 @@
+//! Representative-sample deduplication (§4 of the paper).
+//!
+//! The SMACOF cost is quadratic in the number of samples, so the paper keeps
+//! one *representative* per group of near-identical measurement vectors and
+//! discards the rest. [`ReprSet`] implements that policy: a new vector
+//! within `epsilon` (Euclidean) of an existing representative is *merged*
+//! into it (a hit count is kept), otherwise it becomes a new representative.
+//!
+//! The controller maps each raw time-series sample to a representative index
+//! so that trajectories (which are defined over raw samples) can still be
+//! traced through the deduplicated embedding.
+
+use crate::distance::Metric;
+use crate::MdsError;
+
+/// Outcome of inserting a vector into a [`ReprSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupOutcome {
+    /// The vector became a new representative with this index.
+    New(usize),
+    /// The vector merged into the existing representative with this index.
+    Merged(usize),
+}
+
+impl DedupOutcome {
+    /// Index of the representative this vector now maps to.
+    pub fn index(&self) -> usize {
+        match *self {
+            DedupOutcome::New(i) | DedupOutcome::Merged(i) => i,
+        }
+    }
+
+    /// True when a new representative was created.
+    pub fn is_new(&self) -> bool {
+        matches!(self, DedupOutcome::New(_))
+    }
+}
+
+/// A growing set of representative measurement vectors.
+#[derive(Debug, Clone)]
+pub struct ReprSet {
+    epsilon: f64,
+    metric: Metric,
+    dim: Option<usize>,
+    representatives: Vec<Vec<f64>>,
+    hits: Vec<u64>,
+}
+
+impl ReprSet {
+    /// Creates an empty set that merges vectors within `epsilon` of an
+    /// existing representative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::NonFinite`] if `epsilon` is negative or not
+    /// finite.
+    pub fn new(epsilon: f64) -> Result<Self, MdsError> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(MdsError::NonFinite {
+                context: "dedup epsilon",
+            });
+        }
+        Ok(ReprSet {
+            epsilon,
+            metric: Metric::Euclidean,
+            dim: None,
+            representatives: Vec::new(),
+            hits: Vec::new(),
+        })
+    }
+
+    /// Sets the distance metric used for merging (default Euclidean).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The merge radius.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of representatives currently held.
+    pub fn len(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// True when no representative has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.representatives.is_empty()
+    }
+
+    /// Total number of vectors inserted (representatives + merged).
+    pub fn total_inserted(&self) -> u64 {
+        self.hits.iter().sum()
+    }
+
+    /// Borrow the representative vectors.
+    pub fn representatives(&self) -> &[Vec<f64>] {
+        &self.representatives
+    }
+
+    /// Borrow the representative with index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn representative(&self, i: usize) -> &[f64] {
+        &self.representatives[i]
+    }
+
+    /// Number of vectors merged into representative `i` (including itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn hit_count(&self, i: usize) -> u64 {
+        self.hits[i]
+    }
+
+    /// Inserts a vector, merging it into the nearest representative when one
+    /// lies within `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::DimensionMismatch`] for wrong-length input and
+    /// [`MdsError::NonFinite`] for vectors with NaN/inf coordinates.
+    pub fn insert(&mut self, vector: &[f64]) -> Result<DedupOutcome, MdsError> {
+        if let Some(dim) = self.dim {
+            if vector.len() != dim {
+                return Err(MdsError::DimensionMismatch {
+                    expected: dim,
+                    found: vector.len(),
+                });
+            }
+        } else if vector.is_empty() {
+            return Err(MdsError::Empty);
+        }
+        if vector.iter().any(|v| !v.is_finite()) {
+            return Err(MdsError::NonFinite {
+                context: "dedup input vector",
+            });
+        }
+        self.dim = Some(vector.len());
+
+        // Nearest representative within epsilon, if any.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, rep) in self.representatives.iter().enumerate() {
+            let d = self.metric.distance(rep, vector);
+            if d <= self.epsilon && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                self.hits[i] += 1;
+                Ok(DedupOutcome::Merged(i))
+            }
+            None => {
+                self.representatives.push(vector.to_vec());
+                self.hits.push(1);
+                Ok(DedupOutcome::New(self.representatives.len() - 1))
+            }
+        }
+    }
+
+    /// Index of the representative nearest to `vector` and its distance, or
+    /// `None` when the set is empty.
+    pub fn nearest(&self, vector: &[f64]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, rep) in self.representatives.iter().enumerate() {
+            let d = self.metric.distance(rep, vector);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_insert_is_new() {
+        let mut set = ReprSet::new(0.1).unwrap();
+        let out = set.insert(&[0.5, 0.5]).unwrap();
+        assert_eq!(out, DedupOutcome::New(0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn nearby_vectors_merge() {
+        let mut set = ReprSet::new(0.1).unwrap();
+        set.insert(&[0.5, 0.5]).unwrap();
+        let out = set.insert(&[0.55, 0.5]).unwrap();
+        assert_eq!(out, DedupOutcome::Merged(0));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.hit_count(0), 2);
+        assert_eq!(set.total_inserted(), 2);
+    }
+
+    #[test]
+    fn distant_vectors_become_new_representatives() {
+        let mut set = ReprSet::new(0.1).unwrap();
+        set.insert(&[0.0, 0.0]).unwrap();
+        let out = set.insert(&[1.0, 1.0]).unwrap();
+        assert_eq!(out, DedupOutcome::New(1));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn merges_into_nearest_of_several() {
+        let mut set = ReprSet::new(0.5).unwrap();
+        set.insert(&[0.0]).unwrap();
+        set.insert(&[1.0]).unwrap();
+        let out = set.insert(&[0.9]).unwrap();
+        assert_eq!(out, DedupOutcome::Merged(1));
+    }
+
+    #[test]
+    fn zero_epsilon_only_merges_exact_duplicates() {
+        let mut set = ReprSet::new(0.0).unwrap();
+        set.insert(&[0.3, 0.3]).unwrap();
+        assert!(set.insert(&[0.3, 0.3]).unwrap().index() == 0);
+        assert!(set.insert(&[0.3, 0.3000001]).unwrap().is_new());
+    }
+
+    #[test]
+    fn rejects_dimension_changes() {
+        let mut set = ReprSet::new(0.1).unwrap();
+        set.insert(&[0.0, 0.0]).unwrap();
+        assert!(matches!(
+            set.insert(&[0.0]),
+            Err(MdsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_and_negative_epsilon() {
+        assert!(ReprSet::new(-1.0).is_err());
+        assert!(ReprSet::new(f64::NAN).is_err());
+        let mut set = ReprSet::new(0.1).unwrap();
+        assert!(set.insert(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn nearest_reports_distance() {
+        let mut set = ReprSet::new(0.01).unwrap();
+        assert!(set.nearest(&[0.0]).is_none());
+        set.insert(&[0.0]).unwrap();
+        set.insert(&[2.0]).unwrap();
+        let (i, d) = set.nearest(&[1.8]).unwrap();
+        assert_eq!(i, 1);
+        assert!((d - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_property_every_insert_within_epsilon_of_its_representative() {
+        let mut set = ReprSet::new(0.25).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i as f64 * 0.61).sin().abs(), (i as f64 * 0.37).cos().abs()])
+            .collect();
+        for v in &inputs {
+            let out = set.insert(v).unwrap();
+            let rep = set.representative(out.index());
+            let d = Metric::Euclidean.distance(rep, v);
+            assert!(d <= 0.25 + 1e-12, "vector not covered: d = {d}");
+        }
+        assert!(set.len() < inputs.len(), "dedup should compress the stream");
+    }
+}

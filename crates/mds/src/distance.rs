@@ -1,0 +1,248 @@
+//! Dissimilarity matrices over measurement vectors.
+
+use crate::MdsError;
+
+/// Pairwise distance metric between measurement vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Metric {
+    /// Standard Euclidean (L2) distance — the metric used by the paper.
+    #[default]
+    Euclidean,
+    /// Manhattan (L1) distance.
+    Manhattan,
+    /// Chebyshev (L∞) distance.
+    Chebyshev,
+}
+
+impl Metric {
+    /// Computes the distance between two equal-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the lengths differ; in release builds the
+    /// shorter length is used.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "vectors must share a dimension");
+        match self {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Metric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+/// A symmetric matrix of pairwise dissimilarities with a zero diagonal.
+///
+/// Only the strict upper triangle is stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    // Upper triangle, row-major: entry (i, j) with i < j at index
+    // i*n - i*(i+1)/2 + (j - i - 1).
+    upper: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds the Euclidean distance matrix of a set of vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::Empty`] for an empty input,
+    /// [`MdsError::DimensionMismatch`] if the vectors have differing lengths
+    /// and [`MdsError::NonFinite`] if any coordinate is NaN or infinite.
+    pub fn from_vectors(vectors: &[Vec<f64>]) -> Result<Self, MdsError> {
+        Self::from_vectors_with(vectors, Metric::Euclidean)
+    }
+
+    /// Builds the distance matrix of a set of vectors under `metric`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DistanceMatrix::from_vectors`].
+    pub fn from_vectors_with(vectors: &[Vec<f64>], metric: Metric) -> Result<Self, MdsError> {
+        let first = vectors.first().ok_or(MdsError::Empty)?;
+        let dim = first.len();
+        for v in vectors {
+            if v.len() != dim {
+                return Err(MdsError::DimensionMismatch {
+                    expected: dim,
+                    found: v.len(),
+                });
+            }
+            if v.iter().any(|x| !x.is_finite()) {
+                return Err(MdsError::NonFinite {
+                    context: "distance matrix input vector",
+                });
+            }
+        }
+        let n = vectors.len();
+        let mut upper = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                upper.push(metric.distance(&vectors[i], &vectors[j]));
+            }
+        }
+        Ok(DistanceMatrix { n, upper })
+    }
+
+    /// Builds a distance matrix directly from precomputed pairwise values.
+    ///
+    /// `get(i, j)` is only called for `i < j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::NonFinite`] if any produced distance is negative,
+    /// NaN or infinite, and [`MdsError::Empty`] when `n == 0`.
+    pub fn from_fn<F>(n: usize, mut get: F) -> Result<Self, MdsError>
+    where
+        F: FnMut(usize, usize) -> f64,
+    {
+        if n == 0 {
+            return Err(MdsError::Empty);
+        }
+        let mut upper = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = get(i, j);
+                if !d.is_finite() || d < 0.0 {
+                    return Err(MdsError::NonFinite {
+                        context: "distance matrix entry",
+                    });
+                }
+                upper.push(d);
+            }
+        }
+        Ok(DistanceMatrix { n, upper })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true when the matrix covers zero points (never constructed so,
+    /// but required for a well-behaved API).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The dissimilarity between points `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if i == j {
+            return 0.0;
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        self.upper[i * self.n - i * (i + 1) / 2 + (j - i - 1)]
+    }
+
+    /// Largest pairwise dissimilarity (0.0 for a single point).
+    pub fn max(&self) -> f64 {
+        self.upper.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean pairwise dissimilarity (0.0 for a single point).
+    pub fn mean(&self) -> f64 {
+        if self.upper.is_empty() {
+            0.0
+        } else {
+            self.upper.iter().sum::<f64>() / self.upper.len() as f64
+        }
+    }
+
+    /// Sum of squared dissimilarities over the strict upper triangle.
+    pub fn sum_squares(&self) -> f64 {
+        self.upper.iter().map(|d| d * d).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_distance_matches_hand_computation() {
+        let m = Metric::Euclidean;
+        assert_eq!(m.distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(m.distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        assert_eq!(Metric::Manhattan.distance(&[0.0, 0.0], &[3.0, 4.0]), 7.0);
+        assert_eq!(Metric::Chebyshev.distance(&[0.0, 0.0], &[3.0, 4.0]), 4.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let vectors = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0]];
+        let d = DistanceMatrix::from_vectors(&vectors).unwrap();
+        assert_eq!(d.len(), 3);
+        for i in 0..3 {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(d.get(i, j), d.get(j, i));
+            }
+        }
+        assert_eq!(d.get(0, 1), 1.0);
+        assert_eq!(d.get(0, 2), 2.0);
+        assert!((d.get(1, 2) - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_ragged_input() {
+        let vectors = vec![vec![0.0, 0.0], vec![1.0]];
+        assert!(matches!(
+            DistanceMatrix::from_vectors(&vectors),
+            Err(MdsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_input() {
+        let vectors = vec![vec![f64::NAN]];
+        assert!(matches!(
+            DistanceMatrix::from_vectors(&vectors),
+            Err(MdsError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn from_fn_rejects_negative_distances() {
+        assert!(matches!(
+            DistanceMatrix::from_fn(3, |_, _| -1.0),
+            Err(MdsError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn single_point_matrix() {
+        let d = DistanceMatrix::from_vectors(&[vec![1.0, 2.0]]).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.max(), 0.0);
+        assert_eq!(d.mean(), 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let vectors = vec![vec![0.0], vec![1.0], vec![3.0]];
+        let d = DistanceMatrix::from_vectors(&vectors).unwrap();
+        assert_eq!(d.max(), 3.0);
+        assert!((d.mean() - 2.0).abs() < 1e-12); // (1 + 3 + 2) / 3
+        assert_eq!(d.sum_squares(), 1.0 + 9.0 + 4.0);
+    }
+}

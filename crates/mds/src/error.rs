@@ -1,0 +1,81 @@
+use std::fmt;
+
+/// Error type returned by every fallible operation in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MdsError {
+    /// The input collection was empty where at least one element is required.
+    Empty,
+    /// Two inputs that must share a dimension did not.
+    DimensionMismatch {
+        /// Dimension that was expected.
+        expected: usize,
+        /// Dimension that was found.
+        found: usize,
+    },
+    /// An input value was NaN or infinite.
+    NonFinite {
+        /// Description of where the non-finite value occurred.
+        context: &'static str,
+    },
+    /// The requested target dimension is invalid (zero, or larger than the
+    /// number of points allows).
+    InvalidDimension {
+        /// The requested dimension.
+        requested: usize,
+    },
+    /// The iterative solver failed to make progress.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Stress value at the point of failure.
+        stress: f64,
+    },
+}
+
+impl fmt::Display for MdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdsError::Empty => write!(f, "input collection was empty"),
+            MdsError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            MdsError::NonFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+            MdsError::InvalidDimension { requested } => {
+                write!(f, "invalid target dimension {requested}")
+            }
+            MdsError::NoConvergence { iterations, stress } => {
+                write!(
+                    f,
+                    "solver failed to converge after {iterations} iterations (stress {stress})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MdsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = MdsError::DimensionMismatch {
+            expected: 4,
+            found: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('4') && msg.contains('3'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MdsError>();
+    }
+}

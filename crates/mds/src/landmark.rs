@@ -1,0 +1,314 @@
+//! Landmark MDS — the fast approximate embedding §4 points to.
+//!
+//! "Alternatively, there is existing work in the literature that is capable
+//! of doing incremental MDS with high performance and very low overhead"
+//! (the paper cites steerable/progressive MDS and fast approximations).
+//! This module implements the classic *Landmark MDS* scheme:
+//!
+//! 1. choose `k` landmarks by farthest-point (max-min) sampling,
+//! 2. embed the landmarks exactly with classical MDS,
+//! 3. place every other point — including future out-of-sample points —
+//!    by distance-based triangulation against the landmarks, a single
+//!    matrix-vector product per point.
+//!
+//! Compared to the paper's representative-sample dedup (which this
+//! repository's controller uses), landmark MDS bounds the quadratic cost
+//! by `k` instead of by the dedup granularity; the `landmark_mds` bench
+//! compares both.
+
+use crate::classical::classical_mds;
+use crate::distance::{DistanceMatrix, Metric};
+use crate::embedding::Embedding;
+use crate::linalg::symmetric_eigen;
+use crate::linalg::Matrix;
+use crate::MdsError;
+
+/// A fitted landmark embedding that can place arbitrary points.
+#[derive(Debug, Clone)]
+pub struct LandmarkMds {
+    dim: usize,
+    landmarks: Vec<Vec<f64>>,
+    landmark_coords: Embedding,
+    /// Pseudo-inverse transform rows `vᵢᵀ/√λᵢ` (dim × k).
+    pinv: Matrix,
+    /// Mean of squared landmark-to-landmark distances, per landmark.
+    mean_sq: Vec<f64>,
+}
+
+/// Farthest-point (max-min) landmark selection: start from the centroid's
+/// nearest point, repeatedly add the point farthest from the chosen set.
+/// Deterministic for a given input order.
+pub fn select_landmarks(vectors: &[Vec<f64>], k: usize) -> Vec<usize> {
+    let n = vectors.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let mut chosen = Vec::with_capacity(k);
+    // Seed: the point closest to the centroid (stable, representative).
+    let dim = vectors[0].len();
+    let mut centroid = vec![0.0; dim];
+    for v in vectors {
+        for (c, x) in centroid.iter_mut().zip(v) {
+            *c += x;
+        }
+    }
+    for c in &mut centroid {
+        *c /= n as f64;
+    }
+    let seed = (0..n)
+        .min_by(|&a, &b| {
+            let da = Metric::Euclidean.distance(&vectors[a], &centroid);
+            let db = Metric::Euclidean.distance(&vectors[b], &centroid);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(0);
+    chosen.push(seed);
+    let mut min_dist: Vec<f64> = (0..n)
+        .map(|i| Metric::Euclidean.distance(&vectors[i], &vectors[seed]))
+        .collect();
+    while chosen.len() < k {
+        let far = (0..n)
+            .max_by(|&a, &b| {
+                min_dist[a]
+                    .partial_cmp(&min_dist[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0);
+        if min_dist[far] <= 0.0 {
+            break; // all remaining points coincide with landmarks
+        }
+        chosen.push(far);
+        for i in 0..n {
+            let d = Metric::Euclidean.distance(&vectors[i], &vectors[far]);
+            min_dist[i] = min_dist[i].min(d);
+        }
+    }
+    chosen
+}
+
+impl LandmarkMds {
+    /// Fits the landmark embedding: selects `k` landmarks from `vectors`
+    /// and computes the triangulation transform for `dim` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::Empty`] for empty input,
+    /// [`MdsError::InvalidDimension`] for `dim == 0` or `k < dim + 1`
+    /// (triangulation needs at least `dim + 1` affinely independent
+    /// landmarks), and propagates eigensolver failures.
+    pub fn fit(vectors: &[Vec<f64>], k: usize, dim: usize) -> Result<Self, MdsError> {
+        if vectors.is_empty() {
+            return Err(MdsError::Empty);
+        }
+        if dim == 0 || k < dim + 1 {
+            return Err(MdsError::InvalidDimension { requested: dim });
+        }
+        let idx = select_landmarks(vectors, k);
+        let landmarks: Vec<Vec<f64>> = idx.iter().map(|&i| vectors[i].clone()).collect();
+        let ld = DistanceMatrix::from_vectors(&landmarks)?;
+        let kk = landmarks.len();
+
+        // Classical MDS on the landmarks (also yields the eigensystem we
+        // need for the triangulation transform).
+        let landmark_coords = classical_mds(&ld, dim)?;
+
+        // Double-centred Gram matrix of the landmarks.
+        let mut sq = Matrix::zeros(kk, kk);
+        for i in 0..kk {
+            for j in 0..kk {
+                let d = ld.get(i, j);
+                sq[(i, j)] = d * d;
+            }
+        }
+        let mut mean_sq = vec![0.0; kk];
+        let mut grand = 0.0;
+        for i in 0..kk {
+            let mut s = 0.0;
+            for j in 0..kk {
+                s += sq[(i, j)];
+            }
+            mean_sq[i] = s / kk as f64;
+            grand += s;
+        }
+        grand /= (kk * kk) as f64;
+        let mut b = Matrix::zeros(kk, kk);
+        for i in 0..kk {
+            for j in 0..kk {
+                b[(i, j)] = -0.5 * (sq[(i, j)] - mean_sq[i] - mean_sq[j] + grand);
+            }
+        }
+        let eig = symmetric_eigen(&b)?;
+        let mut pinv = Matrix::zeros(dim, kk);
+        for r in 0..dim {
+            let lambda = eig.eigenvalues.get(r).copied().unwrap_or(0.0);
+            if lambda > 1e-12 {
+                let scale = 1.0 / lambda.sqrt();
+                for c in 0..kk {
+                    pinv[(r, c)] = eig.eigenvectors[(c, r)] * scale;
+                }
+            }
+        }
+        Ok(LandmarkMds {
+            dim,
+            landmarks,
+            landmark_coords,
+            pinv,
+            mean_sq,
+        })
+    }
+
+    /// Number of landmarks.
+    pub fn landmark_count(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Target dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The landmarks' own embedded coordinates.
+    pub fn landmark_coords(&self) -> &Embedding {
+        &self.landmark_coords
+    }
+
+    /// Places one point by distance triangulation:
+    /// `x = −½ · L⁺ · (δ² − δ̄²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::DimensionMismatch`] for wrong-length input and
+    /// [`MdsError::NonFinite`] for non-finite coordinates.
+    pub fn place(&self, vector: &[f64]) -> Result<Vec<f64>, MdsError> {
+        let expect = self.landmarks[0].len();
+        if vector.len() != expect {
+            return Err(MdsError::DimensionMismatch {
+                expected: expect,
+                found: vector.len(),
+            });
+        }
+        if vector.iter().any(|v| !v.is_finite()) {
+            return Err(MdsError::NonFinite {
+                context: "landmark placement input",
+            });
+        }
+        let kk = self.landmarks.len();
+        let mut delta = vec![0.0; kk];
+        for (d, l) in delta.iter_mut().zip(&self.landmarks) {
+            let dist = Metric::Euclidean.distance(l, vector);
+            *d = dist * dist;
+        }
+        let mut out = vec![0.0; self.dim];
+        for (r, item) in out.iter_mut().enumerate() {
+            for (c, (d, m)) in delta.iter().zip(&self.mean_sq).enumerate() {
+                *item += self.pinv[(r, c)] * (d - m);
+            }
+            *item *= -0.5;
+        }
+        Ok(out)
+    }
+
+    /// Places a batch of points into an [`Embedding`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LandmarkMds::place`] failures.
+    pub fn place_all(&self, vectors: &[Vec<f64>]) -> Result<Embedding, MdsError> {
+        let mut e = Embedding::zeros(0, self.dim);
+        for v in vectors {
+            e.push(&self.place(v)?);
+        }
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Vec<f64>> {
+        // A planar grid in 5-D (first two axes carry all variance).
+        let side = (n as f64).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| {
+                let x = (i % side) as f64 * 0.1;
+                let y = (i / side) as f64 * 0.1;
+                vec![x, y, 0.0, 0.0, 0.0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn landmark_selection_is_spread_out() {
+        let vectors = grid(64);
+        let idx = select_landmarks(&vectors, 8);
+        assert_eq!(idx.len(), 8);
+        // No duplicates.
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        // The chosen landmarks span a large part of the diameter.
+        let d = |a: usize, b: usize| Metric::Euclidean.distance(&vectors[a], &vectors[b]);
+        let spread = idx
+            .iter()
+            .flat_map(|&a| idx.iter().map(move |&b| d(a, b)))
+            .fold(0.0, f64::max);
+        let diameter = (0..64)
+            .flat_map(|a| (0..64).map(move |b| d(a, b)))
+            .fold(0.0, f64::max);
+        assert!(spread > 0.9 * diameter);
+    }
+
+    #[test]
+    fn selection_handles_duplicates_and_small_sets() {
+        let vectors = vec![vec![1.0, 1.0]; 5];
+        let idx = select_landmarks(&vectors, 4);
+        assert_eq!(idx.len(), 1); // all coincide — only the seed survives
+        assert!(select_landmarks(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn placement_reproduces_planar_distances() {
+        let vectors = grid(100);
+        let lmds = LandmarkMds::fit(&vectors, 12, 2).unwrap();
+        let e = lmds.place_all(&vectors).unwrap();
+        let d = DistanceMatrix::from_vectors(&vectors).unwrap();
+        let stress = e.stress(&d).unwrap();
+        assert!(stress < 0.01, "landmark stress too high: {stress}");
+    }
+
+    #[test]
+    fn out_of_sample_placement_is_consistent() {
+        let vectors = grid(64);
+        let lmds = LandmarkMds::fit(&vectors, 10, 2).unwrap();
+        // A point not in the training set.
+        let novel = vec![0.35, 0.35, 0.0, 0.0, 0.0];
+        let placed = lmds.place(&novel).unwrap();
+        // Its distance to a placed training point must match the original
+        // space (planar data embeds exactly).
+        let anchor = lmds.place(&vectors[0]).unwrap();
+        let emb_d = ((placed[0] - anchor[0]).powi(2) + (placed[1] - anchor[1]).powi(2)).sqrt();
+        let true_d = Metric::Euclidean.distance(&novel, &vectors[0]);
+        assert!((emb_d - true_d).abs() < 0.01, "{emb_d} vs {true_d}");
+    }
+
+    #[test]
+    fn fit_validates_parameters() {
+        let vectors = grid(16);
+        assert!(LandmarkMds::fit(&[], 4, 2).is_err());
+        assert!(LandmarkMds::fit(&vectors, 2, 2).is_err()); // k < dim + 1
+        assert!(LandmarkMds::fit(&vectors, 4, 0).is_err());
+    }
+
+    #[test]
+    fn place_validates_input() {
+        let vectors = grid(16);
+        let lmds = LandmarkMds::fit(&vectors, 6, 2).unwrap();
+        assert!(lmds.place(&[0.1, 0.2]).is_err());
+        assert!(lmds.place(&[f64::NAN, 0.0, 0.0, 0.0, 0.0]).is_err());
+        assert_eq!(lmds.dim(), 2);
+        assert_eq!(lmds.landmark_count(), 6);
+    }
+}

@@ -1,0 +1,259 @@
+//! Per-metric min-max normalisation (§4 of the paper).
+//!
+//! Metric values span wildly different ranges (CPU in `[0, cores·100]`,
+//! memory in megabytes, I/O in MB/s, …); feeding them to MDS unnormalised
+//! would let large-valued metrics dominate every distance. The paper
+//! normalises all metrics into `[0, 1]`. We do this against *configured
+//! bounds* (host capacities) rather than the observed min/max, so the
+//! mapping from raw value to normalised value is stable over the lifetime of
+//! an execution — a requirement for the state map to be reusable as a
+//! template (§6).
+
+use crate::MdsError;
+use serde::{Deserialize, Serialize};
+
+/// Inclusive value bounds for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricBounds {
+    min: f64,
+    max: f64,
+}
+
+impl MetricBounds {
+    /// Creates bounds `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::NonFinite`] if either bound is not finite or
+    /// `max <= min`.
+    pub fn new(min: f64, max: f64) -> Result<Self, MdsError> {
+        if !min.is_finite() || !max.is_finite() || max <= min {
+            return Err(MdsError::NonFinite {
+                context: "metric bounds",
+            });
+        }
+        Ok(MetricBounds { min, max })
+    }
+
+    /// Bounds `[0, max]` — the common case for resource usage metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::NonFinite`] if `max` is not finite or `<= 0`.
+    pub fn zero_to(max: f64) -> Result<Self, MdsError> {
+        MetricBounds::new(0.0, max)
+    }
+
+    /// Lower bound.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Maps `value` into `[0, 1]`, clamping values outside the bounds.
+    pub fn normalize(&self, value: f64) -> f64 {
+        if value.is_nan() {
+            return 0.0;
+        }
+        ((value - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+    }
+
+    /// Inverse of [`MetricBounds::normalize`] for in-range inputs.
+    pub fn denormalize(&self, unit: f64) -> f64 {
+        self.min + unit.clamp(0.0, 1.0) * (self.max - self.min)
+    }
+}
+
+/// Normalises fixed-layout measurement vectors metric-by-metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    bounds: Vec<MetricBounds>,
+}
+
+impl Normalizer {
+    /// Creates a normaliser for vectors whose `i`-th entry obeys
+    /// `bounds[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::Empty`] when `bounds` is empty.
+    pub fn new(bounds: Vec<MetricBounds>) -> Result<Self, MdsError> {
+        if bounds.is_empty() {
+            return Err(MdsError::Empty);
+        }
+        Ok(Normalizer { bounds })
+    }
+
+    /// Creates a normaliser that maps every entry through `[0, 1]` bounds —
+    /// an identity-with-clamping for already-normalised inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn unit(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Normalizer {
+            bounds: vec![MetricBounds { min: 0.0, max: 1.0 }; dim],
+        }
+    }
+
+    /// Expected vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Borrow the per-metric bounds.
+    pub fn bounds(&self) -> &[MetricBounds] {
+        &self.bounds
+    }
+
+    /// Normalises a measurement vector into `[0, 1]^dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::DimensionMismatch`] for wrong-length input.
+    pub fn normalize(&self, vector: &[f64]) -> Result<Vec<f64>, MdsError> {
+        if vector.len() != self.bounds.len() {
+            return Err(MdsError::DimensionMismatch {
+                expected: self.bounds.len(),
+                found: vector.len(),
+            });
+        }
+        Ok(vector
+            .iter()
+            .zip(&self.bounds)
+            .map(|(v, b)| b.normalize(*v))
+            .collect())
+    }
+}
+
+/// An online min-max tracker for metrics without a priori bounds.
+///
+/// The paper's prototype knows host capacities, but some metrics (e.g.
+/// network traffic on an uncapped NIC) have no natural upper bound. This
+/// tracker observes values and exposes the running range; the normalised
+/// value of `v` is `v / max_seen` (with `min` pinned to 0 when requested).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineRange {
+    min: f64,
+    max: f64,
+    count: u64,
+}
+
+impl OnlineRange {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        OnlineRange {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        }
+    }
+
+    /// Observes a value (NaN values are ignored).
+    pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.count += 1;
+    }
+
+    /// Number of observed values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Normalises `value` against the observed range; returns 0.0 when fewer
+    /// than two distinct values have been seen.
+    pub fn normalize(&self, value: f64) -> f64 {
+        if self.count == 0 || self.max <= self.min {
+            return 0.0;
+        }
+        ((value - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+    }
+}
+
+impl Default for OnlineRange {
+    fn default() -> Self {
+        OnlineRange::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_normalize_and_clamp() {
+        let b = MetricBounds::zero_to(400.0).unwrap();
+        assert_eq!(b.normalize(0.0), 0.0);
+        assert_eq!(b.normalize(200.0), 0.5);
+        assert_eq!(b.normalize(400.0), 1.0);
+        assert_eq!(b.normalize(500.0), 1.0);
+        assert_eq!(b.normalize(-5.0), 0.0);
+    }
+
+    #[test]
+    fn denormalize_round_trips() {
+        let b = MetricBounds::new(10.0, 30.0).unwrap();
+        for v in [10.0, 17.5, 30.0] {
+            assert!((b.denormalize(b.normalize(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_bounds_are_rejected() {
+        assert!(MetricBounds::new(1.0, 1.0).is_err());
+        assert!(MetricBounds::new(2.0, 1.0).is_err());
+        assert!(MetricBounds::new(f64::NAN, 1.0).is_err());
+        assert!(MetricBounds::zero_to(0.0).is_err());
+    }
+
+    #[test]
+    fn normalizer_maps_vectors() {
+        let n = Normalizer::new(vec![
+            MetricBounds::zero_to(400.0).unwrap(),
+            MetricBounds::zero_to(8192.0).unwrap(),
+        ])
+        .unwrap();
+        let out = n.normalize(&[100.0, 4096.0]).unwrap();
+        assert_eq!(out, vec![0.25, 0.5]);
+    }
+
+    #[test]
+    fn normalizer_rejects_wrong_length() {
+        let n = Normalizer::unit(3);
+        assert!(n.normalize(&[0.1, 0.2]).is_err());
+    }
+
+    #[test]
+    fn nan_input_normalizes_to_zero() {
+        let b = MetricBounds::zero_to(1.0).unwrap();
+        assert_eq!(b.normalize(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn online_range_tracks_and_normalizes() {
+        let mut r = OnlineRange::new();
+        assert_eq!(r.normalize(5.0), 0.0);
+        r.observe(0.0);
+        r.observe(10.0);
+        r.observe(f64::NAN); // ignored
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.normalize(5.0), 0.5);
+        assert_eq!(r.normalize(20.0), 1.0);
+    }
+
+    #[test]
+    fn unit_normalizer_clamps_only() {
+        let n = Normalizer::unit(2);
+        let out = n.normalize(&[0.5, 1.5]).unwrap();
+        assert_eq!(out, vec![0.5, 1.0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic models of the paper's applications.
+//!
+//! Each function builds a [`PhasedApp`](crate::app::PhasedApp) whose
+//! resource signature follows what the paper reports (§7.1 and the Figure 5
+//! discussion):
+//!
+//! | Paper application | Model | Signature |
+//! |---|---|---|
+//! | VLC 2.0.5 streaming server | [`vlc::vlc_streaming`] | workload-driven CPU + network, moderate cache |
+//! | VLC transcoding | [`vlc::vlc_transcode`] | steady heavy CPU + disk, finite |
+//! | Memcached webservice | [`webservice::webservice`] | CPU / memory / mixed workloads |
+//! | SPEC CPU 2006 soplex | [`soplex::soplex`] | steady CPU, slowly growing memory, linear trajectory |
+//! | CloudSuite Twitter influence ranking | [`twitter::twitter_analysis`] | alternating CPU-heavy and memory-heavy phases |
+//! | Isolation-benchmark CPUBomb | [`bombs::cpu_bomb`] | saturates all cores, no phase changes |
+//! | Custom MemoryBomb | [`bombs::memory_bomb`] | allocates large chunks, occasionally scans them |
+
+pub mod bombs;
+pub mod soplex;
+pub mod twitter;
+pub mod vlc;
+pub mod webservice;
+
+pub use bombs::{cpu_bomb, memory_bomb};
+pub use soplex::soplex;
+pub use twitter::twitter_analysis;
+pub use vlc::{vlc_streaming, vlc_transcode};
+pub use webservice::{webservice, WebWorkload};

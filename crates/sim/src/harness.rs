@@ -1,0 +1,456 @@
+//! The experiment harness: closed loop of host, QoS accounting and policy.
+
+use crate::app::AppClass;
+use crate::container::ContainerId;
+use crate::host::{Host, HostTick};
+use crate::policy::{Action, ContainerObs, Observation, Policy};
+use crate::qos::{QosSpec, QosSummary};
+use crate::resources::{ResourceKind, ResourceVector};
+use crate::SimError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One tick of a recorded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickRecord {
+    /// Tick index.
+    pub tick: u64,
+    /// Normalised QoS value of the sensitive application (1.0 when idle).
+    pub qos_value: f64,
+    /// True when this tick violated the QoS requirement.
+    pub violated: bool,
+    /// True when the sensitive application was active.
+    pub sensitive_active: bool,
+    /// Number of active batch containers.
+    pub batch_active: usize,
+    /// Number of paused batch containers.
+    pub batch_paused: usize,
+    /// CPU cores granted to sensitive containers.
+    pub sensitive_cpu: f64,
+    /// CPU cores granted to batch containers.
+    pub batch_cpu: f64,
+    /// Machine CPU utilisation in `[0, 1]`.
+    pub utilization: f64,
+    /// Number of actuations the policy issued this tick.
+    pub actions: usize,
+}
+
+/// The outcome of a complete run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Name of the policy that drove the run.
+    pub policy: String,
+    /// Aggregated QoS statistics.
+    pub qos: QosSummary,
+    /// Tick-by-tick records.
+    pub timeline: Vec<TickRecord>,
+    /// Total nominal batch work completed.
+    pub batch_work: f64,
+    /// Actions rejected by the host (e.g. pausing a sensitive container).
+    pub rejected_actions: u64,
+}
+
+impl RunOutcome {
+    /// Mean machine CPU utilisation over the run.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.timeline.is_empty() {
+            return 0.0;
+        }
+        self.timeline.iter().map(|r| r.utilization).sum::<f64>() / self.timeline.len() as f64
+    }
+
+    /// Mean *gained* utilisation: the CPU share consumed by batch work,
+    /// which is exactly the utilisation gained over running the sensitive
+    /// application alone (Figures 10–12).
+    pub fn mean_gained_utilization(&self, cpu_capacity: f64) -> f64 {
+        if self.timeline.is_empty() || cpu_capacity <= 0.0 {
+            return 0.0;
+        }
+        self.timeline.iter().map(|r| r.batch_cpu).sum::<f64>()
+            / (self.timeline.len() as f64 * cpu_capacity)
+    }
+
+    /// The per-tick gained-utilisation series.
+    pub fn gained_utilization_series(&self, cpu_capacity: f64) -> Vec<f64> {
+        self.timeline
+            .iter()
+            .map(|r| {
+                if cpu_capacity > 0.0 {
+                    r.batch_cpu / cpu_capacity
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// Closed-loop experiment driver.
+#[derive(Debug)]
+pub struct Harness {
+    host: Host,
+    qos: QosSpec,
+    sensitive: Option<ContainerId>,
+    noise_sd: f64,
+    rng: StdRng,
+}
+
+impl Harness {
+    /// Wraps a host. The QoS of the *first sensitive container* is tracked;
+    /// monitoring noise is multiplicative Gaussian with standard deviation
+    /// `noise_sd` (0.0 disables it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a negative or non-finite
+    /// `noise_sd`.
+    pub fn new(host: Host, qos: QosSpec, noise_sd: f64, seed: u64) -> Result<Self, SimError> {
+        if !noise_sd.is_finite() || noise_sd < 0.0 {
+            return Err(SimError::InvalidConfig {
+                reason: format!("noise_sd must be non-negative, got {noise_sd}"),
+            });
+        }
+        let sensitive = host
+            .containers()
+            .find(|c| c.class() == AppClass::Sensitive)
+            .map(|c| c.id());
+        Ok(Harness {
+            host,
+            qos,
+            sensitive,
+            noise_sd,
+            rng: StdRng::seed_from_u64(seed ^ 0x5f3759df),
+        })
+    }
+
+    /// The tracked sensitive container, if any.
+    pub fn sensitive_id(&self) -> Option<ContainerId> {
+        self.sensitive
+    }
+
+    /// The QoS requirement in force.
+    pub fn qos_spec(&self) -> QosSpec {
+        self.qos
+    }
+
+    /// Shared access to the host.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// Mutable access to the host (scenario setup, manual throttling).
+    pub fn host_mut(&mut self) -> &mut Host {
+        &mut self.host
+    }
+
+    fn noisy_scalar(&mut self, x: f64, sd: f64) -> f64 {
+        if sd == 0.0 || x <= 0.0 {
+            return x;
+        }
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (x * (1.0 + sd * z)).max(0.0)
+    }
+
+    fn noisy(&mut self, v: ResourceVector) -> ResourceVector {
+        if self.noise_sd == 0.0 {
+            return v;
+        }
+        let mut out = v;
+        for kind in ResourceKind::ALL {
+            let x = out.get(kind);
+            if x > 0.0 {
+                let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = self.rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                out.set(kind, (x * (1.0 + self.noise_sd * z)).max(0.0));
+            }
+        }
+        out
+    }
+
+    fn observation_from(&mut self, report: &HostTick) -> Observation {
+        let (qos_value, violation, _active) = self.qos_of(report);
+        let containers = report
+            .containers
+            .iter()
+            .map(|ct| ContainerObs {
+                id: ct.id,
+                name: self
+                    .host
+                    .container(ct.id)
+                    .map(|c| c.app_name().to_string())
+                    .unwrap_or_default(),
+                class: ct.class,
+                active: ct.active,
+                paused: ct.paused,
+                finished: ct.finished,
+                usage: ct.usage,
+                ipc: ct.perf,
+                priority: self
+                    .host
+                    .container(ct.id)
+                    .map(|c| c.priority())
+                    .unwrap_or(0),
+            })
+            .collect::<Vec<_>>();
+        let containers = containers
+            .into_iter()
+            .map(|mut c| {
+                c.usage = self.noisy(c.usage);
+                // Hardware counters are a blurrier progress signal than the
+                // application's own QoS metric: triple the monitoring noise.
+                c.ipc = self.noisy_scalar(c.ipc, 3.0 * self.noise_sd);
+                c
+            })
+            .collect();
+        Observation {
+            tick: report.tick,
+            containers,
+            qos_violation: violation,
+            qos_value,
+        }
+    }
+
+    /// QoS value, violation flag and activity of the tracked sensitive
+    /// container for a tick report.
+    fn qos_of(&self, report: &HostTick) -> (f64, bool, bool) {
+        match self.sensitive.and_then(|id| report.container(id)) {
+            Some(ct) if ct.active => {
+                let violated = self.qos.is_violation(ct.perf);
+                (ct.perf, violated, true)
+            }
+            _ => (1.0, false, false),
+        }
+    }
+
+    /// Runs one closed-loop tick: advance the host, observe, let the policy
+    /// act, and apply the actions (they take effect from the next tick).
+    pub fn step_with(&mut self, policy: &mut dyn Policy) -> (TickRecord, u64) {
+        let report = self.host.step();
+        let (qos_value, violated, sensitive_active) = self.qos_of(&report);
+        let obs = self.observation_from(&report);
+        let actions = policy.decide(&obs);
+        let mut rejected = 0;
+        for a in &actions {
+            let result = match a {
+                Action::Pause(id) => self.host.pause(*id),
+                Action::Resume(id) => self.host.resume(*id),
+            };
+            if result.is_err() {
+                rejected += 1;
+            }
+        }
+        let record = TickRecord {
+            tick: report.tick,
+            qos_value,
+            violated,
+            sensitive_active,
+            batch_active: report
+                .containers
+                .iter()
+                .filter(|c| c.class == AppClass::Batch && c.active)
+                .count(),
+            batch_paused: report
+                .containers
+                .iter()
+                .filter(|c| c.class == AppClass::Batch && c.paused)
+                .count(),
+            sensitive_cpu: report.cpu_usage_of(AppClass::Sensitive),
+            batch_cpu: report.cpu_usage_of(AppClass::Batch),
+            utilization: report.cpu_utilization(self.host.spec()),
+            actions: actions.len(),
+        };
+        (record, rejected)
+    }
+
+    /// Runs `ticks` closed-loop ticks under `policy`.
+    pub fn run(&mut self, policy: &mut dyn Policy, ticks: u64) -> RunOutcome {
+        let mut qos = QosSummary::new();
+        let mut timeline = Vec::with_capacity(ticks as usize);
+        let mut rejected_actions = 0;
+        for _ in 0..ticks {
+            let (record, rejected) = self.step_with(policy);
+            if record.sensitive_active {
+                qos.record(record.qos_value, record.violated);
+            }
+            rejected_actions += rejected;
+            timeline.push(record);
+        }
+        let batch_work = self
+            .host
+            .containers()
+            .filter(|c| c.class() == AppClass::Batch)
+            .map(|c| c.app().work_done())
+            .sum();
+        RunOutcome {
+            policy: policy.name().to_string(),
+            qos,
+            timeline,
+            batch_work,
+            rejected_actions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Application, Phase, PhasedApp};
+    use crate::host::HostSpec;
+    use crate::policy::NullPolicy;
+
+    fn cpu_app(name: &str, cores: f64, work: f64) -> Box<dyn Application> {
+        Box::new(
+            PhasedApp::builder(name)
+                .phase(Phase::steady(
+                    ResourceVector::zero().with(ResourceKind::Cpu, cores),
+                    work,
+                ))
+                .build(),
+        )
+    }
+
+    fn harness_two_apps() -> Harness {
+        let mut host = Host::new(HostSpec::default()).unwrap();
+        host.add_container(AppClass::Sensitive, cpu_app("svc", 3.0, 1e9), 0);
+        host.add_container(AppClass::Batch, cpu_app("batch", 3.0, 1e9), 0);
+        Harness::new(host, QosSpec::new(0.95).unwrap(), 0.0, 1).unwrap()
+    }
+
+    #[test]
+    fn null_policy_lets_violations_happen() {
+        let mut h = harness_two_apps();
+        let out = h.run(&mut NullPolicy::new(), 20);
+        assert_eq!(out.qos.active_ticks, 20);
+        assert_eq!(out.qos.violations, 20); // 2/3 perf < 0.95 every tick
+        assert!(out.qos.satisfaction() < 0.01);
+        assert!(out.batch_work > 0.0);
+    }
+
+    /// A policy that pauses every batch container immediately.
+    struct PauseAll;
+    impl Policy for PauseAll {
+        fn name(&self) -> &str {
+            "pause-all"
+        }
+        fn decide(&mut self, obs: &Observation) -> Vec<Action> {
+            obs.batch()
+                .filter(|c| !c.paused)
+                .map(|c| Action::Pause(c.id))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn pausing_batch_restores_qos() {
+        let mut h = harness_two_apps();
+        let out = h.run(&mut PauseAll, 20);
+        // Tick 0 violates (actions land after the tick), everything after
+        // is clean.
+        assert_eq!(out.qos.violations, 1);
+        assert!(out.timeline[1..].iter().all(|r| !r.violated));
+        assert_eq!(out.timeline.last().unwrap().batch_paused, 1);
+    }
+
+    /// A policy that tries to pause the sensitive container (must be
+    /// rejected by the host).
+    struct PauseSensitive;
+    impl Policy for PauseSensitive {
+        fn name(&self) -> &str {
+            "pause-sensitive"
+        }
+        fn decide(&mut self, obs: &Observation) -> Vec<Action> {
+            obs.sensitive().map(|c| Action::Pause(c.id)).collect()
+        }
+    }
+
+    #[test]
+    fn pausing_sensitive_is_rejected() {
+        let mut h = harness_two_apps();
+        let out = h.run(&mut PauseSensitive, 5);
+        assert_eq!(out.rejected_actions, 5);
+        // The sensitive app kept running.
+        assert!(out.timeline.iter().all(|r| r.sensitive_active));
+    }
+
+    #[test]
+    fn qos_is_perfect_without_interference() {
+        let mut host = Host::new(HostSpec::default()).unwrap();
+        host.add_container(AppClass::Sensitive, cpu_app("svc", 2.0, 1e9), 0);
+        let mut h = Harness::new(host, QosSpec::default(), 0.0, 1).unwrap();
+        let out = h.run(&mut NullPolicy::new(), 10);
+        assert_eq!(out.qos.violations, 0);
+        assert_eq!(out.qos.satisfaction(), 1.0);
+    }
+
+    #[test]
+    fn gained_utilization_counts_batch_only() {
+        let mut h = harness_two_apps();
+        let out = h.run(&mut NullPolicy::new(), 10);
+        let cap = h.host().spec().cpu_cores;
+        // Each app gets 2 cores of 4: batch share = 0.5.
+        assert!((out.mean_gained_utilization(cap) - 0.5).abs() < 1e-9);
+        assert!((out.mean_utilization() - 1.0).abs() < 1e-9);
+        assert_eq!(out.gained_utilization_series(cap).len(), 10);
+    }
+
+    #[test]
+    fn noise_perturbs_observations_but_not_physics() {
+        let mut host = Host::new(HostSpec::default()).unwrap();
+        host.add_container(AppClass::Sensitive, cpu_app("svc", 2.0, 1e9), 0);
+        let mut h = Harness::new(host, QosSpec::default(), 0.05, 7).unwrap();
+
+        struct Capture(Vec<f64>);
+        impl Policy for Capture {
+            fn name(&self) -> &str {
+                "capture"
+            }
+            fn decide(&mut self, obs: &Observation) -> Vec<Action> {
+                self.0
+                    .push(obs.containers[0].usage.get(ResourceKind::Cpu));
+                Vec::new()
+            }
+        }
+        let mut cap = Capture(Vec::new());
+        let out = h.run(&mut cap, 20);
+        // Physics unchanged: no violations.
+        assert_eq!(out.qos.violations, 0);
+        // Observations fluctuate around 2.0.
+        let mean: f64 = cap.0.iter().sum::<f64>() / cap.0.len() as f64;
+        assert!((mean - 2.0).abs() < 0.15, "mean = {mean}");
+        assert!(cap.0.iter().any(|&v| (v - 2.0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn harness_without_sensitive_container() {
+        let mut host = Host::new(HostSpec::default()).unwrap();
+        host.add_container(AppClass::Batch, cpu_app("b", 1.0, 1e9), 0);
+        let mut h = Harness::new(host, QosSpec::default(), 0.0, 1).unwrap();
+        assert!(h.sensitive_id().is_none());
+        let out = h.run(&mut NullPolicy::new(), 5);
+        assert_eq!(out.qos.active_ticks, 0);
+        assert_eq!(out.qos.satisfaction(), 1.0);
+    }
+
+    #[test]
+    fn invalid_noise_rejected() {
+        let host = Host::new(HostSpec::default()).unwrap();
+        assert!(Harness::new(host, QosSpec::default(), -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed: u64| {
+            let mut host = Host::new(HostSpec::default()).unwrap();
+            host.add_container(AppClass::Sensitive, cpu_app("svc", 3.0, 1e9), 0);
+            host.add_container(AppClass::Batch, cpu_app("b", 3.0, 1e9), 0);
+            let mut h = Harness::new(host, QosSpec::default(), 0.02, seed).unwrap();
+            h.run(&mut NullPolicy::new(), 30)
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,148 @@
+//! QoS specification and accounting.
+//!
+//! The sensitive application's QoS is its delivered service fraction: for
+//! VLC streaming this is the achieved transcoding rate relative to the rate
+//! required for uninterrupted delivery; for the webservice it is the
+//! completed-transactions rate relative to demand. A tick is a *violation*
+//! when the value falls below the configured threshold — the paper's
+//! "QoS threshold" line in Figures 8, 9 and 14–16.
+
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// QoS requirement of a sensitive application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosSpec {
+    threshold: f64,
+}
+
+impl QosSpec {
+    /// Creates a spec that flags a violation when the normalised QoS value
+    /// drops below `threshold ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for thresholds outside `(0, 1]`.
+    pub fn new(threshold: f64) -> Result<Self, SimError> {
+        if !threshold.is_finite() || threshold <= 0.0 || threshold > 1.0 {
+            return Err(SimError::InvalidConfig {
+                reason: format!("qos threshold must be in (0, 1], got {threshold}"),
+            });
+        }
+        Ok(QosSpec { threshold })
+    }
+
+    /// The violation threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// True when `value` violates the requirement.
+    pub fn is_violation(&self, value: f64) -> bool {
+        value < self.threshold
+    }
+}
+
+impl Default for QosSpec {
+    /// The default threshold (0.95) models the paper's "minimum transcoding
+    /// rate required to provide real time viewing without any loss of
+    /// frames".
+    fn default() -> Self {
+        QosSpec { threshold: 0.95 }
+    }
+}
+
+/// Aggregated QoS statistics over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct QosSummary {
+    /// Ticks during which the sensitive application was active.
+    pub active_ticks: u64,
+    /// Ticks flagged as violations.
+    pub violations: u64,
+    /// Sum of QoS values over active ticks (for the mean).
+    pub qos_sum: f64,
+    /// Lowest QoS value observed while active.
+    pub worst: f64,
+}
+
+impl QosSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        QosSummary {
+            active_ticks: 0,
+            violations: 0,
+            qos_sum: 0.0,
+            worst: 1.0,
+        }
+    }
+
+    /// Records one active tick.
+    pub fn record(&mut self, qos_value: f64, violated: bool) {
+        self.active_ticks += 1;
+        if violated {
+            self.violations += 1;
+        }
+        self.qos_sum += qos_value;
+        self.worst = self.worst.min(qos_value);
+    }
+
+    /// Fraction of active ticks that met the QoS requirement.
+    pub fn satisfaction(&self) -> f64 {
+        if self.active_ticks == 0 {
+            1.0
+        } else {
+            1.0 - self.violations as f64 / self.active_ticks as f64
+        }
+    }
+
+    /// Mean QoS value over active ticks.
+    pub fn mean_qos(&self) -> f64 {
+        if self.active_ticks == 0 {
+            1.0
+        } else {
+            self.qos_sum / self.active_ticks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation() {
+        assert!(QosSpec::new(0.9).is_ok());
+        assert!(QosSpec::new(1.0).is_ok());
+        assert!(QosSpec::new(0.0).is_err());
+        assert!(QosSpec::new(1.1).is_err());
+        assert!(QosSpec::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn violation_detection() {
+        let q = QosSpec::new(0.9).unwrap();
+        assert!(q.is_violation(0.89));
+        assert!(!q.is_violation(0.9));
+        assert!(!q.is_violation(1.0));
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let mut s = QosSummary::new();
+        s.record(1.0, false);
+        s.record(0.5, true);
+        s.record(0.8, true);
+        assert_eq!(s.active_ticks, 3);
+        assert_eq!(s.violations, 2);
+        assert!((s.satisfaction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_qos() - 2.3 / 3.0).abs() < 1e-12);
+        assert_eq!(s.worst, 0.5);
+    }
+
+    #[test]
+    fn empty_summary_is_perfect() {
+        let s = QosSummary::new();
+        assert_eq!(s.satisfaction(), 1.0);
+        assert_eq!(s.mean_qos(), 1.0);
+    }
+}

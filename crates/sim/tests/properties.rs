@@ -1,0 +1,137 @@
+//! Property-based tests for the simulator's physical invariants.
+
+use proptest::prelude::*;
+use stayaway_sim::app::{Application, Phase, PhasedApp};
+use stayaway_sim::contention::{allocate, max_min_fair, ContentionParams};
+use stayaway_sim::workload::Trace;
+use stayaway_sim::{HostSpec, ResourceKind, ResourceVector};
+
+fn demand_strategy() -> impl Strategy<Value = ResourceVector> {
+    (
+        0.0f64..6.0,
+        0.0f64..10_000.0,
+        0.0f64..15_000.0,
+        0.0f64..300.0,
+        0.0f64..1500.0,
+        0.0f64..6.0,
+    )
+        .prop_map(|(cpu, mem, bw, disk, net, cache)| {
+            ResourceVector::new(cpu, mem, bw, disk, net, cache)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Max-min fairness: grants are capacity-conserving, demand-bounded and
+    /// non-negative for arbitrary demand profiles.
+    #[test]
+    fn max_min_fair_is_feasible(
+        demands in prop::collection::vec(0.0f64..10.0, 0..8),
+        capacity in 0.0f64..16.0,
+    ) {
+        let grants = max_min_fair(&demands, capacity);
+        prop_assert_eq!(grants.len(), demands.len());
+        let total: f64 = grants.iter().sum();
+        prop_assert!(total <= capacity + 1e-9);
+        for (g, d) in grants.iter().zip(&demands) {
+            prop_assert!(*g >= 0.0);
+            prop_assert!(*g <= d + 1e-9);
+        }
+    }
+
+    /// Work conservation: when total demand meets or exceeds capacity, the
+    /// allocator hands out (almost) all of it.
+    #[test]
+    fn max_min_fair_is_work_conserving(
+        demands in prop::collection::vec(0.5f64..10.0, 1..8),
+        capacity in 0.1f64..16.0,
+    ) {
+        let total_demand: f64 = demands.iter().sum();
+        let grants = max_min_fair(&demands, capacity);
+        let granted: f64 = grants.iter().sum();
+        let expected = total_demand.min(capacity);
+        prop_assert!((granted - expected).abs() < 1e-6,
+            "granted {granted} vs expected {expected}");
+    }
+
+    /// Fairness: a consumer demanding at least as much as another never
+    /// receives less.
+    #[test]
+    fn max_min_fair_is_monotone_in_demand(
+        base in 0.1f64..5.0,
+        extra in 0.0f64..5.0,
+        other in 0.1f64..5.0,
+        capacity in 0.1f64..8.0,
+    ) {
+        let grants = max_min_fair(&[base + extra, base, other], capacity);
+        prop_assert!(grants[0] >= grants[1] - 1e-9);
+    }
+
+    /// Full allocation: no resource kind is ever oversubscribed, and the
+    /// per-application performance stays in [0, 1].
+    #[test]
+    fn allocation_respects_every_capacity(
+        demands in prop::collection::vec(demand_strategy(), 1..5),
+    ) {
+        let spec = HostSpec::default();
+        let allocs = allocate(&demands, &spec, &ContentionParams::default());
+        for kind in ResourceKind::ALL {
+            let total: f64 = allocs.iter().map(|a| a.granted.get(kind)).sum();
+            prop_assert!(total <= spec.capacity(kind) + 1e-6,
+                "{kind} oversubscribed: {total}");
+        }
+        for a in &allocs {
+            prop_assert!((0.0..=1.0).contains(&a.perf));
+            prop_assert!(a.swap_factor <= 1.0 && a.swap_factor > 0.0);
+            prop_assert!(a.cache_factor <= 1.0 && a.cache_factor > 0.0);
+            prop_assert!(a.granted.is_valid());
+        }
+    }
+
+    /// Adding a competitor never *improves* an application's performance.
+    #[test]
+    fn contention_is_monotone(
+        a in demand_strategy(),
+        b in demand_strategy(),
+    ) {
+        let spec = HostSpec::default();
+        let params = ContentionParams::default();
+        let alone = allocate(&[a], &spec, &params)[0].perf;
+        let together = allocate(&[a, b], &spec, &params)[0].perf;
+        prop_assert!(together <= alone + 1e-9,
+            "competitor improved perf: {alone} -> {together}");
+    }
+
+    /// Application progress equals the sum of delivered performance, no
+    /// matter how delivery is fragmented.
+    #[test]
+    fn phased_app_conserves_work(
+        perfs in prop::collection::vec(0.0f64..1.0, 1..50),
+    ) {
+        let mut app = PhasedApp::builder("p")
+            .phase(Phase::steady(
+                ResourceVector::zero().with(ResourceKind::Cpu, 1.0),
+                1000.0,
+            ))
+            .looping(true)
+            .build();
+        for &p in &perfs {
+            app.deliver(p);
+        }
+        let expected: f64 = perfs.iter().sum();
+        prop_assert!((app.work_done() - expected).abs() < 1e-9);
+    }
+
+    /// Traces always produce intensities in [0, 1] and wrap periodically.
+    #[test]
+    fn trace_intensity_is_bounded_and_periodic(
+        samples in prop::collection::vec(-2.0f64..3.0, 1..40),
+        t in 0u64..10_000,
+    ) {
+        let trace = Trace::from_samples(samples.clone()).unwrap();
+        let v = trace.intensity(t);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert_eq!(v, trace.intensity(t + trace.len() as u64));
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Error type for state-space operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StateSpaceError {
+    /// A state index was out of bounds.
+    UnknownState {
+        /// The offending index.
+        index: usize,
+        /// Number of states in the map.
+        len: usize,
+    },
+    /// A numeric parameter was invalid (negative, NaN, …).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+    },
+    /// Template (de)serialisation failed.
+    Template(String),
+    /// Underlying I/O failure while reading/writing a template.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StateSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateSpaceError::UnknownState { index, len } => {
+                write!(f, "unknown state index {index} (map holds {len} states)")
+            }
+            StateSpaceError::InvalidParameter { name } => {
+                write!(f, "invalid parameter `{name}`")
+            }
+            StateSpaceError::Template(msg) => write!(f, "template error: {msg}"),
+            StateSpaceError::Io(e) => write!(f, "template i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StateSpaceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StateSpaceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StateSpaceError {
+    fn from(e: std::io::Error) -> Self {
+        StateSpaceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StateSpaceError::UnknownState { index: 7, len: 3 };
+        assert!(e.to_string().contains('7'));
+        let e = StateSpaceError::InvalidParameter { name: "epsilon" };
+        assert!(e.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e = StateSpaceError::from(io);
+        assert!(e.source().is_some());
+    }
+}

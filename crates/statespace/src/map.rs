@@ -1,0 +1,438 @@
+//! The mutable state map maintained by the controller.
+//!
+//! Entries are keyed by the dense *representative index* assigned by the
+//! deduplication stage (`stayaway_mds::dedup::ReprSet`): representative `i`
+//! owns entry `i`. Every control period the embedding is refreshed, so the
+//! 2-D positions of all entries are rewritten; labels (safe/violation) and
+//! visit statistics persist across refreshes.
+
+use crate::mode::ExecutionMode;
+use crate::point::Point2;
+use crate::range::{rayleigh_radius, ViolationRange};
+use crate::StateSpaceError;
+use serde::{Deserialize, Serialize};
+
+/// Whether a mapped state has been associated with a QoS violation.
+///
+/// A state labelled [`StateKind::Violation`] stays a violation-state for the
+/// rest of the execution (and beyond, via templates): the paper never
+/// un-learns a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StateKind {
+    /// A mapped state never observed during a QoS violation.
+    Safe,
+    /// A mapped state observed during at least one QoS violation.
+    Violation,
+}
+
+/// One entry of the state map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateEntry {
+    point: Point2,
+    kind: StateKind,
+    visits: u64,
+    last_tick: u64,
+    first_mode: ExecutionMode,
+}
+
+impl StateEntry {
+    /// Current 2-D position.
+    pub fn point(&self) -> Point2 {
+        self.point
+    }
+
+    /// Safe or violation.
+    pub fn kind(&self) -> StateKind {
+        self.kind
+    }
+
+    /// Number of raw samples that mapped to this state.
+    pub fn visits(&self) -> u64 {
+        self.visits
+    }
+
+    /// Tick of the most recent visit.
+    pub fn last_tick(&self) -> u64 {
+        self.last_tick
+    }
+
+    /// Execution mode at first observation.
+    pub fn first_mode(&self) -> ExecutionMode {
+        self.first_mode
+    }
+}
+
+/// The 2-D state map: positions, labels and violation-range queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StateMap {
+    entries: Vec<StateEntry>,
+    /// Median coordinate range of the mapped space — the `c` of §3.2.2.
+    coordinate_scale: f64,
+}
+
+impl StateMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        StateMap {
+            entries: Vec::new(),
+            coordinate_scale: 0.0,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map holds no states.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in representative order.
+    pub fn iter(&self) -> impl Iterator<Item = &StateEntry> + '_ {
+        self.entries.iter()
+    }
+
+    /// Borrows entry `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceError::UnknownState`] for an out-of-range index.
+    pub fn entry(&self, index: usize) -> Result<&StateEntry, StateSpaceError> {
+        self.entries.get(index).ok_or(StateSpaceError::UnknownState {
+            index,
+            len: self.entries.len(),
+        })
+    }
+
+    /// The `c` constant used in the Rayleigh radius.
+    pub fn coordinate_scale(&self) -> f64 {
+        self.coordinate_scale
+    }
+
+    /// Updates `c` (the median coordinate range of the current embedding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceError::InvalidParameter`] for a negative or
+    /// non-finite scale.
+    pub fn set_coordinate_scale(&mut self, c: f64) -> Result<(), StateSpaceError> {
+        if !c.is_finite() || c < 0.0 {
+            return Err(StateSpaceError::InvalidParameter {
+                name: "coordinate_scale",
+            });
+        }
+        self.coordinate_scale = c;
+        Ok(())
+    }
+
+    /// Records a visit to representative `index` at `point` during `mode`.
+    ///
+    /// Representative indices are dense: visiting index `n` when the map
+    /// holds `n` entries appends a new entry; visiting a smaller index
+    /// updates position and statistics of the existing entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceError::UnknownState`] when `index` would leave a
+    /// gap (i.e. `index > self.len()`).
+    pub fn visit(
+        &mut self,
+        index: usize,
+        point: Point2,
+        mode: ExecutionMode,
+        tick: u64,
+    ) -> Result<(), StateSpaceError> {
+        use std::cmp::Ordering;
+        match index.cmp(&self.entries.len()) {
+            Ordering::Less => {
+                let e = &mut self.entries[index];
+                e.point = point;
+                e.visits += 1;
+                e.last_tick = tick;
+                Ok(())
+            }
+            Ordering::Equal => {
+                self.entries.push(StateEntry {
+                    point,
+                    kind: StateKind::Safe,
+                    visits: 1,
+                    last_tick: tick,
+                    first_mode: mode,
+                });
+                Ok(())
+            }
+            Ordering::Greater => Err(StateSpaceError::UnknownState {
+                index,
+                len: self.entries.len(),
+            }),
+        }
+    }
+
+    /// Rewrites the position of entry `index` (used after re-embedding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceError::UnknownState`] for an out-of-range index.
+    pub fn set_position(&mut self, index: usize, point: Point2) -> Result<(), StateSpaceError> {
+        let len = self.entries.len();
+        let e = self
+            .entries
+            .get_mut(index)
+            .ok_or(StateSpaceError::UnknownState { index, len })?;
+        e.point = point;
+        Ok(())
+    }
+
+    /// Labels entry `index` as a violation-state. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceError::UnknownState`] for an out-of-range index.
+    pub fn mark_violation(&mut self, index: usize) -> Result<(), StateSpaceError> {
+        let len = self.entries.len();
+        let e = self
+            .entries
+            .get_mut(index)
+            .ok_or(StateSpaceError::UnknownState { index, len })?;
+        e.kind = StateKind::Violation;
+        Ok(())
+    }
+
+    /// Number of violation-states.
+    pub fn violation_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == StateKind::Violation)
+            .count()
+    }
+
+    /// Number of safe-states.
+    pub fn safe_count(&self) -> usize {
+        self.entries.len() - self.violation_count()
+    }
+
+    /// Nearest safe-state to `point`: `(index, distance)`.
+    pub fn nearest_safe(&self, point: Point2) -> Option<(usize, f64)> {
+        self.nearest_of_kind(point, StateKind::Safe)
+    }
+
+    /// Nearest violation-state to `point`: `(index, distance)`.
+    pub fn nearest_violation(&self, point: Point2) -> Option<(usize, f64)> {
+        self.nearest_of_kind(point, StateKind::Violation)
+    }
+
+    fn nearest_of_kind(&self, point: Point2, kind: StateKind) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.kind != kind {
+                continue;
+            }
+            let d = e.point.distance(point);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best
+    }
+
+    /// The violation-range around violation-state `index`, using the
+    /// Rayleigh radius against the nearest safe-state. When no safe-state
+    /// exists the radius collapses to zero (exact-overlap matching).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceError::UnknownState`] for an out-of-range index
+    /// and [`StateSpaceError::InvalidParameter`] when the entry is not a
+    /// violation-state.
+    pub fn violation_range(&self, index: usize) -> Result<ViolationRange, StateSpaceError> {
+        let e = self.entry(index)?;
+        if e.kind != StateKind::Violation {
+            return Err(StateSpaceError::InvalidParameter {
+                name: "index (not a violation-state)",
+            });
+        }
+        let d = self
+            .nearest_safe(e.point)
+            .map(|(_, d)| d)
+            .unwrap_or(0.0);
+        let r = rayleigh_radius(d, self.coordinate_scale);
+        Ok(ViolationRange::new(e.point, r))
+    }
+
+    /// All violation-ranges.
+    pub fn violation_ranges(&self) -> Vec<ViolationRange> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind == StateKind::Violation)
+            .map(|(i, _)| {
+                self.violation_range(i)
+                    .expect("index enumerates violation entries")
+            })
+            .collect()
+    }
+
+    /// True when `point` falls inside any violation-range.
+    pub fn in_violation_range(&self, point: Point2) -> bool {
+        self.violation_range_containing(point).is_some()
+    }
+
+    /// The index of a violation-state whose range contains `point`, if any
+    /// (the nearest-centred one when several overlap).
+    pub fn violation_range_containing(&self, point: Point2) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.kind != StateKind::Violation {
+                continue;
+            }
+            let range = self
+                .violation_range(i)
+                .expect("violation entry yields a range");
+            if range.contains(point) {
+                let d = e.point.distance(point);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_map() -> StateMap {
+        let mut m = StateMap::new();
+        m.set_coordinate_scale(1.0).unwrap();
+        m.visit(0, Point2::new(0.0, 0.0), ExecutionMode::SensitiveOnly, 1)
+            .unwrap();
+        m.visit(1, Point2::new(1.0, 0.0), ExecutionMode::CoLocated, 2)
+            .unwrap();
+        m.visit(2, Point2::new(0.0, 1.0), ExecutionMode::CoLocated, 3)
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn visit_appends_then_updates() {
+        let mut m = mk_map();
+        assert_eq!(m.len(), 3);
+        m.visit(1, Point2::new(1.1, 0.1), ExecutionMode::CoLocated, 9)
+            .unwrap();
+        assert_eq!(m.len(), 3);
+        let e = m.entry(1).unwrap();
+        assert_eq!(e.visits(), 2);
+        assert_eq!(e.last_tick(), 9);
+        assert_eq!(e.point(), Point2::new(1.1, 0.1));
+        assert_eq!(e.first_mode(), ExecutionMode::CoLocated);
+    }
+
+    #[test]
+    fn visit_rejects_gaps() {
+        let mut m = StateMap::new();
+        assert!(m
+            .visit(2, Point2::origin(), ExecutionMode::Idle, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn mark_violation_is_sticky_and_idempotent() {
+        let mut m = mk_map();
+        m.mark_violation(1).unwrap();
+        m.mark_violation(1).unwrap();
+        assert_eq!(m.entry(1).unwrap().kind(), StateKind::Violation);
+        assert_eq!(m.violation_count(), 1);
+        assert_eq!(m.safe_count(), 2);
+    }
+
+    #[test]
+    fn nearest_queries_respect_kind() {
+        let mut m = mk_map();
+        m.mark_violation(1).unwrap();
+        let p = Point2::new(0.9, 0.0);
+        let (vi, vd) = m.nearest_violation(p).unwrap();
+        assert_eq!(vi, 1);
+        assert!((vd - 0.1).abs() < 1e-12);
+        let (si, _) = m.nearest_safe(p).unwrap();
+        assert_eq!(si, 0);
+    }
+
+    #[test]
+    fn violation_range_uses_rayleigh_radius() {
+        let mut m = mk_map();
+        m.mark_violation(1).unwrap();
+        // Nearest safe to (1,0) is (0,0): d = 1, c = 1 → R = e^{-1/2}.
+        let r = m.violation_range(1).unwrap();
+        assert!((r.radius() - (-0.5f64).exp()).abs() < 1e-12);
+        assert_eq!(r.center(), Point2::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn violation_range_without_safe_states_collapses() {
+        let mut m = StateMap::new();
+        m.set_coordinate_scale(1.0).unwrap();
+        m.visit(0, Point2::origin(), ExecutionMode::CoLocated, 0)
+            .unwrap();
+        m.mark_violation(0).unwrap();
+        assert_eq!(m.violation_range(0).unwrap().radius(), 0.0);
+    }
+
+    #[test]
+    fn violation_range_rejects_safe_entry() {
+        let m = mk_map();
+        assert!(m.violation_range(0).is_err());
+    }
+
+    #[test]
+    fn in_violation_range_detects_membership() {
+        let mut m = mk_map();
+        m.mark_violation(1).unwrap();
+        // R ≈ 0.6065 around (1,0).
+        assert!(m.in_violation_range(Point2::new(1.2, 0.0)));
+        assert!(!m.in_violation_range(Point2::new(0.2, 0.0)));
+        assert_eq!(
+            m.violation_range_containing(Point2::new(1.2, 0.0)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn set_position_moves_entries() {
+        let mut m = mk_map();
+        m.set_position(0, Point2::new(5.0, 5.0)).unwrap();
+        assert_eq!(m.entry(0).unwrap().point(), Point2::new(5.0, 5.0));
+        assert!(m.set_position(9, Point2::origin()).is_err());
+    }
+
+    #[test]
+    fn coordinate_scale_validation() {
+        let mut m = StateMap::new();
+        assert!(m.set_coordinate_scale(-1.0).is_err());
+        assert!(m.set_coordinate_scale(f64::NAN).is_err());
+        assert!(m.set_coordinate_scale(0.5).is_ok());
+        assert_eq!(m.coordinate_scale(), 0.5);
+    }
+
+    #[test]
+    fn violation_ranges_lists_all() {
+        let mut m = mk_map();
+        m.mark_violation(1).unwrap();
+        m.mark_violation(2).unwrap();
+        assert_eq!(m.violation_ranges().len(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = mk_map();
+        m.mark_violation(2).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let m2: StateMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(m2.len(), 3);
+        assert_eq!(m2.violation_count(), 1);
+        assert_eq!(m2.coordinate_scale(), 1.0);
+    }
+}

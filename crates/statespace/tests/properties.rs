@@ -1,0 +1,142 @@
+//! Property-based tests for the state-space invariants.
+
+use proptest::prelude::*;
+use stayaway_statespace::viz::MapRenderer;
+use stayaway_statespace::{
+    rayleigh_radius, ExecutionMode, Point2, StateKind, StateMap, Template, ViolationRange,
+};
+
+fn point_strategy() -> impl Strategy<Value = Point2> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The Rayleigh radius never reaches the nearest safe state (R < d for
+    /// d > 0) and never goes negative.
+    #[test]
+    fn rayleigh_radius_is_bounded(d in 0.0f64..100.0, c in 0.001f64..100.0) {
+        let r = rayleigh_radius(d, c);
+        prop_assert!(r >= 0.0);
+        if d > 0.0 {
+            prop_assert!(r < d);
+        }
+        // Never exceeds the peak value c·e^{-1/2}.
+        prop_assert!(r <= c * (-0.5f64).exp() + 1e-12);
+    }
+
+    /// Range containment is consistent with signed distance.
+    #[test]
+    fn range_containment_matches_signed_distance(
+        center in point_strategy(),
+        radius in 0.0f64..5.0,
+        probe in point_strategy(),
+    ) {
+        let range = ViolationRange::new(center, radius);
+        prop_assert_eq!(
+            range.contains(probe),
+            range.signed_distance(probe) <= 1e-12
+        );
+    }
+
+    /// A map built from arbitrary visit/mark sequences keeps its
+    /// bookkeeping consistent, and every violation-range excludes the
+    /// nearest safe state.
+    #[test]
+    fn state_map_invariants(
+        points in prop::collection::vec(point_strategy(), 1..30),
+        violation_mask in prop::collection::vec(any::<bool>(), 1..30),
+        scale in 0.01f64..10.0,
+    ) {
+        let mut map = StateMap::new();
+        map.set_coordinate_scale(scale).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            map.visit(i, *p, ExecutionMode::CoLocated, i as u64).unwrap();
+        }
+        for (i, &v) in violation_mask.iter().take(points.len()).enumerate() {
+            if v {
+                map.mark_violation(i).unwrap();
+            }
+        }
+        prop_assert_eq!(map.len(), points.len());
+        prop_assert_eq!(map.violation_count() + map.safe_count(), map.len());
+
+        for i in 0..map.len() {
+            let e = map.entry(i).unwrap();
+            if e.kind() != StateKind::Violation {
+                continue;
+            }
+            let range = map.violation_range(i).unwrap();
+            if let Some((_, d)) = map.nearest_safe(e.point()) {
+                prop_assert!(range.radius() < d + 1e-9,
+                    "range swallows the nearest safe state");
+            } else {
+                prop_assert_eq!(range.radius(), 0.0);
+            }
+            // The violation state is always inside its own range.
+            prop_assert!(range.contains(e.point()));
+        }
+    }
+
+    /// in_violation_range agrees with an exhaustive scan of the ranges.
+    #[test]
+    fn range_query_matches_exhaustive_scan(
+        points in prop::collection::vec(point_strategy(), 2..20),
+        probe in point_strategy(),
+    ) {
+        let mut map = StateMap::new();
+        map.set_coordinate_scale(1.0).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            map.visit(i, *p, ExecutionMode::CoLocated, 0).unwrap();
+        }
+        // Mark every third state.
+        for i in (0..points.len()).step_by(3) {
+            map.mark_violation(i).unwrap();
+        }
+        let exhaustive = map
+            .violation_ranges()
+            .iter()
+            .any(|r| r.contains(probe));
+        prop_assert_eq!(map.in_violation_range(probe), exhaustive);
+    }
+
+    /// Templates round-trip arbitrary contents through JSON bit-exactly.
+    #[test]
+    fn template_json_roundtrip(
+        vectors in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 4..=4),
+            1..20,
+        ),
+        flags in prop::collection::vec(any::<bool>(), 1..20),
+    ) {
+        let mut t = Template::new("prop", 4).unwrap();
+        for (v, f) in vectors.iter().zip(&flags) {
+            t.push(v.clone(), *f).unwrap();
+        }
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let back = Template::load(buf.as_slice()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// The SVG renderer emits structurally sane documents for any map.
+    #[test]
+    fn svg_is_well_formed_for_any_map(
+        points in prop::collection::vec(point_strategy(), 0..15),
+        mark_first in any::<bool>(),
+    ) {
+        let mut map = StateMap::new();
+        map.set_coordinate_scale(1.0).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            map.visit(i, *p, ExecutionMode::Idle, 0).unwrap();
+        }
+        if mark_first && !points.is_empty() {
+            map.mark_violation(0).unwrap();
+        }
+        let svg = MapRenderer::new(&map, 320, 240).render();
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.trim_end().ends_with("</svg>"));
+        prop_assert_eq!(svg.matches("<circle").count() >= points.len(), true);
+    }
+}

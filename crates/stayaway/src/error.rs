@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Error type for controller construction and template exchange.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The controller configuration is invalid.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An embedding/mapping operation failed.
+    Mapping(stayaway_mds::MdsError),
+    /// A state-space operation failed.
+    StateSpace(stayaway_statespace::StateSpaceError),
+    /// A template could not be imported (dimension mismatch etc.).
+    Template {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::Mapping(e) => write!(f, "mapping failure: {e}"),
+            CoreError::StateSpace(e) => write!(f, "state-space failure: {e}"),
+            CoreError::Template { reason } => write!(f, "template failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Mapping(e) => Some(e),
+            CoreError::StateSpace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<stayaway_mds::MdsError> for CoreError {
+    fn from(e: stayaway_mds::MdsError) -> Self {
+        CoreError::Mapping(e)
+    }
+}
+
+impl From<stayaway_statespace::StateSpaceError> for CoreError {
+    fn from(e: stayaway_statespace::StateSpaceError) -> Self {
+        CoreError::StateSpace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::InvalidConfig {
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+
+        let e = CoreError::from(stayaway_mds::MdsError::Empty);
+        assert!(e.source().is_some());
+    }
+}

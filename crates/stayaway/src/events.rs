@@ -1,0 +1,155 @@
+//! Controller telemetry: events and aggregate statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a throttled batch application was resumed (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResumeReason {
+    /// The sensitive application's isolated states drifted more than β —
+    /// a phase or workload change.
+    PhaseChange,
+    /// The random anti-starvation factor fired after a long stable period.
+    Optimistic,
+}
+
+/// One notable controller decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControllerEvent {
+    /// A transition towards a violation-range was predicted.
+    ViolationPredicted {
+        /// Tick of the prediction.
+        tick: u64,
+        /// How many candidate states fell inside a violation-range.
+        votes: usize,
+        /// Total candidates drawn.
+        samples: usize,
+    },
+    /// An actual QoS violation was reported and learned.
+    ViolationLearned {
+        /// Tick of the violation.
+        tick: u64,
+        /// Representative state index that was labelled.
+        state: usize,
+    },
+    /// Batch applications were throttled.
+    Throttled {
+        /// Tick of the action.
+        tick: u64,
+        /// Number of containers paused.
+        count: usize,
+        /// True when triggered by prediction rather than an observed
+        /// violation.
+        proactive: bool,
+    },
+    /// Batch applications were resumed.
+    Resumed {
+        /// Tick of the action.
+        tick: u64,
+        /// Why.
+        reason: ResumeReason,
+    },
+    /// β was incremented after a resume immediately re-violated.
+    BetaIncreased {
+        /// Tick of the adjustment.
+        tick: u64,
+        /// The new β.
+        beta: f64,
+    },
+}
+
+impl ControllerEvent {
+    /// The tick the event happened at.
+    pub fn tick(&self) -> u64 {
+        match *self {
+            ControllerEvent::ViolationPredicted { tick, .. }
+            | ControllerEvent::ViolationLearned { tick, .. }
+            | ControllerEvent::Throttled { tick, .. }
+            | ControllerEvent::Resumed { tick, .. }
+            | ControllerEvent::BetaIncreased { tick, .. } => tick,
+        }
+    }
+}
+
+/// Aggregate controller statistics over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Control periods executed.
+    pub periods: u64,
+    /// Violations reported by the sensitive application.
+    pub violations_observed: u64,
+    /// Predictions that flagged an impending violation.
+    pub violations_predicted: u64,
+    /// Throttle actions issued.
+    pub throttles: u64,
+    /// Resume actions issued.
+    pub resumes: u64,
+    /// Predictions whose in-range verdict was checked against the actually
+    /// reached next state.
+    pub prediction_checks: u64,
+    /// Checked predictions whose verdict matched reality.
+    pub prediction_hits: u64,
+    /// Representative states currently held.
+    pub states: usize,
+    /// Violation-states currently held.
+    pub violation_states: usize,
+    /// Control periods skipped because the mapping pipeline errored.
+    pub mapping_errors: u64,
+}
+
+impl ControllerStats {
+    /// Fraction of checked predictions that matched the actually reached
+    /// state (the §3.2.3 accuracy measure). 1.0 when nothing was checked.
+    pub fn prediction_accuracy(&self) -> f64 {
+        if self.prediction_checks == 0 {
+            1.0
+        } else {
+            self.prediction_hits as f64 / self.prediction_checks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_tick_accessor() {
+        let e = ControllerEvent::Throttled {
+            tick: 42,
+            count: 1,
+            proactive: true,
+        };
+        assert_eq!(e.tick(), 42);
+        let e = ControllerEvent::Resumed {
+            tick: 43,
+            reason: ResumeReason::PhaseChange,
+        };
+        assert_eq!(e.tick(), 43);
+    }
+
+    #[test]
+    fn accuracy_without_checks_is_perfect() {
+        assert_eq!(ControllerStats::default().prediction_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_is_hit_ratio() {
+        let s = ControllerStats {
+            prediction_checks: 10,
+            prediction_hits: 9,
+            ..ControllerStats::default()
+        };
+        assert!((s.prediction_accuracy() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_serialize() {
+        let e = ControllerEvent::BetaIncreased {
+            tick: 1,
+            beta: 0.02,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ControllerEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,64 @@
+//! The Stay-Away controller — the paper's primary contribution.
+//!
+//! Every control period the controller executes the three-step mechanism of
+//! §3 against any substrate exposing the [`stayaway_sim::Policy`]
+//! interface:
+//!
+//! 1. **Mapping** ([`mapping`]): the per-VM resource-usage snapshot is
+//!    aggregated (batch VMs form one *logical VM*, §5), normalised into
+//!    `[0, 1]` per metric, deduplicated to a representative sample set
+//!    (§4), embedded into 2-D with warm-started SMACOF and
+//!    Procrustes-aligned to the previous period's map.
+//! 2. **Prediction** ([`stayaway_trajectory`]): the step is attributed to
+//!    the current execution mode's trajectory model; candidate future
+//!    states are drawn by inverse-transform sampling and tested against the
+//!    violation-ranges of the state map (§3.2).
+//! 3. **Action** ([`action`]): a predicted (or observed) violation pauses
+//!    the batch applications holding the majority resource share; the
+//!    β-learned phase-change detector and a randomised optimistic retry
+//!    decide when to resume (§3.3).
+//!
+//! The state map doubles as a reusable [`stayaway_statespace::Template`]
+//! for future runs of the same sensitive application (§6).
+//!
+//! # Example
+//!
+//! ```
+//! use stayaway_core::{Controller, ControllerConfig};
+//! use stayaway_sim::scenario::Scenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::vlc_with_twitter(7);
+//! let mut harness = scenario.build_harness()?;
+//! let mut controller = Controller::for_host(
+//!     ControllerConfig::default(),
+//!     harness.host().spec(),
+//! )?;
+//! let outcome = harness.run(&mut controller, 200);
+//! println!(
+//!     "violations: {} / {} active ticks",
+//!     outcome.qos.violations, outcome.qos.active_ticks
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod aggregate;
+pub mod config;
+pub mod controller;
+pub mod events;
+pub mod mapping;
+pub mod violation;
+
+mod error;
+
+pub use config::ControllerConfig;
+pub use mapping::EmbeddingStrategy;
+pub use controller::Controller;
+pub use error::CoreError;
+pub use events::{ControllerEvent, ControllerStats, ResumeReason};
+pub use violation::{ViolationDetection, ViolationDetector};

@@ -1,0 +1,209 @@
+//! Windowed empirical distributions of trajectory parameters.
+//!
+//! The trajectory of an execution mode drifts as applications change phase,
+//! so the model must weight recent behaviour: observations are kept in a
+//! bounded sliding window (oldest evicted first). From the window the
+//! distribution exposes histogram-CDF inverse-transform sampling (the
+//! paper's method) and KDE smoothing for inspection.
+
+use crate::histogram::Histogram;
+use crate::kde::Kde;
+use crate::TrajectoryError;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Default sliding-window capacity.
+pub const DEFAULT_WINDOW: usize = 512;
+
+/// Default number of histogram bins used for sampling.
+pub const DEFAULT_BINS: usize = 24;
+
+/// A bounded sliding window of scalar observations with sampling support.
+#[derive(Debug, Clone)]
+pub struct EmpiricalDistribution {
+    window: VecDeque<f64>,
+    capacity: usize,
+    bins: usize,
+}
+
+impl EmpiricalDistribution {
+    /// Creates an empty distribution with default window and bin counts.
+    pub fn new() -> Self {
+        EmpiricalDistribution::with_capacity(DEFAULT_WINDOW, DEFAULT_BINS)
+    }
+
+    /// Creates an empty distribution with explicit window capacity and bin
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `bins == 0`.
+    pub fn with_capacity(capacity: usize, bins: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(bins > 0, "bin count must be positive");
+        EmpiricalDistribution {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            bins,
+        }
+    }
+
+    /// Number of observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records an observation (non-finite values are silently dropped — a
+    /// single bad sample must not poison the model).
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+    }
+
+    /// Mean of the windowed observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().sum::<f64>() / self.window.len() as f64
+    }
+
+    /// Builds the histogram of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajectoryError::InsufficientData`] when empty.
+    pub fn histogram(&self) -> Result<Histogram, TrajectoryError> {
+        let samples: Vec<f64> = self.window.iter().copied().collect();
+        Histogram::auto_range(&samples, self.bins)
+    }
+
+    /// Fits a KDE to the current window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajectoryError::InsufficientData`] when empty.
+    pub fn kde(&self) -> Result<Kde, TrajectoryError> {
+        let samples: Vec<f64> = self.window.iter().copied().collect();
+        Kde::fit(&samples)
+    }
+
+    /// Draws a value by inverse-transform sampling on the windowed
+    /// histogram (the paper's §3.2.3 sampler).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajectoryError::InsufficientData`] when empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<f64, TrajectoryError> {
+        let h = self.histogram()?;
+        Ok(h.inverse_cdf(rng.gen_range(0.0..=1.0)))
+    }
+
+    /// Copies the windowed observations out (oldest first).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.window.iter().copied().collect()
+    }
+}
+
+impl Default for EmpiricalDistribution {
+    fn default() -> Self {
+        EmpiricalDistribution::new()
+    }
+}
+
+impl Extend<f64> for EmpiricalDistribution {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.observe(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn observe_and_mean() {
+        let mut d = EmpiricalDistribution::new();
+        d.observe(1.0);
+        d.observe(3.0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.mean(), 2.0);
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut d = EmpiricalDistribution::with_capacity(3, 4);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            d.observe(v);
+        }
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.to_vec(), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let mut d = EmpiricalDistribution::new();
+        d.observe(f64::NAN);
+        d.observe(f64::INFINITY);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn sampling_stays_within_observed_range() {
+        let mut d = EmpiricalDistribution::new();
+        d.extend((0..100).map(|i| 0.2 + 0.6 * (i as f64 / 99.0)));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let s = d.sample(&mut rng).unwrap();
+            assert!((0.2..=0.8).contains(&s), "sample {s} out of range");
+        }
+    }
+
+    #[test]
+    fn sampling_reflects_bias() {
+        // 90% of mass at 0.9 → most samples land high.
+        let mut d = EmpiricalDistribution::new();
+        d.extend(std::iter::repeat_n(0.9, 90));
+        d.extend(std::iter::repeat_n(0.1, 10));
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 1000;
+        let high = (0..n)
+            .filter(|_| d.sample(&mut rng).unwrap() > 0.5)
+            .count();
+        assert!(high > 800, "only {high}/{n} samples were high");
+    }
+
+    #[test]
+    fn empty_distribution_errors() {
+        let d = EmpiricalDistribution::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(d.histogram().is_err());
+        assert!(d.kde().is_err());
+        assert!(d.sample(&mut rng).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "window capacity")]
+    fn zero_capacity_panics() {
+        let _ = EmpiricalDistribution::with_capacity(0, 4);
+    }
+}

@@ -1,0 +1,56 @@
+use std::fmt;
+
+/// Error type for trajectory modelling operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrajectoryError {
+    /// Not enough observations to build a model or histogram.
+    InsufficientData {
+        /// Observations required.
+        required: usize,
+        /// Observations available.
+        available: usize,
+    },
+    /// A numeric parameter was invalid (zero bins, negative bandwidth, …).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+    },
+    /// An observation contained NaN or infinite values.
+    NonFinite,
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::InsufficientData {
+                required,
+                available,
+            } => write!(
+                f,
+                "insufficient data: {available} observations, need {required}"
+            ),
+            TrajectoryError::InvalidParameter { name } => {
+                write!(f, "invalid parameter `{name}`")
+            }
+            TrajectoryError::NonFinite => write!(f, "non-finite observation"),
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TrajectoryError::InsufficientData {
+            required: 5,
+            available: 2,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('2'));
+    }
+}

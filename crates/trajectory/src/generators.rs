@@ -1,0 +1,216 @@
+//! Reference synthetic trajectory generators.
+//!
+//! §3.2.3 observes that co-located executions variously resemble a *biased
+//! random walk* or a *Lévy flight* (for applications with sudden phase
+//! changes), and that VLC streaming shows "short bursts of correlated
+//! movement". These generators produce such trajectories deterministically
+//! from a seed; the test-suite and the `ablation_modes` /
+//! `claim_prediction_accuracy` benches use them to validate that the
+//! empirical models recover the generating distributions.
+
+use crate::step::wrap_angle;
+use rand::Rng;
+use stayaway_statespace::Point2;
+
+/// A biased random walk: step lengths `~ U(min_len, max_len)`, angles
+/// normally distributed around a preferred heading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasedRandomWalk {
+    /// Preferred heading in radians.
+    pub heading: f64,
+    /// Standard deviation of the angular noise.
+    pub angular_sd: f64,
+    /// Minimum step length.
+    pub min_len: f64,
+    /// Maximum step length.
+    pub max_len: f64,
+}
+
+impl BiasedRandomWalk {
+    /// Generates `n` positions starting at `start`.
+    pub fn generate<R: Rng + ?Sized>(&self, start: Point2, n: usize, rng: &mut R) -> Vec<Point2> {
+        let mut out = Vec::with_capacity(n);
+        let mut pos = start;
+        out.push(pos);
+        for _ in 1..n {
+            let len = if self.max_len > self.min_len {
+                rng.gen_range(self.min_len..self.max_len)
+            } else {
+                self.min_len
+            };
+            let angle = wrap_angle(self.heading + self.angular_sd * standard_normal(rng));
+            pos = pos.step(len, angle);
+            out.push(pos);
+        }
+        out
+    }
+}
+
+/// A Lévy flight: mostly tiny steps with occasional power-law-distributed
+/// long jumps in uniformly random directions — the signature of sudden
+/// phase changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevyFlight {
+    /// Power-law exponent (μ ∈ (1, 3] is the Lévy regime).
+    pub mu: f64,
+    /// Minimum step length (scale of the power law).
+    pub scale: f64,
+    /// Hard cap on step length to keep trajectories bounded.
+    pub max_len: f64,
+}
+
+impl LevyFlight {
+    /// Generates `n` positions starting at `start`.
+    pub fn generate<R: Rng + ?Sized>(&self, start: Point2, n: usize, rng: &mut R) -> Vec<Point2> {
+        let mut out = Vec::with_capacity(n);
+        let mut pos = start;
+        out.push(pos);
+        for _ in 1..n {
+            // Inverse-transform sample of a Pareto(scale, mu-1) length.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let len = (self.scale * u.powf(-1.0 / (self.mu - 1.0))).min(self.max_len);
+            let angle = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+            pos = pos.step(len, angle);
+            out.push(pos);
+        }
+        out
+    }
+}
+
+/// Short bursts of correlated movement separated by pauses — the VLC
+/// streaming pattern of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstyWalk {
+    /// Steps per burst.
+    pub burst_len: usize,
+    /// Steps per pause (near-zero movement).
+    pub pause_len: usize,
+    /// Step length inside a burst.
+    pub burst_step: f64,
+    /// Residual jitter while paused.
+    pub pause_step: f64,
+}
+
+impl BurstyWalk {
+    /// Generates `n` positions starting at `start`.
+    pub fn generate<R: Rng + ?Sized>(&self, start: Point2, n: usize, rng: &mut R) -> Vec<Point2> {
+        let mut out = Vec::with_capacity(n);
+        let mut pos = start;
+        out.push(pos);
+        let cycle = (self.burst_len + self.pause_len).max(1);
+        let mut heading = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        for i in 1..n {
+            let in_burst = (i % cycle) < self.burst_len;
+            if i % cycle == 0 {
+                // New burst, new heading.
+                heading = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+            }
+            let (len, angle) = if in_burst {
+                (self.burst_step, wrap_angle(heading + 0.1 * standard_normal(rng)))
+            } else {
+                (
+                    self.pause_step,
+                    rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+                )
+            };
+            pos = pos.step(len, angle);
+            out.push(pos);
+        }
+        out
+    }
+}
+
+/// One standard normal draw via the Box–Muller transform.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::steps_between;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn biased_walk_drifts_along_heading() {
+        let walk = BiasedRandomWalk {
+            heading: 0.0,
+            angular_sd: 0.2,
+            min_len: 0.05,
+            max_len: 0.15,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = walk.generate(Point2::origin(), 200, &mut rng);
+        assert_eq!(pts.len(), 200);
+        let end = pts.last().unwrap();
+        assert!(end.x > 5.0, "walk did not drift east: {end}");
+        assert!(end.y.abs() < end.x, "drift not dominated by heading");
+    }
+
+    #[test]
+    fn biased_walk_step_lengths_in_range() {
+        let walk = BiasedRandomWalk {
+            heading: 1.0,
+            angular_sd: 0.1,
+            min_len: 0.1,
+            max_len: 0.2,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = walk.generate(Point2::origin(), 100, &mut rng);
+        for s in steps_between(&pts) {
+            assert!(s.length >= 0.1 - 1e-9 && s.length <= 0.2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn levy_flight_has_heavy_tail() {
+        let levy = LevyFlight {
+            mu: 2.0,
+            scale: 0.01,
+            max_len: 10.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = levy.generate(Point2::origin(), 2000, &mut rng);
+        let steps = steps_between(&pts);
+        let small = steps.iter().filter(|s| s.length < 0.05).count();
+        let large = steps.iter().filter(|s| s.length > 0.5).count();
+        // Mostly tiny steps, but a non-trivial number of long jumps.
+        assert!(small > steps.len() / 2, "small = {small}");
+        assert!(large > 0, "no long jumps observed");
+    }
+
+    #[test]
+    fn bursty_walk_alternates_speeds() {
+        let bursty = BurstyWalk {
+            burst_len: 5,
+            pause_len: 5,
+            burst_step: 0.2,
+            pause_step: 0.005,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = bursty.generate(Point2::origin(), 100, &mut rng);
+        let steps = steps_between(&pts);
+        let fast = steps.iter().filter(|s| s.length > 0.1).count();
+        let slow = steps.iter().filter(|s| s.length < 0.01).count();
+        assert!(fast >= 40, "fast = {fast}");
+        assert!(slow >= 40, "slow = {slow}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let walk = BiasedRandomWalk {
+            heading: 0.5,
+            angular_sd: 0.3,
+            min_len: 0.01,
+            max_len: 0.1,
+        };
+        let a = walk.generate(Point2::origin(), 50, &mut StdRng::seed_from_u64(7));
+        let b = walk.generate(Point2::origin(), 50, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = walk.generate(Point2::origin(), 50, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+}

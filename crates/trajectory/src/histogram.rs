@@ -1,0 +1,325 @@
+//! Fixed-bin empirical histograms with CDF inversion.
+//!
+//! The paper's predictor draws future-state candidates "following the
+//! histogram using the inverse transform method" — i.e. it inverts the
+//! empirical CDF at uniform random inputs. [`Histogram::inverse_cdf`]
+//! implements that inversion with linear interpolation inside bins, so the
+//! sampled values are continuous rather than snapped to bin centres.
+
+use crate::TrajectoryError;
+
+/// An equal-width-bin histogram over a closed range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `samples` over `[min, max]` with `bins` bins.
+    /// Samples outside the range are clamped into the boundary bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajectoryError::InvalidParameter`] when `bins == 0` or
+    /// `max <= min`, and [`TrajectoryError::NonFinite`] for non-finite
+    /// samples or bounds.
+    pub fn from_samples(
+        samples: &[f64],
+        bins: usize,
+        min: f64,
+        max: f64,
+    ) -> Result<Self, TrajectoryError> {
+        if bins == 0 {
+            return Err(TrajectoryError::InvalidParameter { name: "bins" });
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return Err(TrajectoryError::NonFinite);
+        }
+        if max <= min {
+            return Err(TrajectoryError::InvalidParameter { name: "range" });
+        }
+        let mut counts = vec![0u64; bins];
+        for &s in samples {
+            if !s.is_finite() {
+                return Err(TrajectoryError::NonFinite);
+            }
+            let unit = ((s - min) / (max - min)).clamp(0.0, 1.0);
+            let idx = ((unit * bins as f64) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Ok(Histogram {
+            min,
+            max,
+            counts,
+            total: samples.len() as u64,
+        })
+    }
+
+    /// Builds a histogram with the range taken from the data itself
+    /// (degenerate all-equal data gets a tiny symmetric range around it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajectoryError::InsufficientData`] for an empty sample
+    /// set and propagates [`Histogram::from_samples`] failures.
+    pub fn auto_range(samples: &[f64], bins: usize) -> Result<Self, TrajectoryError> {
+        if samples.is_empty() {
+            return Err(TrajectoryError::InsufficientData {
+                required: 1,
+                available: 0,
+            });
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &s in samples {
+            if !s.is_finite() {
+                return Err(TrajectoryError::NonFinite);
+            }
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        if hi <= lo {
+            // All samples identical: widen symmetrically.
+            let pad = lo.abs().max(1.0) * 1e-6;
+            lo -= pad;
+            hi += pad;
+        }
+        Histogram::from_samples(samples, bins, lo, hi)
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Lower bound of the range.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the range.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.max - self.min) / self.bins() as f64
+    }
+
+    /// Raw count of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Probability mass of bin `i` (0.0 when the histogram is empty).
+    pub fn mass(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Probability density at `x` (piecewise constant; 0.0 outside the
+    /// range or when empty).
+    pub fn density(&self, x: f64) -> f64 {
+        if self.total == 0 || x < self.min || x > self.max {
+            return 0.0;
+        }
+        let unit = ((x - self.min) / (self.max - self.min)).clamp(0.0, 1.0);
+        let idx = ((unit * self.bins() as f64) as usize).min(self.bins() - 1);
+        self.mass(idx) / self.bin_width()
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.min + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Inverse of the empirical CDF at `u ∈ [0, 1]`, with linear
+    /// interpolation inside the selected bin — the inverse-transform kernel
+    /// of the predictor.
+    ///
+    /// Returns the range minimum for an empty histogram.
+    pub fn inverse_cdf(&self, u: f64) -> f64 {
+        if self.total == 0 {
+            return self.min;
+        }
+        let u = u.clamp(0.0, 1.0);
+        let target = u * self.total as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if target <= next && c > 0 {
+                // Linear interpolation within the bin.
+                let frac = (target - cum) / c as f64;
+                return self.min + (i as f64 + frac) * self.bin_width();
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    /// Skewness of the underlying samples approximated from bin centres —
+    /// used to detect the directional *bias* the paper observes in every
+    /// real trajectory (a perfectly unbiased walk would be symmetric).
+    ///
+    /// Returns 0.0 when fewer than two samples or zero variance.
+    pub fn skewness(&self) -> f64 {
+        if self.total < 2 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        let mean: f64 = (0..self.bins())
+            .map(|i| self.bin_center(i) * self.counts[i] as f64)
+            .sum::<f64>()
+            / n;
+        let var: f64 = (0..self.bins())
+            .map(|i| {
+                let d = self.bin_center(i) - mean;
+                d * d * self.counts[i] as f64
+            })
+            .sum::<f64>()
+            / n;
+        if var <= 0.0 {
+            return 0.0;
+        }
+        let m3: f64 = (0..self.bins())
+            .map(|i| {
+                let d = self.bin_center(i) - mean;
+                d * d * d * self.counts[i] as f64
+            })
+            .sum::<f64>()
+            / n;
+        m3 / var.powf(1.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_correct_bins() {
+        let h = Histogram::from_samples(&[0.05, 0.15, 0.95, 0.95], 10, 0.0, 1.0).unwrap();
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(9), 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn boundary_sample_goes_to_last_bin() {
+        let h = Histogram::from_samples(&[1.0], 4, 0.0, 1.0).unwrap();
+        assert_eq!(h.count(3), 1);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp() {
+        let h = Histogram::from_samples(&[-5.0, 5.0], 2, 0.0, 1.0).unwrap();
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+    }
+
+    #[test]
+    fn masses_sum_to_one() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let h = Histogram::from_samples(&samples, 7, 0.0, 1.0).unwrap();
+        let sum: f64 = (0..7).map(|i| h.mass(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.017).sin().abs()).collect();
+        let h = Histogram::auto_range(&samples, 20).unwrap();
+        let mut integral = 0.0;
+        let dx = (h.max() - h.min()) / 2000.0;
+        for k in 0..2000 {
+            integral += h.density(h.min() + (k as f64 + 0.5) * dx) * dx;
+        }
+        assert!((integral - 1.0).abs() < 1e-6, "integral = {integral}");
+    }
+
+    #[test]
+    fn inverse_cdf_endpoints_and_median() {
+        let samples: Vec<f64> = (0..1001).map(|i| i as f64 / 1000.0).collect();
+        let h = Histogram::from_samples(&samples, 50, 0.0, 1.0).unwrap();
+        assert!(h.inverse_cdf(0.0) <= h.inverse_cdf(0.5));
+        assert!(h.inverse_cdf(0.5) <= h.inverse_cdf(1.0));
+        assert!((h.inverse_cdf(0.5) - 0.5).abs() < 0.05);
+        assert!((h.inverse_cdf(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_cdf_is_monotone() {
+        let samples = vec![0.1, 0.1, 0.2, 0.7, 0.9, 0.9, 0.9];
+        let h = Histogram::from_samples(&samples, 10, 0.0, 1.0).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=100 {
+            let v = h.inverse_cdf(k as f64 / 100.0);
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_respects_mass_concentration() {
+        // 90% of the mass at ~0.9: the 0.5-quantile must be in the top bin.
+        let mut samples = vec![0.9; 90];
+        samples.extend(vec![0.1; 10]);
+        let h = Histogram::from_samples(&samples, 10, 0.0, 1.0).unwrap();
+        assert!(h.inverse_cdf(0.5) > 0.8);
+    }
+
+    #[test]
+    fn auto_range_handles_identical_samples() {
+        let h = Histogram::auto_range(&[3.0, 3.0, 3.0], 5).unwrap();
+        assert!(h.min() < 3.0 && h.max() > 3.0);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_behaviour() {
+        let h = Histogram::from_samples(&[], 4, 0.0, 1.0).unwrap();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mass(0), 0.0);
+        assert_eq!(h.density(0.5), 0.0);
+        assert_eq!(h.inverse_cdf(0.5), 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(Histogram::from_samples(&[1.0], 0, 0.0, 1.0).is_err());
+        assert!(Histogram::from_samples(&[1.0], 4, 1.0, 0.0).is_err());
+        assert!(Histogram::from_samples(&[f64::NAN], 4, 0.0, 1.0).is_err());
+        assert!(Histogram::auto_range(&[], 4).is_err());
+    }
+
+    #[test]
+    fn skewness_sign_matches_distribution_shape() {
+        // Right-skewed sample (mass near 0, tail to 1).
+        let mut right = vec![0.05; 50];
+        right.extend((0..10).map(|i| 0.1 + i as f64 * 0.09));
+        let h = Histogram::from_samples(&right, 20, 0.0, 1.0).unwrap();
+        assert!(h.skewness() > 0.5, "skewness = {}", h.skewness());
+
+        // Symmetric sample.
+        let sym: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let h = Histogram::from_samples(&sym, 20, 0.0, 1.0).unwrap();
+        assert!(h.skewness().abs() < 0.1);
+    }
+}

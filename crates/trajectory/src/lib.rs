@@ -1,0 +1,48 @@
+//! Trajectory modelling and prediction for Stay-Away (§3.2.3 of the paper).
+//!
+//! The temporal evolution of the mapped state is a trajectory in the 2-D
+//! state space. Following the paper (which borrows its parameterisation from
+//! movement ecology), a trajectory is described by two per-step parameters:
+//!
+//! * **distance** `d` — the step length between successive positions, and
+//! * **absolute angle** `α` — the angle between the x-axis and the step.
+//!
+//! Each of the four [execution modes](stayaway_statespace::ExecutionMode)
+//! gets its own empirical model: histograms of `d` and `α` (smoothed by a
+//! Gaussian kernel density estimate), from which candidate future states are
+//! drawn by inverse-transform sampling. A majority of candidates falling
+//! inside a violation-range triggers preventive throttling.
+//!
+//! Modules:
+//!
+//! * [`step`] — step extraction from point sequences;
+//! * [`histogram`] — fixed-bin empirical histograms with CDF inversion;
+//! * [`kde`] — Gaussian kernel density estimation (Silverman bandwidth);
+//! * [`dist`] — windowed empirical distributions combining the two;
+//! * [`model`] — the per-mode trajectory model and the mode-aware
+//!   predictor, plus a single-model variant for the ablation study;
+//! * [`generators`] — reference synthetic trajectories (biased random walk,
+//!   Lévy flight, correlated bursts) used for validation;
+//! * [`var`] — a VAR(1) forecaster, the §3.1 alternative the paper
+//!   discusses, kept for the `ablation_var` comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod generators;
+pub mod histogram;
+pub mod kde;
+pub mod model;
+pub mod step;
+pub mod var;
+
+mod error;
+
+pub use dist::EmpiricalDistribution;
+pub use error::TrajectoryError;
+pub use histogram::Histogram;
+pub use kde::Kde;
+pub use model::{ModePredictor, Prediction, Predictor, SingleModelPredictor, TrajectoryModel};
+pub use step::Step;
+pub use var::{VarFit, VarModel};

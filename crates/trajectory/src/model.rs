@@ -1,0 +1,391 @@
+//! Per-execution-mode trajectory models and future-state prediction.
+//!
+//! §3.2.3: "no single prediction model can accurately model all the state
+//! transitions" — each of the four execution modes keeps its own empirical
+//! model of step length and absolute angle. The predictor draws a small set
+//! of candidate future states (5 in the paper, ≥ 90 % accuracy) by
+//! inverse-transform sampling from the current mode's distributions; a
+//! majority of candidates inside a violation-range constitutes a predicted
+//! violation.
+//!
+//! [`SingleModelPredictor`] pools all modes into one model and exists for
+//! the `ablation_modes` experiment.
+
+use crate::dist::EmpiricalDistribution;
+use crate::step::{wrap_angle, Step};
+use crate::TrajectoryError;
+use rand::Rng;
+use stayaway_statespace::{ExecutionMode, Point2};
+
+/// Default number of candidate future states (the paper's "5 samples").
+pub const DEFAULT_SAMPLES: usize = 5;
+
+/// Minimum observations before a model is considered usable.
+pub const DEFAULT_MIN_OBSERVATIONS: usize = 4;
+
+/// Empirical model of one execution mode's trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryModel {
+    lengths: EmpiricalDistribution,
+    angles: EmpiricalDistribution,
+    observations: u64,
+}
+
+impl TrajectoryModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        TrajectoryModel::default()
+    }
+
+    /// Records one observed step.
+    pub fn observe(&mut self, step: Step) {
+        if !step.is_finite() {
+            return;
+        }
+        self.lengths.observe(step.length);
+        self.angles.observe(wrap_angle(step.angle));
+        self.observations += 1;
+    }
+
+    /// Total steps observed (including those evicted from the windows).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// True when enough steps have been seen to predict from.
+    pub fn is_ready(&self) -> bool {
+        self.lengths.len() >= DEFAULT_MIN_OBSERVATIONS
+    }
+
+    /// Borrow the step-length distribution.
+    pub fn lengths(&self) -> &EmpiricalDistribution {
+        &self.lengths
+    }
+
+    /// Borrow the angle distribution.
+    pub fn angles(&self) -> &EmpiricalDistribution {
+        &self.angles
+    }
+
+    /// Draws one candidate step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajectoryError::InsufficientData`] when no step has been
+    /// observed yet.
+    pub fn sample_step<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Step, TrajectoryError> {
+        let length = self.lengths.sample(rng)?.max(0.0);
+        let angle = wrap_angle(self.angles.sample(rng)?);
+        Ok(Step { length, angle })
+    }
+
+    /// Draws `n` candidate future positions starting from `current`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajectoryError::InsufficientData`] when the model is not
+    /// [ready](TrajectoryModel::is_ready).
+    pub fn predict_from<R: Rng + ?Sized>(
+        &self,
+        current: Point2,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Prediction, TrajectoryError> {
+        if !self.is_ready() {
+            return Err(TrajectoryError::InsufficientData {
+                required: DEFAULT_MIN_OBSERVATIONS,
+                available: self.lengths.len(),
+            });
+        }
+        let mut candidates = Vec::with_capacity(n);
+        for _ in 0..n {
+            candidates.push(self.sample_step(rng)?.apply(current));
+        }
+        Ok(Prediction { candidates })
+    }
+}
+
+/// A set of candidate future states modelling the uncertainty of the next
+/// mapped state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    candidates: Vec<Point2>,
+}
+
+impl Prediction {
+    /// Creates a prediction from explicit candidates (mainly for tests).
+    pub fn from_candidates(candidates: Vec<Point2>) -> Self {
+        Prediction { candidates }
+    }
+
+    /// The candidate future states.
+    pub fn candidates(&self) -> &[Point2] {
+        &self.candidates
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True when no candidates were produced.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Counts candidates satisfying `inside`.
+    pub fn count_where<F: FnMut(Point2) -> bool>(&self, mut inside: F) -> usize {
+        self.candidates.iter().filter(|c| inside(**c)).count()
+    }
+
+    /// True when a strict majority of candidates satisfies `inside` — the
+    /// paper's trigger condition for preventive throttling.
+    pub fn majority_where<F: FnMut(Point2) -> bool>(&self, inside: F) -> bool {
+        if self.candidates.is_empty() {
+            return false;
+        }
+        2 * self.count_where(inside) > self.candidates.len()
+    }
+}
+
+/// Common interface over mode-aware and pooled predictors.
+pub trait Predictor {
+    /// Records an observed transition in `mode`.
+    fn observe(&mut self, mode: ExecutionMode, step: Step);
+
+    /// Predicts `n` candidate future states from `current` under `mode`.
+    /// Returns `None` while the relevant model is still warming up.
+    fn predict(
+        &self,
+        mode: ExecutionMode,
+        current: Point2,
+        n: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Prediction>;
+}
+
+/// One [`TrajectoryModel`] per execution mode — the paper's design.
+#[derive(Debug, Clone, Default)]
+pub struct ModePredictor {
+    models: [TrajectoryModel; 4],
+}
+
+impl ModePredictor {
+    /// Creates a predictor with empty per-mode models.
+    pub fn new() -> Self {
+        ModePredictor::default()
+    }
+
+    /// Borrow the model of `mode`.
+    pub fn model(&self, mode: ExecutionMode) -> &TrajectoryModel {
+        &self.models[mode.index()]
+    }
+}
+
+impl Predictor for ModePredictor {
+    fn observe(&mut self, mode: ExecutionMode, step: Step) {
+        self.models[mode.index()].observe(step);
+    }
+
+    fn predict(
+        &self,
+        mode: ExecutionMode,
+        current: Point2,
+        n: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Prediction> {
+        self.models[mode.index()].predict_from(current, n, rng).ok()
+    }
+}
+
+/// A single pooled model for all modes — the ablation baseline §3.2.3
+/// argues against.
+#[derive(Debug, Clone, Default)]
+pub struct SingleModelPredictor {
+    model: TrajectoryModel,
+}
+
+impl SingleModelPredictor {
+    /// Creates an empty pooled predictor.
+    pub fn new() -> Self {
+        SingleModelPredictor::default()
+    }
+
+    /// Borrow the pooled model.
+    pub fn model(&self) -> &TrajectoryModel {
+        &self.model
+    }
+}
+
+impl Predictor for SingleModelPredictor {
+    fn observe(&mut self, _mode: ExecutionMode, step: Step) {
+        self.model.observe(step);
+    }
+
+    fn predict(
+        &self,
+        _mode: ExecutionMode,
+        current: Point2,
+        n: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<Prediction> {
+        self.model.predict_from(current, n, rng).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn feed_eastward(model: &mut TrajectoryModel, n: usize) {
+        for i in 0..n {
+            model.observe(Step {
+                length: 0.1 + 0.01 * (i % 3) as f64,
+                angle: 0.05 * ((i % 5) as f64 - 2.0),
+            });
+        }
+    }
+
+    #[test]
+    fn model_warms_up() {
+        let mut m = TrajectoryModel::new();
+        assert!(!m.is_ready());
+        feed_eastward(&mut m, DEFAULT_MIN_OBSERVATIONS);
+        assert!(m.is_ready());
+        assert_eq!(m.observations(), DEFAULT_MIN_OBSERVATIONS as u64);
+    }
+
+    #[test]
+    fn prediction_moves_in_learned_direction() {
+        let mut m = TrajectoryModel::new();
+        feed_eastward(&mut m, 100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = m
+            .predict_from(Point2::origin(), 50, &mut rng)
+            .unwrap();
+        // Eastward steps: mean predicted x must be positive, |y| small.
+        let mean_x: f64 =
+            p.candidates().iter().map(|c| c.x).sum::<f64>() / p.len() as f64;
+        let mean_y: f64 =
+            p.candidates().iter().map(|c| c.y).sum::<f64>() / p.len() as f64;
+        assert!(mean_x > 0.05, "mean_x = {mean_x}");
+        assert!(mean_y.abs() < 0.05, "mean_y = {mean_y}");
+    }
+
+    #[test]
+    fn unready_model_refuses_to_predict() {
+        let m = TrajectoryModel::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            m.predict_from(Point2::origin(), 5, &mut rng),
+            Err(TrajectoryError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_steps_are_ignored() {
+        let mut m = TrajectoryModel::new();
+        m.observe(Step {
+            length: f64::NAN,
+            angle: 0.0,
+        });
+        assert_eq!(m.observations(), 0);
+    }
+
+    #[test]
+    fn sampled_lengths_are_non_negative() {
+        let mut m = TrajectoryModel::new();
+        for _ in 0..20 {
+            m.observe(Step {
+                length: 0.001,
+                angle: 0.0,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            assert!(m.sample_step(&mut rng).unwrap().length >= 0.0);
+        }
+    }
+
+    #[test]
+    fn majority_logic() {
+        let p = Prediction::from_candidates(vec![
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 0.1),
+            Point2::new(-1.0, 0.0),
+        ]);
+        assert!(p.majority_where(|c| c.x > 0.0));
+        assert!(!p.majority_where(|c| c.x < 0.0));
+        assert_eq!(p.count_where(|c| c.x > 0.0), 2);
+        let empty = Prediction::from_candidates(vec![]);
+        assert!(!empty.majority_where(|_| true));
+    }
+
+    #[test]
+    fn exact_half_is_not_a_majority() {
+        let p = Prediction::from_candidates(vec![
+            Point2::new(1.0, 0.0),
+            Point2::new(-1.0, 0.0),
+        ]);
+        assert!(!p.majority_where(|c| c.x > 0.0));
+    }
+
+    #[test]
+    fn mode_predictor_keeps_modes_separate() {
+        let mut p = ModePredictor::new();
+        // CoLocated gets eastward steps, SensitiveOnly gets northward.
+        for _ in 0..50 {
+            p.observe(
+                ExecutionMode::CoLocated,
+                Step {
+                    length: 0.2,
+                    angle: 0.0,
+                },
+            );
+            p.observe(
+                ExecutionMode::SensitiveOnly,
+                Step {
+                    length: 0.2,
+                    angle: std::f64::consts::FRAC_PI_2,
+                },
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let co = p
+            .predict(ExecutionMode::CoLocated, Point2::origin(), 20, &mut rng)
+            .unwrap();
+        let sens = p
+            .predict(ExecutionMode::SensitiveOnly, Point2::origin(), 20, &mut rng)
+            .unwrap();
+        let co_x: f64 = co.candidates().iter().map(|c| c.x).sum::<f64>() / 20.0;
+        let sens_y: f64 = sens.candidates().iter().map(|c| c.y).sum::<f64>() / 20.0;
+        assert!(co_x > 0.1);
+        assert!(sens_y > 0.1);
+        // Idle has no data.
+        assert!(p
+            .predict(ExecutionMode::Idle, Point2::origin(), 5, &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn single_model_predictor_pools_everything() {
+        let mut p = SingleModelPredictor::new();
+        for _ in 0..10 {
+            p.observe(
+                ExecutionMode::CoLocated,
+                Step {
+                    length: 0.1,
+                    angle: 0.0,
+                },
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        // Any mode predicts, because the pool is shared.
+        assert!(p
+            .predict(ExecutionMode::Idle, Point2::origin(), 5, &mut rng)
+            .is_some());
+        assert_eq!(p.model().observations(), 10);
+    }
+}

@@ -1,0 +1,89 @@
+//! Template reuse (§6): capture the state map of a repeatable sensitive
+//! application during one co-location, persist it, and seed a future run
+//! with a *different* batch application so known violations are avoided
+//! from the first control period.
+//!
+//! ```sh
+//! cargo run --example template_reuse
+//! ```
+
+use stay_away::core::{Controller, ControllerConfig};
+use stay_away::sim::scenario::Scenario;
+use stay_away::statespace::Template;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ticks = 300;
+
+    // 1. Learn: VLC streaming + CPUBomb, Stay-Away active.
+    let capture = Scenario::vlc_with_cpubomb(5);
+    let mut harness = capture.build_harness()?;
+    let mut controller =
+        Controller::for_host(ControllerConfig::default(), harness.host().spec())?;
+    let outcome = harness.run(&mut controller, ticks);
+    let template = controller.export_template("vlc-streaming")?;
+    println!(
+        "capture run ({}): {} violations, template of {} states \
+         ({} violation-labelled)",
+        capture.name(),
+        outcome.qos.violations,
+        template.len(),
+        template.violation_count()
+    );
+
+    // 2. Persist and reload (any Read/Write works; a temp file here).
+    let path = std::env::temp_dir().join("vlc-streaming-template.json");
+    template.save_to_path(&path)?;
+    let reloaded = Template::load_from_path(&path)?;
+    println!("template persisted to {} and reloaded", path.display());
+
+    // 3. Reuse against a different batch application, vs a cold start.
+    // VLC transcoding exercises the same contention channel (CPU) as the
+    // captured CPUBomb template, so the imported violation states are
+    // revisited and pay off immediately; a co-runner with a different
+    // contention channel may never map into them (§6's caveat).
+    let reuse = Scenario::builder("vlc+vlc-transcode")
+        .seed(5)
+        .sensitive(stay_away::sim::scenario::SensitiveKind::VlcStreaming {
+            trace: stay_away::sim::workload::Trace::diurnal(
+                stay_away::sim::workload::DiurnalParams::default(),
+                6,
+            ),
+        })
+        .batch(stay_away::sim::scenario::BatchKind::VlcTranscode, 20)
+        .build();
+
+    let mut cold_h = reuse.build_harness()?;
+    let mut cold = Controller::for_host(ControllerConfig::default(), cold_h.host().spec())?;
+    let cold_out = cold_h.run(&mut cold, ticks);
+
+    let mut warm_h = reuse.build_harness()?;
+    let mut warm = Controller::for_host(ControllerConfig::default(), warm_h.host().spec())?;
+    warm.import_template(&reloaded)?;
+    let warm_out = warm_h.run(&mut warm, ticks);
+
+    let early = |out: &stay_away::sim::RunOutcome| {
+        out.timeline
+            .iter()
+            .filter(|r| r.violated && r.tick < 60)
+            .count()
+    };
+    println!("\nreuse run ({}):", reuse.name());
+    println!(
+        "  cold start:    {:>2} violations ({} in the first 60 ticks)",
+        cold_out.qos.violations,
+        early(&cold_out)
+    );
+    println!(
+        "  with template: {:>2} violations ({} in the first 60 ticks)",
+        warm_out.qos.violations,
+        early(&warm_out)
+    );
+    println!(
+        "\nthe template removes the learning-phase violations: the warm \
+         controller already knows the contended region when the batch \
+         application first interferes."
+    );
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

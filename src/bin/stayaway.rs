@@ -1,0 +1,343 @@
+//! `stayaway` — command-line front end to the reproduction.
+//!
+//! ```text
+//! stayaway list
+//! stayaway run --scenario vlc+cpu-bomb --policy stay-away --ticks 384 --seed 7
+//! stayaway compare --scenario web-mem+twitter-analysis --ticks 300
+//! stayaway capture --scenario vlc+cpu-bomb --out template.json
+//! stayaway reuse --scenario vlc+soplex --template template.json
+//! ```
+//!
+//! Scenario names are `<sensitive>+<batch>` with sensitive ∈ {vlc,
+//! web-cpu, web-mem, web-mix} and batch ∈ {cpu-bomb, memory-bomb, soplex,
+//! twitter-analysis, vlc-transcode}.
+
+use stay_away::baselines::{AlwaysThrottle, NoPrevention, ReactivePolicy, StaticThresholdPolicy};
+use stay_away::core::{Controller, ControllerConfig};
+use stay_away::sim::apps::WebWorkload;
+use stay_away::sim::scenario::{BatchKind, Scenario, SensitiveKind};
+use stay_away::sim::workload::{DiurnalParams, Trace};
+use stay_away::sim::RunOutcome;
+use stay_away::statespace::Template;
+
+const USAGE: &str = "\
+usage: stayaway <command> [options]
+
+commands:
+  list                       list scenarios and policies
+  run                        run one scenario under one policy
+  compare                    run one scenario under every policy
+  capture                    run stay-away and export the learned template
+  reuse                      run stay-away seeded from a template
+
+options:
+  --scenario <sens>+<batch>  e.g. vlc+cpu-bomb, web-mem+twitter-analysis
+  --policy <name>            stay-away | none | always | reactive | static
+  --ticks <n>                simulation length (default 384)
+  --seed <n>                 deterministic seed (default 7)
+  --template <path>          template file for capture/reuse
+  --out <path>               output path for capture
+  --json                     print a JSON summary instead of text
+";
+
+#[derive(Debug, Clone)]
+struct Args {
+    command: String,
+    scenario: String,
+    policy: String,
+    ticks: u64,
+    seed: u64,
+    template: Option<String>,
+    out: Option<String>,
+    json: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        command: argv.first().cloned().ok_or("missing command")?,
+        scenario: "vlc+cpu-bomb".into(),
+        policy: "stay-away".into(),
+        ticks: 384,
+        seed: 7,
+        template: None,
+        out: None,
+        json: false,
+    };
+    let mut it = argv[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--scenario" => args.scenario = value("--scenario")?,
+            "--policy" => args.policy = value("--policy")?,
+            "--ticks" => {
+                args.ticks = value("--ticks")?
+                    .parse()
+                    .map_err(|_| "--ticks expects an integer".to_string())?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?
+            }
+            "--template" => args.template = Some(value("--template")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--json" => args.json = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_scenario(name: &str, seed: u64) -> Result<Scenario, String> {
+    let (sens, batch) = name
+        .split_once('+')
+        .ok_or_else(|| format!("scenario `{name}` is not of the form <sensitive>+<batch>"))?;
+    let batch_kind = BatchKind::ALL
+        .into_iter()
+        .find(|k| k.name() == batch)
+        .ok_or_else(|| {
+            format!(
+                "unknown batch app `{batch}` (expected one of {})",
+                BatchKind::ALL
+                    .map(|k| k.name())
+                    .join(", ")
+            )
+        })?;
+    let trace = Trace::diurnal(DiurnalParams::default(), seed.wrapping_add(1));
+    let sensitive = match sens {
+        "vlc" => SensitiveKind::VlcStreaming { trace },
+        "web-cpu" => SensitiveKind::Webservice {
+            workload: WebWorkload::CpuIntensive,
+            trace,
+        },
+        "web-mem" => SensitiveKind::Webservice {
+            workload: WebWorkload::MemIntensive,
+            trace,
+        },
+        "web-mix" => SensitiveKind::Webservice {
+            workload: WebWorkload::Mix,
+            trace,
+        },
+        other => {
+            return Err(format!(
+                "unknown sensitive app `{other}` (expected vlc, web-cpu, web-mem or web-mix)"
+            ))
+        }
+    };
+    Ok(Scenario::builder(name)
+        .seed(seed)
+        .sensitive(sensitive)
+        .batch(batch_kind, 20)
+        .build())
+}
+
+fn summarize(label: &str, scenario: &Scenario, out: &RunOutcome, json: bool) {
+    let cap = scenario.host_spec().cpu_cores;
+    if json {
+        let doc = serde_json::json!({
+            "scenario": scenario.name(),
+            "policy": label,
+            "ticks": out.timeline.len(),
+            "violations": out.qos.violations,
+            "satisfaction": out.qos.satisfaction(),
+            "mean_qos": out.qos.mean_qos(),
+            "gained_utilization": out.mean_gained_utilization(cap),
+            "batch_work": out.batch_work,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("json"));
+    } else {
+        println!(
+            "{label:<16} violations {:>4}  satisfaction {:>5.1}%  gained util {:>5.1}%  batch work {:>6.0}",
+            out.qos.violations,
+            100.0 * out.qos.satisfaction(),
+            100.0 * out.mean_gained_utilization(cap),
+            out.batch_work,
+        );
+    }
+}
+
+fn run_policy_by_name(
+    scenario: &Scenario,
+    policy: &str,
+    ticks: u64,
+) -> Result<(RunOutcome, Option<Controller>), String> {
+    let mut harness = scenario.build_harness().map_err(|e| e.to_string())?;
+    match policy {
+        "stay-away" => {
+            let mut ctl = Controller::for_host(ControllerConfig::default(), harness.host().spec())
+                .map_err(|e| e.to_string())?;
+            let out = harness.run(&mut ctl, ticks);
+            Ok((out, Some(ctl)))
+        }
+        "none" => Ok((harness.run(&mut NoPrevention::new(), ticks), None)),
+        "always" => Ok((harness.run(&mut AlwaysThrottle::new(), ticks), None)),
+        "reactive" => Ok((harness.run(&mut ReactivePolicy::new(10), ticks), None)),
+        "static" => {
+            let cap = harness.host().spec().cpu_cores;
+            Ok((
+                harness.run(&mut StaticThresholdPolicy::new(0.5, cap), ticks),
+                None,
+            ))
+        }
+        other => Err(format!(
+            "unknown policy `{other}` (expected stay-away, none, always, reactive or static)"
+        )),
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    if let Err(e) = run(&argv) {
+        eprintln!("error: {e}");
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    match args.command.as_str() {
+        "list" => {
+            println!("sensitive applications: vlc, web-cpu, web-mem, web-mix");
+            println!(
+                "batch applications:     {}",
+                BatchKind::ALL.map(|k| k.name()).join(", ")
+            );
+            println!("policies:               stay-away, none, always, reactive, static");
+            Ok(())
+        }
+        "run" => {
+            let scenario = parse_scenario(&args.scenario, args.seed)?;
+            let (out, ctl) = run_policy_by_name(&scenario, &args.policy, args.ticks)?;
+            summarize(&args.policy, &scenario, &out, args.json);
+            if let (Some(ctl), false) = (&ctl, args.json) {
+                let stats = ctl.stats();
+                println!(
+                    "controller: {} states ({} violation), {} throttles, {} resumes, β = {:.3}, prediction accuracy {:.1}%",
+                    stats.states,
+                    stats.violation_states,
+                    stats.throttles,
+                    stats.resumes,
+                    ctl.beta(),
+                    100.0 * stats.prediction_accuracy(),
+                );
+            }
+            Ok(())
+        }
+        "compare" => {
+            let scenario = parse_scenario(&args.scenario, args.seed)?;
+            println!("scenario: {} ({} ticks, seed {})\n", scenario.name(), args.ticks, args.seed);
+            for policy in ["none", "always", "reactive", "static", "stay-away"] {
+                let (out, _) = run_policy_by_name(&scenario, policy, args.ticks)?;
+                summarize(policy, &scenario, &out, args.json);
+            }
+            Ok(())
+        }
+        "capture" => {
+            let scenario = parse_scenario(&args.scenario, args.seed)?;
+            let (out, ctl) = run_policy_by_name(&scenario, "stay-away", args.ticks)?;
+            let ctl = ctl.expect("stay-away produces a controller");
+            let sens_name = args.scenario.split('+').next().unwrap_or("sensitive");
+            let template = ctl
+                .export_template(sens_name)
+                .map_err(|e| e.to_string())?;
+            let path = args.out.unwrap_or_else(|| "template.json".into());
+            template.save_to_path(&path).map_err(|e| e.to_string())?;
+            summarize("stay-away", &scenario, &out, args.json);
+            println!(
+                "template with {} states ({} violation) written to {path}",
+                template.len(),
+                template.violation_count()
+            );
+            Ok(())
+        }
+        "reuse" => {
+            let path = args
+                .template
+                .ok_or("reuse requires --template <path>")?;
+            let template = Template::load_from_path(&path).map_err(|e| e.to_string())?;
+            let scenario = parse_scenario(&args.scenario, args.seed)?;
+            let mut harness = scenario.build_harness().map_err(|e| e.to_string())?;
+            let mut ctl = Controller::for_host(ControllerConfig::default(), harness.host().spec())
+                .map_err(|e| e.to_string())?;
+            ctl.import_template(&template).map_err(|e| e.to_string())?;
+            let out = harness.run(&mut ctl, args.ticks);
+            println!(
+                "seeded with {} template states ({} violation) from {path}",
+                template.len(),
+                template.violation_count()
+            );
+            summarize("stay-away+tpl", &scenario, &out, args.json);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let a = parse_args(&argv(
+            "run --scenario web-mem+soplex --policy reactive --ticks 100 --seed 3 --json",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.scenario, "web-mem+soplex");
+        assert_eq!(a.policy, "reactive");
+        assert_eq!(a.ticks, 100);
+        assert_eq!(a.seed, 3);
+        assert!(a.json);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse_args(&argv("run --bogus 1")).is_err());
+        assert!(parse_args(&argv("run --ticks abc")).is_err());
+        assert!(parse_args(&argv("run --scenario")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_all_scenario_names() {
+        for sens in ["vlc", "web-cpu", "web-mem", "web-mix"] {
+            for batch in BatchKind::ALL {
+                let name = format!("{sens}+{batch}");
+                let s = parse_scenario(&name, 1).unwrap();
+                assert_eq!(s.name(), name);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_scenarios() {
+        assert!(parse_scenario("vlc", 1).is_err());
+        assert!(parse_scenario("vlc+unknown", 1).is_err());
+        assert!(parse_scenario("nope+soplex", 1).is_err());
+    }
+
+    #[test]
+    fn run_policy_by_name_covers_all_policies() {
+        let scenario = parse_scenario("vlc+soplex", 1).unwrap();
+        for p in ["stay-away", "none", "always", "reactive", "static"] {
+            let (out, ctl) = run_policy_by_name(&scenario, p, 30).unwrap();
+            assert_eq!(out.timeline.len(), 30);
+            assert_eq!(ctl.is_some(), p == "stay-away");
+        }
+        assert!(run_policy_by_name(&scenario, "bogus", 10).is_err());
+    }
+}

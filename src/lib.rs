@@ -1,0 +1,61 @@
+//! # Stay-Away
+//!
+//! A complete Rust reproduction of *"Stay-Away, protecting sensitive
+//! applications from performance interference"* (Rameshan, Navarro, Vlassov,
+//! Monte — ACM/IFIP Middleware 2014).
+//!
+//! Stay-Away lets best-effort **batch** applications run co-located with
+//! latency-**sensitive** applications. It continuously maps resource-usage
+//! measurement vectors into a 2-D state space with multidimensional scaling,
+//! learns which regions of that space correspond to QoS violations, predicts
+//! transitions towards those regions from per-execution-mode trajectory
+//! models, and proactively throttles the batch applications before the
+//! violation happens.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`mds`] — MDS/SMACOF embedding, normalisation, dedup, Procrustes;
+//! * [`statespace`] — mapped/safe/violation states, Rayleigh violation
+//!   ranges, reusable templates;
+//! * [`trajectory`] — step/angle histograms, KDE, inverse-transform
+//!   sampling, per-mode predictors;
+//! * [`sim`] — the deterministic host/container simulator with synthetic
+//!   applications (VLC streaming/transcoding, Webservice, Soplex,
+//!   Twitter-Analysis, CPUBomb, MemoryBomb) standing in for the paper's LXC
+//!   testbed;
+//! * [`core`] — the Stay-Away controller (mapping → prediction → action);
+//! * [`baselines`] — no-prevention / reactive / static-threshold / oracle
+//!   comparison policies.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stay_away::core::{Controller, ControllerConfig};
+//! use stay_away::sim::scenario::Scenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // VLC streaming co-located with a CPU hog, driven by Stay-Away.
+//! let scenario = Scenario::vlc_with_cpubomb(42);
+//! let mut harness = scenario.build_harness()?;
+//! let mut controller = Controller::for_host(
+//!     ControllerConfig::default(),
+//!     harness.host().spec(),
+//! )?;
+//! let outcome = harness.run(&mut controller, 300);
+//! // The controller learns the contention and suppresses most violations.
+//! println!(
+//!     "violations: {} / {} active ticks",
+//!     outcome.qos.violations, outcome.qos.active_ticks
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use stayaway_baselines as baselines;
+pub use stayaway_core as core;
+pub use stayaway_mds as mds;
+pub use stayaway_sim as sim;
+pub use stayaway_statespace as statespace;
+pub use stayaway_trajectory as trajectory;

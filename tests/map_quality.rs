@@ -1,0 +1,170 @@
+//! Quality of the mapped state space: the §3.1 properties the whole
+//! mechanism rests on — violation/safe separation, map stability, and
+//! faithful embedding of the measurement vectors.
+
+use stay_away::core::aggregate::measurement_vector;
+use stay_away::core::mapping::MappingEngine;
+use stay_away::core::{Controller, ControllerConfig};
+use stay_away::mds::distance::DistanceMatrix;
+use stay_away::sim::scenario::Scenario;
+use stay_away::sim::{Action, Observation, Policy};
+use stay_away::statespace::{ExecutionMode, Point2, StateKind};
+
+/// Observe-only recorder over the public mapping pipeline.
+struct Recorder {
+    engine: MappingEngine,
+    metrics: Vec<stay_away::sim::ResourceKind>,
+    trail: Vec<(ExecutionMode, usize, Point2)>,
+}
+
+impl Policy for Recorder {
+    fn name(&self) -> &str {
+        "recorder"
+    }
+    fn decide(&mut self, obs: &Observation) -> Vec<Action> {
+        if let Ok(sample) = self
+            .engine
+            .observe(&measurement_vector(obs, &self.metrics))
+        {
+            let mode = ExecutionMode::from_activity(obs.sensitive_active(), obs.batch_active());
+            self.trail.push((mode, sample.rep, sample.point));
+        }
+        Vec::new()
+    }
+}
+
+fn record(scenario: &Scenario, ticks: u64) -> Recorder {
+    let mut harness = scenario.build_harness().expect("harness");
+    let config = ControllerConfig::default();
+    let mut rec = Recorder {
+        engine: MappingEngine::new(
+            &config.metrics,
+            harness.host().spec(),
+            config.dedup_epsilon,
+            20,
+            400,
+        )
+        .expect("engine"),
+        metrics: config.metrics,
+        trail: Vec::new(),
+    };
+    harness.run(&mut rec, ticks);
+    rec
+}
+
+/// Isolated execution and contended co-location must occupy distinct
+/// regions of the map (the premise of violation-ranges).
+#[test]
+fn isolated_and_contended_states_separate() {
+    let rec = record(&Scenario::vlc_with_cpubomb(41), 200);
+    let centroid = |mode: ExecutionMode| -> Option<Point2> {
+        let pts: Vec<Point2> = rec
+            .trail
+            .iter()
+            .filter(|(m, _, _)| *m == mode)
+            .map(|(_, _, p)| *p)
+            .collect();
+        if pts.is_empty() {
+            return None;
+        }
+        Some(Point2::new(
+            pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64,
+            pts.iter().map(|p| p.y).sum::<f64>() / pts.len() as f64,
+        ))
+    };
+    let iso = centroid(ExecutionMode::SensitiveOnly).expect("isolated states exist");
+    let co = centroid(ExecutionMode::CoLocated).expect("co-located states exist");
+    assert!(
+        iso.distance(co) > 0.1,
+        "modes indistinguishable: {iso} vs {co}"
+    );
+}
+
+/// The incremental embedding must stay faithful to the high-dimensional
+/// dissimilarities (low stress) even after hundreds of insertions.
+#[test]
+fn incremental_embedding_keeps_low_stress() {
+    let rec = record(&Scenario::vlc_with_twitter(42), 300);
+    let n = rec.engine.repr_count();
+    assert!(n >= 10, "too few states to judge ({n})");
+    let vectors: Vec<Vec<f64>> = (0..n)
+        .map(|i| rec.engine.normalized_vector(i).to_vec())
+        .collect();
+    let dissim = DistanceMatrix::from_vectors(&vectors).expect("matrix");
+    let stress = rec
+        .engine
+        .embedding()
+        .expect("embedding exists")
+        .stress(&dissim)
+        .expect("stress");
+    assert!(stress < 0.15, "embedding too distorted: stress {stress:.3}");
+}
+
+/// Repeated visits to the same regime map to the same representative — the
+/// dedup invariant the trajectory model relies on.
+#[test]
+fn recurring_regimes_reuse_representatives() {
+    let rec = record(&Scenario::vlc_with_cpubomb(43), 300);
+    // Far fewer representatives than ticks.
+    assert!(
+        rec.engine.repr_count() * 3 < rec.trail.len(),
+        "{} reps for {} ticks — dedup ineffective",
+        rec.engine.repr_count(),
+        rec.trail.len()
+    );
+    // At least one representative is visited many times.
+    let mut visits = vec![0usize; rec.engine.repr_count()];
+    for (_, rep, _) in &rec.trail {
+        visits[*rep] += 1;
+    }
+    assert!(visits.iter().any(|&v| v > 10));
+}
+
+/// The controller's violation-states must lie in the co-located region,
+/// not among isolated states (violations require interference).
+#[test]
+fn violation_states_live_in_the_colocated_region() {
+    let scenario = Scenario::vlc_with_cpubomb(44);
+    let mut h = scenario.build_harness().expect("harness");
+    let mut ctl = Controller::for_host(ControllerConfig::default(), h.host().spec())
+        .expect("controller");
+    h.run(&mut ctl, 250);
+    let map = ctl.state_map();
+    assert!(map.violation_count() > 0);
+    for rep in 0..map.len() {
+        let e = map.entry(rep).expect("entry");
+        if e.kind() == StateKind::Violation {
+            assert_eq!(
+                e.first_mode(),
+                ExecutionMode::CoLocated,
+                "violation state S{rep} first seen in mode {}",
+                e.first_mode()
+            );
+        }
+    }
+}
+
+/// Violation-ranges never swallow the nearest safe state (R < d).
+#[test]
+fn violation_ranges_exclude_their_nearest_safe_state() {
+    let scenario = Scenario::vlc_with_twitter(45);
+    let mut h = scenario.build_harness().expect("harness");
+    let mut ctl = Controller::for_host(ControllerConfig::default(), h.host().spec())
+        .expect("controller");
+    h.run(&mut ctl, 300);
+    let map = ctl.state_map();
+    for rep in 0..map.len() {
+        let e = map.entry(rep).expect("entry");
+        if e.kind() != StateKind::Violation {
+            continue;
+        }
+        let range = map.violation_range(rep).expect("range");
+        if let Some((safe_idx, d)) = map.nearest_safe(e.point()) {
+            assert!(
+                range.radius() < d + 1e-12,
+                "range of S{rep} (r={}) swallows safe S{safe_idx} at d={d}",
+                range.radius()
+            );
+        }
+    }
+}

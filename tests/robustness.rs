@@ -1,0 +1,75 @@
+//! Robustness of the Stay-Away controller under injected faults: sensor
+//! dropouts and actuation failures must degrade the protection gracefully,
+//! not catastrophically.
+
+use stay_away::baselines::{FaultInjector, NoPrevention};
+use stay_away::core::{Controller, ControllerConfig};
+use stay_away::sim::scenario::Scenario;
+
+const TICKS: u64 = 300;
+
+fn controller(h: &stay_away::sim::Harness) -> Controller {
+    Controller::for_host(ControllerConfig::default(), h.host().spec()).expect("controller")
+}
+
+#[test]
+fn survives_sensor_dropout() {
+    let scenario = Scenario::vlc_with_cpubomb(61);
+    let mut h0 = scenario.build_harness().expect("harness");
+    let baseline = h0.run(&mut NoPrevention::new(), TICKS);
+
+    // 10% of ticks the stats read fails and the controller sees zeros.
+    let mut h1 = scenario.build_harness().expect("harness");
+    let ctl = controller(&h1);
+    let mut faulty = FaultInjector::new(ctl, 0.10, 0.0, 99);
+    let out = h1.run(&mut faulty, TICKS);
+
+    assert!(faulty.dropped_observations() > 10);
+    assert!(
+        out.qos.violations * 3 <= baseline.qos.violations,
+        "dropout defeated the controller: {} vs {}",
+        out.qos.violations,
+        baseline.qos.violations
+    );
+    // The controller never crashed out of its pipeline.
+    assert_eq!(faulty.inner().stats().mapping_errors, 0);
+}
+
+#[test]
+fn survives_actuation_failures() {
+    let scenario = Scenario::vlc_with_cpubomb(62);
+    let mut h0 = scenario.build_harness().expect("harness");
+    let baseline = h0.run(&mut NoPrevention::new(), TICKS);
+
+    // A third of the SIGSTOP/SIGCONT batches never arrive.
+    let mut h1 = scenario.build_harness().expect("harness");
+    let ctl = controller(&h1);
+    let mut faulty = FaultInjector::new(ctl, 0.0, 0.33, 100);
+    let out = h1.run(&mut faulty, TICKS);
+
+    assert!(
+        out.qos.violations * 2 <= baseline.qos.violations,
+        "actuation faults defeated the controller: {} vs {}",
+        out.qos.violations,
+        baseline.qos.violations
+    );
+}
+
+#[test]
+fn combined_faults_still_beat_no_prevention() {
+    let scenario = Scenario::vlc_with_twitter(63);
+    let mut h0 = scenario.build_harness().expect("harness");
+    let baseline = h0.run(&mut NoPrevention::new(), TICKS);
+
+    let mut h1 = scenario.build_harness().expect("harness");
+    let ctl = controller(&h1);
+    let mut faulty = FaultInjector::new(ctl, 0.05, 0.15, 101);
+    let out = h1.run(&mut faulty, TICKS);
+
+    assert!(
+        out.qos.violations < baseline.qos.violations / 2,
+        "combined faults: {} vs {}",
+        out.qos.violations,
+        baseline.qos.violations
+    );
+}

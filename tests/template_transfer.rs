@@ -1,0 +1,105 @@
+//! Integration tests for §6's template mechanism, across crates and
+//! through the filesystem.
+
+use stay_away::core::{Controller, ControllerConfig};
+use stay_away::sim::scenario::Scenario;
+use stay_away::statespace::Template;
+
+const TICKS: u64 = 300;
+
+fn capture(scenario: &Scenario) -> Template {
+    let mut h = scenario.build_harness().expect("harness");
+    let mut c = Controller::for_host(ControllerConfig::default(), h.host().spec())
+        .expect("controller");
+    h.run(&mut c, TICKS);
+    c.export_template("vlc-streaming").expect("export")
+}
+
+#[test]
+fn template_survives_a_filesystem_round_trip() {
+    let template = capture(&Scenario::vlc_with_cpubomb(21));
+    assert!(template.violation_count() > 0, "nothing learned");
+
+    let dir = std::env::temp_dir().join("stayaway-it");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("round-trip.json");
+    template.save_to_path(&path).expect("save");
+    let reloaded = Template::load_from_path(&path).expect("load");
+    assert_eq!(template, reloaded);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn imported_template_restores_the_violation_knowledge() {
+    let template = capture(&Scenario::vlc_with_cpubomb(22));
+    let h = Scenario::vlc_with_cpubomb(22)
+        .build_harness()
+        .expect("harness");
+    let mut fresh = Controller::for_host(ControllerConfig::default(), h.host().spec())
+        .expect("controller");
+    fresh.import_template(&template).expect("import");
+    assert_eq!(fresh.repr_count(), template.len());
+    assert_eq!(
+        fresh.state_map().violation_count(),
+        template.violation_count()
+    );
+    // The imported map must be embedded: every state has a finite position.
+    for rep in 0..fresh.repr_count() {
+        let p = fresh.state_point(rep).expect("position exists");
+        assert!(p.is_finite());
+    }
+}
+
+/// Re-running the *same* repeatable service with its own template must not
+/// make QoS worse, and the warm controller should start acting proactively
+/// (the §6 "starting point" property).
+#[test]
+fn template_reuse_on_the_same_service_is_safe_and_proactive() {
+    let scenario = Scenario::vlc_with_cpubomb(23);
+    let template = capture(&scenario);
+
+    // Same service, different workload trace (a later day of operation).
+    let reuse = Scenario::vlc_with_cpubomb(24);
+
+    let mut cold_h = reuse.build_harness().expect("harness");
+    let mut cold = Controller::for_host(ControllerConfig::default(), cold_h.host().spec())
+        .expect("controller");
+    let cold_out = cold_h.run(&mut cold, TICKS);
+
+    let mut warm_h = reuse.build_harness().expect("harness");
+    let mut warm = Controller::for_host(ControllerConfig::default(), warm_h.host().spec())
+        .expect("controller");
+    warm.import_template(&template).expect("import");
+    let warm_out = warm_h.run(&mut warm, TICKS);
+
+    assert!(
+        warm_out.qos.violations <= cold_out.qos.violations + 3,
+        "template hurt QoS: {} vs {}",
+        warm_out.qos.violations,
+        cold_out.qos.violations
+    );
+    // The warm controller knows violation states before experiencing any.
+    assert!(warm.state_map().violation_count() >= template.violation_count());
+}
+
+#[test]
+fn import_rejects_mismatched_dimensions() {
+    let h = Scenario::vlc_with_cpubomb(25)
+        .build_harness()
+        .expect("harness");
+    let mut ctl = Controller::for_host(ControllerConfig::default(), h.host().spec())
+        .expect("controller");
+    // Default config uses 5 metrics → dim 10; build a dim-4 template.
+    let mut bad = Template::new("vlc-streaming", 4).expect("template");
+    bad.push(vec![0.1, 0.2, 0.3, 0.4], true).expect("push");
+    assert!(ctl.import_template(&bad).is_err());
+}
+
+#[test]
+fn templates_accumulate_across_runs_via_merge() {
+    let mut a = capture(&Scenario::vlc_with_cpubomb(26));
+    let b = capture(&Scenario::vlc_with_twitter(26));
+    let total = a.len() + b.len();
+    a.merge(&b).expect("merge");
+    assert_eq!(a.len(), total);
+}
