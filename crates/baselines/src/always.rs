@@ -41,7 +41,11 @@ mod tests {
         let out = h.run(&mut AlwaysThrottle::new(), 150);
         // Only the first co-located tick can violate (the pause lands after
         // the tick that observed the bomb).
-        assert!(out.qos.violations <= 1, "violations = {}", out.qos.violations);
+        assert!(
+            out.qos.violations <= 1,
+            "violations = {}",
+            out.qos.violations
+        );
         let cap = h.host().spec().cpu_cores;
         assert!(out.mean_gained_utilization(cap) < 0.01);
     }

@@ -6,10 +6,10 @@
 //! accuracy) and the wall-clock cost of the whole run, since the embedding
 //! dominates the controller's period cost during learning.
 
-use std::time::Instant;
 use stayaway_bench::{run_stayaway, ExperimentSink, Table};
 use stayaway_core::{ControllerConfig, EmbeddingStrategy};
 use stayaway_sim::scenario::Scenario;
+use std::time::Instant;
 
 fn main() {
     println!("=== Ablation: SMACOF vs landmark-MDS embedding in the controller ===\n");

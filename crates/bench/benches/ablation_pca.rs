@@ -21,9 +21,8 @@ fn separation(points: &[(f64, f64)], violation: &[bool]) -> f64 {
     let mut inter = (0.0, 0u64);
     for i in 0..points.len() {
         for j in (i + 1)..points.len() {
-            let d = ((points[i].0 - points[j].0).powi(2)
-                + (points[i].1 - points[j].1).powi(2))
-            .sqrt();
+            let d =
+                ((points[i].0 - points[j].0).powi(2) + (points[i].1 - points[j].1).powi(2)).sqrt();
             if violation[i] == violation[j] {
                 intra.0 += d;
                 intra.1 += 1;
@@ -91,8 +90,16 @@ fn main() {
     let mut table = Table::new(&["method", "separation (inter/intra)", "stress-1"]);
     let mds_sep = separation(&mds_points, &labels);
     let pca_sep = separation(&pca_points, &labels);
-    table.row(&["MDS (SMACOF)".into(), format!("{mds_sep:.3}"), format!("{mds_stress:.4}")]);
-    table.row(&["PCA".into(), format!("{pca_sep:.3}"), format!("{pca_stress:.4}")]);
+    table.row(&[
+        "MDS (SMACOF)".into(),
+        format!("{mds_sep:.3}"),
+        format!("{mds_stress:.4}"),
+    ]);
+    table.row(&[
+        "PCA".into(),
+        format!("{pca_sep:.3}"),
+        format!("{pca_stress:.4}"),
+    ]);
     println!("{}", table.render());
     println!(
         "MDS preserves relative distances (lower stress), keeping \

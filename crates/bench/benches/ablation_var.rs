@@ -28,17 +28,15 @@ fn one_step_errors(trail: &[Point2], warmup: usize) -> (f64, f64, u64) {
     for (t, w) in trail.windows(2).enumerate() {
         let (from, to) = (w[0], w[1]);
         if t >= warmup {
-            if let (Ok(vpred), Some(spred)) = (
-                var.forecast(from),
-                sampler.predict(mode, from, 5, &mut rng),
-            ) {
+            if let (Ok(vpred), Some(spred)) =
+                (var.forecast(from), sampler.predict(mode, from, 5, &mut rng))
+            {
                 let (mut cx, mut cy) = (0.0, 0.0);
                 for c in spred.candidates() {
                     cx += c.x;
                     cy += c.y;
                 }
-                let centroid =
-                    Point2::new(cx / spred.len() as f64, cy / spred.len() as f64);
+                let centroid = Point2::new(cx / spred.len() as f64, cy / spred.len() as f64);
                 var_err += vpred.distance(to);
                 smp_err += centroid.distance(to);
                 checks += 1;

@@ -56,10 +56,7 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let min = gains
-        .iter()
-        .map(|(_, g)| *g)
-        .fold(f64::INFINITY, f64::min);
+    let min = gains.iter().map(|(_, g)| *g).fold(f64::INFINITY, f64::min);
     let max = gains
         .iter()
         .map(|(_, g)| *g)

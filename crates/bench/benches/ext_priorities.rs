@@ -44,8 +44,8 @@ fn main() {
     let base = h0.run(&mut NullPolicy::new(), ticks);
 
     let mut h1 = s.build_harness().expect("harness");
-    let mut ctl = Controller::for_host(ControllerConfig::default(), h1.host().spec())
-        .expect("controller");
+    let mut ctl =
+        Controller::for_host(ControllerConfig::default(), h1.host().spec()).expect("controller");
     let guarded = h1.run(&mut ctl, ticks);
 
     let mut table = Table::new(&[

@@ -48,7 +48,9 @@ fn main() {
          swallowed); exploration range = d - R grows as d → 0 or d → ∞"
     );
 
-    let d_grid: Vec<f64> = (0..=steps).map(|i| i as f64 * d_max / steps as f64).collect();
+    let d_grid: Vec<f64> = (0..=steps)
+        .map(|i| i as f64 * d_max / steps as f64)
+        .collect();
     ExperimentSink::new("fig04_violation_radius").write(&serde_json::json!({
         "d": d_grid,
         "curves": c_values

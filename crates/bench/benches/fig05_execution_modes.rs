@@ -32,8 +32,7 @@ impl Policy for Recorder {
     fn decide(&mut self, obs: &Observation) -> Vec<Action> {
         let raw = measurement_vector(obs, &self.metrics);
         if let Ok(sample) = self.engine.observe(&raw) {
-            let mode =
-                ExecutionMode::from_activity(obs.sensitive_active(), obs.batch_active());
+            let mode = ExecutionMode::from_activity(obs.sensitive_active(), obs.batch_active());
             self.trail.push((obs.tick, mode, sample.point));
         }
         Vec::new()
@@ -54,8 +53,7 @@ fn main() {
 
     let config = ControllerConfig::default();
     let mut recorder = Recorder {
-        engine: MappingEngine::new(&config.metrics, &spec, 0.01, 20, 400)
-            .expect("valid engine"),
+        engine: MappingEngine::new(&config.metrics, &spec, 0.01, 20, 400).expect("valid engine"),
         metrics: config.metrics.clone(),
         trail: Vec::new(),
     };
@@ -81,8 +79,7 @@ fn main() {
         let cx = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
         let cy = pts.iter().map(|p| p.y).sum::<f64>() / pts.len() as f64;
         let centroid = Point2::new(cx, cy);
-        let spread =
-            pts.iter().map(|p| p.distance(centroid)).sum::<f64>() / pts.len() as f64;
+        let spread = pts.iter().map(|p| p.distance(centroid)).sum::<f64>() / pts.len() as f64;
         table.row(&[
             mode.to_string(),
             pts.len().to_string(),

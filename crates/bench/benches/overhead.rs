@@ -18,9 +18,8 @@ fn bench_controller_period(c: &mut Criterion) {
     // Warm a controller into steady state (map learned, no new states).
     let scenario = Scenario::vlc_with_twitter(81);
     let mut harness = scenario.build_harness().expect("harness");
-    let mut controller =
-        Controller::for_host(ControllerConfig::default(), harness.host().spec())
-            .expect("controller");
+    let mut controller = Controller::for_host(ControllerConfig::default(), harness.host().spec())
+        .expect("controller");
     harness.run(&mut controller, 384);
 
     // Capture a representative observation by replaying one more tick.

@@ -43,8 +43,8 @@ fn bench_incremental_step(c: &mut Criterion) {
         let grown = DistanceMatrix::from_vectors(&vectors).expect("matrix");
         group.bench_with_input(BenchmarkId::from_parameter(n), &grown, |b, d| {
             b.iter(|| {
-                let init = warm_start_with_new_points(&prev, std::hint::black_box(d))
-                    .expect("warm start");
+                let init =
+                    warm_start_with_new_points(&prev, std::hint::black_box(d)).expect("warm start");
                 solver.embed_warm(d, init).expect("embeds")
             });
         });

@@ -12,9 +12,7 @@ use stayaway_sim::{Policy, RunOutcome};
 /// Panics if the scenario cannot build a harness (misconfigured scenario —
 /// a programming error in the experiment definition).
 pub fn run_policy(scenario: &Scenario, policy: &mut dyn Policy, ticks: u64) -> RunOutcome {
-    let mut harness = scenario
-        .build_harness()
-        .expect("scenario builds a harness");
+    let mut harness = scenario.build_harness().expect("scenario builds a harness");
     harness.run(policy, ticks)
 }
 
@@ -41,9 +39,7 @@ impl StayAwayRun {
 ///
 /// Panics if the scenario or controller cannot be built.
 pub fn run_stayaway(scenario: &Scenario, config: ControllerConfig, ticks: u64) -> StayAwayRun {
-    let mut harness = scenario
-        .build_harness()
-        .expect("scenario builds a harness");
+    let mut harness = scenario.build_harness().expect("scenario builds a harness");
     let mut controller =
         Controller::for_host(config, harness.host().spec()).expect("valid controller config");
     let outcome = harness.run(&mut controller, ticks);

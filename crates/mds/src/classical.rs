@@ -131,12 +131,7 @@ pub fn explained_fraction(dissim: &DistanceMatrix, dim: usize) -> Result<f64, Md
     if positive == 0.0 {
         return Ok(1.0);
     }
-    let captured: f64 = eig
-        .eigenvalues
-        .iter()
-        .take(dim)
-        .filter(|&&v| v > 0.0)
-        .sum();
+    let captured: f64 = eig.eigenvalues.iter().take(dim).filter(|&&v| v > 0.0).sum();
     Ok(captured / positive)
 }
 
@@ -200,7 +195,12 @@ mod tests {
 
     #[test]
     fn explained_fraction_is_one_for_planar_data() {
-        let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ];
         let d = DistanceMatrix::from_vectors(&pts).unwrap();
         let f = explained_fraction(&d, 2).unwrap();
         assert!(f > 0.999, "planar data should be fully captured, got {f}");

@@ -10,8 +10,106 @@
 //! so that trajectories (which are defined over raw samples) can still be
 //! traced through the deduplicated embedding.
 
+use std::collections::HashMap;
+
 use crate::distance::Metric;
 use crate::MdsError;
+
+/// Uniform-grid bucket index over the first two coordinates of the
+/// (normalized, `[0, 1]`-ish) measurement space.
+///
+/// Buckets hold representative indices keyed by the cell of their 2-D
+/// projection. Because every supported metric dominates the per-coordinate
+/// difference (L∞ ≤ L2, L1), a vector within `epsilon` of a representative
+/// differs by at most `epsilon` in each projected coordinate, so with a
+/// cell side ≥ `epsilon` the 3×3 neighbourhood of the query cell covers
+/// every merge candidate. Likewise, any representative whose projected
+/// cell is `r` cells away (Chebyshev) is at full distance > `(r-1)·side`,
+/// which drives the expanding-ring nearest search. The index only ever
+/// *prunes* — surviving candidates are compared by their exact distance —
+/// so results are identical to the linear scan.
+#[derive(Debug, Clone)]
+struct GridIndex {
+    side: f64,
+    buckets: HashMap<(i64, i64), Vec<usize>>,
+    /// Occupied-cell bounding box, `None` while empty.
+    bounds: Option<((i64, i64), (i64, i64))>,
+}
+
+impl GridIndex {
+    fn new(epsilon: f64) -> Self {
+        GridIndex {
+            // The cell side must be ≥ epsilon for the 3×3 insert
+            // neighbourhood to be sound; for tiny/zero epsilon a coarser
+            // side keeps the bucket count bounded instead.
+            side: epsilon.max(0.05),
+            buckets: HashMap::new(),
+            bounds: None,
+        }
+    }
+
+    fn cell_of(&self, vector: &[f64]) -> (i64, i64) {
+        let x = vector.first().copied().unwrap_or(0.0);
+        let y = vector.get(1).copied().unwrap_or(0.0);
+        (
+            (x / self.side).floor() as i64,
+            (y / self.side).floor() as i64,
+        )
+    }
+
+    fn add(&mut self, index: usize, vector: &[f64]) {
+        let cell = self.cell_of(vector);
+        self.buckets.entry(cell).or_default().push(index);
+        self.bounds = Some(match self.bounds {
+            None => (cell, cell),
+            Some((lo, hi)) => (
+                (lo.0.min(cell.0), lo.1.min(cell.1)),
+                (hi.0.max(cell.0), hi.1.max(cell.1)),
+            ),
+        });
+    }
+
+    /// Visits the bucket of each cell in the ring at Chebyshev offset
+    /// `r` around `center`, clipped to the occupied bounding box.
+    fn visit_ring<F: FnMut(&[usize])>(&self, center: (i64, i64), r: i64, mut visit: F) {
+        let Some((lo, hi)) = self.bounds else {
+            return;
+        };
+        let mut call = |x: i64, y: i64| {
+            if x >= lo.0 && x <= hi.0 && y >= lo.1 && y <= hi.1 {
+                if let Some(bucket) = self.buckets.get(&(x, y)) {
+                    visit(bucket);
+                }
+            }
+        };
+        if r == 0 {
+            call(center.0, center.1);
+            return;
+        }
+        for x in (center.0 - r)..=(center.0 + r) {
+            call(x, center.1 - r);
+            call(x, center.1 + r);
+        }
+        for y in (center.1 - r + 1)..=(center.1 + r - 1) {
+            call(center.0 - r, y);
+            call(center.0 + r, y);
+        }
+    }
+
+    /// True when the box at Chebyshev radius `r` around `center` covers
+    /// every occupied cell — nothing remains beyond ring `r`.
+    fn ring_exhausts(&self, center: (i64, i64), r: i64) -> bool {
+        match self.bounds {
+            None => true,
+            Some((lo, hi)) => {
+                center.0 - r <= lo.0
+                    && center.1 - r <= lo.1
+                    && center.0 + r >= hi.0
+                    && center.1 + r >= hi.1
+            }
+        }
+    }
+}
 
 /// Outcome of inserting a vector into a [`ReprSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +142,7 @@ pub struct ReprSet {
     dim: Option<usize>,
     representatives: Vec<Vec<f64>>,
     hits: Vec<u64>,
+    grid: Option<GridIndex>,
 }
 
 impl ReprSet {
@@ -66,6 +165,7 @@ impl ReprSet {
             dim: None,
             representatives: Vec::new(),
             hits: Vec::new(),
+            grid: None,
         })
     }
 
@@ -73,6 +173,24 @@ impl ReprSet {
     pub fn metric(mut self, metric: Metric) -> Self {
         self.metric = metric;
         self
+    }
+
+    /// Enables the uniform-grid bucket index, pruning [`ReprSet::insert`]
+    /// and [`ReprSet::nearest`] scans to nearby candidates. Results are
+    /// identical to the unindexed scans; only the work done changes. Any
+    /// representatives already held are indexed.
+    pub fn grid_indexed(mut self) -> Self {
+        let mut grid = GridIndex::new(self.epsilon);
+        for (i, rep) in self.representatives.iter().enumerate() {
+            grid.add(i, rep);
+        }
+        self.grid = Some(grid);
+        self
+    }
+
+    /// True when the grid bucket index is enabled.
+    pub fn is_grid_indexed(&self) -> bool {
+        self.grid.is_some()
     }
 
     /// The merge radius.
@@ -143,12 +261,32 @@ impl ReprSet {
         }
         self.dim = Some(vector.len());
 
-        // Nearest representative within epsilon, if any.
+        // Nearest representative within epsilon, if any. The scan prunes
+        // with squared-distance early exit (and the grid neighbourhood when
+        // indexed) but every accepted candidate is judged by its exact
+        // distance, so the outcome matches the plain linear scan.
         let mut best: Option<(usize, f64)> = None;
-        for (i, rep) in self.representatives.iter().enumerate() {
-            let d = self.metric.distance(rep, vector);
-            if d <= self.epsilon && best.is_none_or(|(_, bd)| d < bd) {
-                best = Some((i, d));
+        let consider = |i: usize, rep: &[f64], best: &mut Option<(usize, f64)>| {
+            let bound = best.map_or(self.epsilon, |(_, bd)| bd);
+            if let Some(d) = self.metric.distance_pruned(rep, vector, bound) {
+                if d <= self.epsilon && best.is_none_or(|(bi, bd)| d < bd || (d == bd && i < bi)) {
+                    *best = Some((i, d));
+                }
+            }
+        };
+        if let Some(grid) = &self.grid {
+            // Cell side ≥ epsilon: all merge candidates live in rings 0-1.
+            let center = grid.cell_of(vector);
+            for r in 0..=1 {
+                grid.visit_ring(center, r, |bucket| {
+                    for &i in bucket {
+                        consider(i, &self.representatives[i], &mut best);
+                    }
+                });
+            }
+        } else {
+            for (i, rep) in self.representatives.iter().enumerate() {
+                consider(i, rep, &mut best);
             }
         }
         match best {
@@ -159,22 +297,67 @@ impl ReprSet {
             None => {
                 self.representatives.push(vector.to_vec());
                 self.hits.push(1);
-                Ok(DedupOutcome::New(self.representatives.len() - 1))
+                let index = self.representatives.len() - 1;
+                if let Some(grid) = &mut self.grid {
+                    grid.add(index, &self.representatives[index]);
+                }
+                Ok(DedupOutcome::New(index))
             }
         }
     }
 
     /// Index of the representative nearest to `vector` and its distance, or
     /// `None` when the set is empty.
+    ///
+    /// Ties go to the lowest index. With the grid index enabled the search
+    /// expands cell rings outward until no unvisited cell can hold a closer
+    /// representative; the result is identical to the linear scan.
     pub fn nearest(&self, vector: &[f64]) -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64)> = None;
-        for (i, rep) in self.representatives.iter().enumerate() {
-            let d = self.metric.distance(rep, vector);
-            if best.is_none_or(|(_, bd)| d < bd) {
-                best = Some((i, d));
+        match &self.grid {
+            Some(grid) if !self.representatives.is_empty() => {
+                let mut best: Option<(usize, f64)> = None;
+                let center = grid.cell_of(vector);
+                let mut r = 0i64;
+                loop {
+                    grid.visit_ring(center, r, |bucket| {
+                        for &i in bucket {
+                            self.consider_nearest(i, vector, &mut best);
+                        }
+                    });
+                    if grid.ring_exhausts(center, r) {
+                        break;
+                    }
+                    if let Some((_, bd)) = best {
+                        // A representative in ring r+1 or beyond is farther
+                        // than r·side, which already exceeds the best: no
+                        // closer candidate (nor an equal-distance one with a
+                        // lower index) can remain.
+                        if r as f64 * grid.side > bd {
+                            break;
+                        }
+                    }
+                    r += 1;
+                }
+                best
+            }
+            _ => {
+                let mut best: Option<(usize, f64)> = None;
+                for i in 0..self.representatives.len() {
+                    self.consider_nearest(i, vector, &mut best);
+                }
+                best
             }
         }
-        best
+    }
+
+    fn consider_nearest(&self, i: usize, vector: &[f64], best: &mut Option<(usize, f64)>) {
+        let bound = best.map_or(f64::INFINITY, |(_, bd)| bd);
+        let rep = &self.representatives[i];
+        if let Some(d) = self.metric.distance_pruned(rep, vector, bound) {
+            if best.is_none_or(|(bi, bd)| d < bd || (d == bd && i < bi)) {
+                *best = Some((i, d));
+            }
+        }
     }
 }
 
@@ -254,6 +437,58 @@ mod tests {
         let (i, d) = set.nearest(&[1.8]).unwrap();
         assert_eq!(i, 1);
         assert!((d - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_index_matches_linear_scan_on_deterministic_stream() {
+        let mut plain = ReprSet::new(0.07).unwrap();
+        let mut indexed = ReprSet::new(0.07).unwrap().grid_indexed();
+        assert!(indexed.is_grid_indexed());
+        let stream: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let t = i as f64;
+                vec![
+                    (t * 0.61).sin().abs(),
+                    (t * 0.37).cos().abs(),
+                    (t * 0.23).sin().abs(),
+                    (t * 0.11).cos().abs(),
+                ]
+            })
+            .collect();
+        for v in &stream {
+            assert_eq!(plain.insert(v).unwrap(), indexed.insert(v).unwrap());
+        }
+        assert_eq!(plain.len(), indexed.len());
+        for v in &stream {
+            assert_eq!(plain.nearest(v), indexed.nearest(v));
+        }
+        // Probes far outside the occupied region exercise ring expansion.
+        for probe in [
+            vec![5.0, 5.0, 0.0, 0.0],
+            vec![-3.0, 0.5, 0.2, 0.9],
+            vec![0.5, -4.0, 1.0, 1.0],
+        ] {
+            assert_eq!(plain.nearest(&probe), indexed.nearest(&probe));
+        }
+    }
+
+    #[test]
+    fn grid_indexed_after_growth_indexes_existing_representatives() {
+        let mut set = ReprSet::new(0.1).unwrap();
+        set.insert(&[0.1, 0.1]).unwrap();
+        set.insert(&[0.9, 0.9]).unwrap();
+        let mut set = set.grid_indexed();
+        // Pre-existing representatives are found through the grid.
+        assert_eq!(set.insert(&[0.12, 0.1]).unwrap(), DedupOutcome::Merged(0));
+        assert_eq!(set.nearest(&[0.85, 0.92]).unwrap().0, 1);
+    }
+
+    #[test]
+    fn zero_epsilon_grid_still_merges_exact_duplicates() {
+        let mut set = ReprSet::new(0.0).unwrap().grid_indexed();
+        set.insert(&[0.3, 0.3]).unwrap();
+        assert!(set.insert(&[0.3, 0.3]).unwrap().index() == 0);
+        assert!(set.insert(&[0.3, 0.3000001]).unwrap().is_new());
     }
 
     #[test]

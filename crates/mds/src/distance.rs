@@ -39,16 +39,69 @@ impl Metric {
                 .fold(0.0, f64::max),
         }
     }
+
+    /// Computes the distance with per-coordinate early exit: returns `None`
+    /// as soon as the partial accumulation proves the result exceeds
+    /// `bound`.
+    ///
+    /// The pruning threshold carries a small safety factor, so a candidate
+    /// is abandoned only when its distance provably exceeds `bound`;
+    /// whenever `Some(d)` is returned, `d` is bit-for-bit the value
+    /// [`Metric::distance`] would produce. Callers can therefore use this
+    /// as a drop-in scan kernel without changing any comparison outcome.
+    pub fn distance_pruned(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        debug_assert_eq!(a.len(), b.len(), "vectors must share a dimension");
+        // One part in 2^40 over-admits boundary candidates rather than ever
+        // mispruning one; their exact distance decides as in the full scan.
+        const SLACK: f64 = 1.0 + 1e-12;
+        match self {
+            Metric::Euclidean => {
+                let limit = bound * bound * SLACK;
+                let mut sum = 0.0;
+                for (x, y) in a.iter().zip(b) {
+                    sum += (x - y) * (x - y);
+                    if sum > limit {
+                        return None;
+                    }
+                }
+                Some(sum.sqrt())
+            }
+            Metric::Manhattan => {
+                let limit = bound * SLACK;
+                let mut sum = 0.0;
+                for (x, y) in a.iter().zip(b) {
+                    sum += (x - y).abs();
+                    if sum > limit {
+                        return None;
+                    }
+                }
+                Some(sum)
+            }
+            Metric::Chebyshev => {
+                let limit = bound * SLACK;
+                let mut max = 0.0f64;
+                for (x, y) in a.iter().zip(b) {
+                    max = max.max((x - y).abs());
+                    if max > limit {
+                        return None;
+                    }
+                }
+                Some(max)
+            }
+        }
+    }
 }
 
 /// A symmetric matrix of pairwise dissimilarities with a zero diagonal.
 ///
-/// Only the strict upper triangle is stored.
+/// Only the strict upper triangle is stored, grouped by column: entry
+/// (i, j) with i < j lives at index `j*(j-1)/2 + i`. Column-major grouping
+/// makes [`DistanceMatrix::append_point`] a contiguous push of the new
+/// point's column — O(n·dim) — where a row-major layout would have to
+/// splice an entry into every existing row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistanceMatrix {
     n: usize,
-    // Upper triangle, row-major: entry (i, j) with i < j at index
-    // i*n - i*(i+1)/2 + (j - i - 1).
     upper: Vec<f64>,
 }
 
@@ -87,12 +140,65 @@ impl DistanceMatrix {
         }
         let n = vectors.len();
         let mut upper = Vec::with_capacity(n * (n - 1) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
+        for j in 1..n {
+            for i in 0..j {
                 upper.push(metric.distance(&vectors[i], &vectors[j]));
             }
         }
         Ok(DistanceMatrix { n, upper })
+    }
+
+    /// Extends the matrix in place with one new point, given the vectors
+    /// of the points already covered. Computes only the new point's column
+    /// — O(n·dim) — instead of rebuilding all n(n+1)/2 entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::DimensionMismatch`] unless `existing.len()`
+    /// equals [`DistanceMatrix::len`] and `point` has the common dimension,
+    /// and [`MdsError::NonFinite`] if `point` has a NaN or infinite
+    /// coordinate.
+    pub fn append_point(&mut self, existing: &[Vec<f64>], point: &[f64]) -> Result<(), MdsError> {
+        self.append_point_with(existing, point, Metric::Euclidean)
+    }
+
+    /// [`DistanceMatrix::append_point`] under an explicit `metric`. The
+    /// metric must match the one the matrix was built with for the result
+    /// to stay consistent.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DistanceMatrix::append_point`].
+    pub fn append_point_with(
+        &mut self,
+        existing: &[Vec<f64>],
+        point: &[f64],
+        metric: Metric,
+    ) -> Result<(), MdsError> {
+        if existing.len() != self.n {
+            return Err(MdsError::DimensionMismatch {
+                expected: self.n,
+                found: existing.len(),
+            });
+        }
+        let dim = existing.first().map_or(point.len(), Vec::len);
+        if point.len() != dim {
+            return Err(MdsError::DimensionMismatch {
+                expected: dim,
+                found: point.len(),
+            });
+        }
+        if point.iter().any(|x| !x.is_finite()) {
+            return Err(MdsError::NonFinite {
+                context: "distance matrix appended point",
+            });
+        }
+        self.upper.reserve(self.n);
+        for other in existing {
+            self.upper.push(metric.distance(other, point));
+        }
+        self.n += 1;
+        Ok(())
     }
 
     /// Builds a distance matrix directly from precomputed pairwise values.
@@ -111,8 +217,8 @@ impl DistanceMatrix {
             return Err(MdsError::Empty);
         }
         let mut upper = Vec::with_capacity(n * (n - 1) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
+        for j in 1..n {
+            for i in 0..j {
                 let d = get(i, j);
                 if !d.is_finite() || d < 0.0 {
                     return Err(MdsError::NonFinite {
@@ -147,7 +253,7 @@ impl DistanceMatrix {
             return 0.0;
         }
         let (i, j) = if i < j { (i, j) } else { (j, i) };
-        self.upper[i * self.n - i * (i + 1) / 2 + (j - i - 1)]
+        self.upper[j * (j - 1) / 2 + i]
     }
 
     /// Largest pairwise dissimilarity (0.0 for a single point).
@@ -185,6 +291,22 @@ mod tests {
     fn manhattan_and_chebyshev() {
         assert_eq!(Metric::Manhattan.distance(&[0.0, 0.0], &[3.0, 4.0]), 7.0);
         assert_eq!(Metric::Chebyshev.distance(&[0.0, 0.0], &[3.0, 4.0]), 4.0);
+    }
+
+    #[test]
+    fn distance_pruned_matches_full_distance_or_proves_excess() {
+        let a = [0.1, 0.9, 0.4, 0.7];
+        let b = [0.3, 0.2, 0.8, 0.1];
+        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            let d = metric.distance(&a, &b);
+            // Generous bound: completes and matches exactly.
+            assert_eq!(metric.distance_pruned(&a, &b, d), Some(d));
+            assert_eq!(metric.distance_pruned(&a, &b, f64::INFINITY), Some(d));
+            // Bound provably below the distance: pruned.
+            assert_eq!(metric.distance_pruned(&a, &b, d * 0.5), None);
+            // Zero distance survives a zero bound.
+            assert_eq!(metric.distance_pruned(&a, &a, 0.0), Some(0.0));
+        }
     }
 
     #[test]
@@ -235,6 +357,39 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d.max(), 0.0);
         assert_eq!(d.mean(), 0.0);
+    }
+
+    #[test]
+    fn append_point_matches_full_rebuild() {
+        let mut vectors = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0]];
+        let mut incremental = DistanceMatrix::from_vectors(&vectors).unwrap();
+        for new in [vec![3.0, 4.0], vec![-1.0, 0.5], vec![2.0, 2.0]] {
+            incremental.append_point(&vectors, &new).unwrap();
+            vectors.push(new);
+            let rebuilt = DistanceMatrix::from_vectors(&vectors).unwrap();
+            assert_eq!(incremental, rebuilt);
+        }
+        assert_eq!(incremental.len(), 6);
+    }
+
+    #[test]
+    fn append_point_validates_input() {
+        let vectors = vec![vec![0.0, 0.0], vec![1.0, 0.0]];
+        let mut d = DistanceMatrix::from_vectors(&vectors).unwrap();
+        assert!(matches!(
+            d.append_point(&vectors[..1], &[1.0, 1.0]),
+            Err(MdsError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            d.append_point(&vectors, &[1.0]),
+            Err(MdsError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            d.append_point(&vectors, &[f64::NAN, 0.0]),
+            Err(MdsError::NonFinite { .. })
+        ));
+        // Failed appends leave the matrix untouched.
+        assert_eq!(d, DistanceMatrix::from_vectors(&vectors).unwrap());
     }
 
     #[test]

@@ -39,6 +39,22 @@ pub struct LandmarkMds {
 /// nearest point, repeatedly add the point farthest from the chosen set.
 /// Deterministic for a given input order.
 pub fn select_landmarks(vectors: &[Vec<f64>], k: usize) -> Vec<usize> {
+    select_landmarks_by(vectors, k, |i, j| {
+        Metric::Euclidean.distance(&vectors[i], &vectors[j])
+    })
+}
+
+/// [`select_landmarks`] with pairwise distances supplied by `pair` —
+/// e.g. lookups into a precomputed [`DistanceMatrix`] — instead of being
+/// recomputed from the vectors. Only the centroid seed still reads the
+/// vectors; `pair(i, j)` must equal the Euclidean distance between
+/// `vectors[i]` and `vectors[j]` for the selection to match
+/// [`select_landmarks`] exactly.
+fn select_landmarks_by(
+    vectors: &[Vec<f64>],
+    k: usize,
+    mut pair: impl FnMut(usize, usize) -> f64,
+) -> Vec<usize> {
     let n = vectors.len();
     if n == 0 || k == 0 {
         return Vec::new();
@@ -64,9 +80,7 @@ pub fn select_landmarks(vectors: &[Vec<f64>], k: usize) -> Vec<usize> {
         })
         .unwrap_or(0);
     chosen.push(seed);
-    let mut min_dist: Vec<f64> = (0..n)
-        .map(|i| Metric::Euclidean.distance(&vectors[i], &vectors[seed]))
-        .collect();
+    let mut min_dist: Vec<f64> = (0..n).map(|i| pair(i, seed)).collect();
     while chosen.len() < k {
         let far = (0..n)
             .max_by(|&a, &b| {
@@ -79,9 +93,9 @@ pub fn select_landmarks(vectors: &[Vec<f64>], k: usize) -> Vec<usize> {
             break; // all remaining points coincide with landmarks
         }
         chosen.push(far);
-        for i in 0..n {
-            let d = Metric::Euclidean.distance(&vectors[i], &vectors[far]);
-            min_dist[i] = min_dist[i].min(d);
+        for (i, md) in min_dist.iter_mut().enumerate() {
+            let d = pair(i, far);
+            *md = md.min(d);
         }
     }
     chosen
@@ -107,11 +121,57 @@ impl LandmarkMds {
         let idx = select_landmarks(vectors, k);
         let landmarks: Vec<Vec<f64>> = idx.iter().map(|&i| vectors[i].clone()).collect();
         let ld = DistanceMatrix::from_vectors(&landmarks)?;
+        Self::fit_selected(landmarks, &ld, dim)
+    }
+
+    /// [`LandmarkMds::fit`] reusing a precomputed all-pairs Euclidean
+    /// [`DistanceMatrix`] over `vectors`: landmark selection reads pairwise
+    /// distances out of `dissim` and the landmark-to-landmark matrix is
+    /// extracted as a submatrix, so no distance is recomputed from the
+    /// vectors beyond the O(n·dim) centroid seed. Produces a model
+    /// bit-for-bit identical to [`LandmarkMds::fit`] on the same input.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LandmarkMds::fit`], plus
+    /// [`MdsError::DimensionMismatch`] when `dissim` does not cover exactly
+    /// `vectors.len()` points.
+    pub fn fit_with_dissim(
+        vectors: &[Vec<f64>],
+        dissim: &DistanceMatrix,
+        k: usize,
+        dim: usize,
+    ) -> Result<Self, MdsError> {
+        if vectors.is_empty() {
+            return Err(MdsError::Empty);
+        }
+        if dim == 0 || k < dim + 1 {
+            return Err(MdsError::InvalidDimension { requested: dim });
+        }
+        if dissim.len() != vectors.len() {
+            return Err(MdsError::DimensionMismatch {
+                expected: vectors.len(),
+                found: dissim.len(),
+            });
+        }
+        let idx = select_landmarks_by(vectors, k, |i, j| dissim.get(i, j));
+        let landmarks: Vec<Vec<f64>> = idx.iter().map(|&i| vectors[i].clone()).collect();
+        let ld = DistanceMatrix::from_fn(landmarks.len(), |i, j| dissim.get(idx[i], idx[j]))?;
+        Self::fit_selected(landmarks, &ld, dim)
+    }
+
+    /// Shared fitting tail: classical MDS on the chosen landmarks plus the
+    /// triangulation pseudo-inverse.
+    fn fit_selected(
+        landmarks: Vec<Vec<f64>>,
+        ld: &DistanceMatrix,
+        dim: usize,
+    ) -> Result<Self, MdsError> {
         let kk = landmarks.len();
 
         // Classical MDS on the landmarks (also yields the eigensystem we
         // need for the triangulation transform).
-        let landmark_coords = classical_mds(&ld, dim)?;
+        let landmark_coords = classical_mds(ld, dim)?;
 
         // Double-centred Gram matrix of the landmarks.
         let mut sq = Matrix::zeros(kk, kk);
@@ -292,6 +352,33 @@ mod tests {
         let emb_d = ((placed[0] - anchor[0]).powi(2) + (placed[1] - anchor[1]).powi(2)).sqrt();
         let true_d = Metric::Euclidean.distance(&novel, &vectors[0]);
         assert!((emb_d - true_d).abs() < 0.01, "{emb_d} vs {true_d}");
+    }
+
+    #[test]
+    fn fit_with_dissim_matches_direct_fit_exactly() {
+        let vectors = grid(80);
+        let dissim = DistanceMatrix::from_vectors(&vectors).unwrap();
+        let direct = LandmarkMds::fit(&vectors, 10, 2).unwrap();
+        let cached = LandmarkMds::fit_with_dissim(&vectors, &dissim, 10, 2).unwrap();
+        assert_eq!(direct.landmarks, cached.landmarks);
+        assert_eq!(direct.landmark_coords, cached.landmark_coords);
+        // Placements must agree bit-for-bit, including out of sample.
+        let novel = vec![0.23, 0.41, 0.0, 0.0, 0.0];
+        assert_eq!(direct.place(&novel).unwrap(), cached.place(&novel).unwrap());
+        assert_eq!(
+            direct.place_all(&vectors).unwrap(),
+            cached.place_all(&vectors).unwrap()
+        );
+    }
+
+    #[test]
+    fn fit_with_dissim_validates_matrix_size() {
+        let vectors = grid(16);
+        let small = DistanceMatrix::from_vectors(&vectors[..8]).unwrap();
+        assert!(matches!(
+            LandmarkMds::fit_with_dissim(&vectors, &small, 4, 2),
+            Err(MdsError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -194,8 +194,7 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MdsError> {
             }
         }
         if off.sqrt() <= tol {
-            let mut pairs: Vec<(f64, usize)> =
-                (0..n).map(|i| (m[(i, i)], i)).collect();
+            let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
             pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
             let eigenvalues: Vec<f64> = pairs.iter().map(|p| p.0).collect();
             let mut eigenvectors = Matrix::zeros(n, n);
@@ -505,10 +504,7 @@ mod tests {
 
     #[test]
     fn from_rows_validates_shape() {
-        assert!(matches!(
-            Matrix::from_rows(&[]),
-            Err(MdsError::Empty)
-        ));
+        assert!(matches!(Matrix::from_rows(&[]), Err(MdsError::Empty)));
         assert!(matches!(
             Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]),
             Err(MdsError::DimensionMismatch { .. })

@@ -225,11 +225,7 @@ mod tests {
     }
 
     fn sample_embedding() -> Embedding {
-        Embedding::from_coords(
-            2,
-            vec![0.0, 0.0, 1.0, 0.2, 0.3, 1.5, -0.7, 0.9, 2.0, -1.0],
-        )
-        .unwrap()
+        Embedding::from_coords(2, vec![0.0, 0.0, 1.0, 0.2, 0.3, 1.5, -0.7, 0.9, 2.0, -1.0]).unwrap()
     }
 
     #[test]
@@ -303,10 +299,7 @@ mod tests {
     #[test]
     fn rejects_zero_shared_points() {
         let a = sample_embedding();
-        assert!(matches!(
-            align_prefix(&a, &a, 0),
-            Err(MdsError::Empty)
-        ));
+        assert!(matches!(align_prefix(&a, &a, 0), Err(MdsError::Empty)));
     }
 
     #[test]

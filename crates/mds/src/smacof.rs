@@ -267,13 +267,17 @@ mod tests {
     #[test]
     fn warm_start_matches_cold_start_quality() {
         let pts: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.61).cos(), i as f64 * 0.1])
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.37).sin(),
+                    (i as f64 * 0.61).cos(),
+                    i as f64 * 0.1,
+                ]
+            })
             .collect();
         let d = DistanceMatrix::from_vectors(&pts).unwrap();
         let cold = Smacof::new(2).embed(&d).unwrap();
-        let warm = Smacof::new(2)
-            .embed_warm(&d, cold.clone())
-            .unwrap();
+        let warm = Smacof::new(2).embed_warm(&d, cold.clone()).unwrap();
         assert!(warm.stress(&d).unwrap() <= cold.stress(&d).unwrap() + 1e-12);
     }
 
@@ -291,7 +295,10 @@ mod tests {
         let d10 = DistanceMatrix::from_vectors(&pts).unwrap();
         let init = warm_start_with_new_points(&e8, &d10).unwrap();
         assert_eq!(init.len(), 10);
-        let e10 = Smacof::new(2).max_iterations(30).embed_warm(&d10, init).unwrap();
+        let e10 = Smacof::new(2)
+            .max_iterations(30)
+            .embed_warm(&d10, init)
+            .unwrap();
         assert!(e10.stress(&d10).unwrap() < 0.05);
     }
 

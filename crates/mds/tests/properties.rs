@@ -4,19 +4,13 @@ use proptest::prelude::*;
 use stayaway_mds::classical::classical_mds;
 use stayaway_mds::dedup::ReprSet;
 use stayaway_mds::distance::{DistanceMatrix, Metric};
+use stayaway_mds::landmark::{select_landmarks, LandmarkMds};
 use stayaway_mds::normalize::{MetricBounds, Normalizer};
 use stayaway_mds::procrustes::{align_to_previous, prefix_rmsd};
-use stayaway_mds::landmark::{select_landmarks, LandmarkMds};
 use stayaway_mds::smacof::{warm_start_with_new_points, Smacof};
 
-fn vectors_strategy(
-    max_points: usize,
-    dim: usize,
-) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.0f64..1.0, dim..=dim),
-        2..max_points,
-    )
+fn vectors_strategy(max_points: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, dim..=dim), 2..max_points)
 }
 
 proptest! {
@@ -157,6 +151,52 @@ proptest! {
             let d = DistanceMatrix::from_vectors(&vectors).unwrap();
             prop_assert!(placed.stress(&d).unwrap() < 0.05,
                 "landmark stress too high on planar data");
+        }
+    }
+
+    /// The grid-indexed dedup path is an exact drop-in for the naive linear
+    /// scan: identical insert outcomes and identical `(index, distance)`
+    /// from `nearest`, for every query — including ones far outside the
+    /// indexed region (ring expansion).
+    #[test]
+    fn grid_index_is_exact_drop_in_for_linear_scan(
+        vectors in vectors_strategy(60, 4),
+        epsilon in 0.01f64..0.5,
+        probe_shift in -2.0f64..2.0,
+    ) {
+        let mut naive = ReprSet::new(epsilon).unwrap();
+        let mut grid = ReprSet::new(epsilon).unwrap().grid_indexed();
+        for v in &vectors {
+            let a = naive.insert(v).unwrap();
+            let b = grid.insert(v).unwrap();
+            prop_assert_eq!((a.index(), a.is_new()), (b.index(), b.is_new()));
+            // Exact equality: both paths judge candidates by the same
+            // full-precision distances.
+            prop_assert_eq!(naive.nearest(v), grid.nearest(v));
+        }
+        for v in &vectors {
+            let probe: Vec<f64> = v.iter().map(|x| x + probe_shift).collect();
+            prop_assert_eq!(naive.nearest(&probe), grid.nearest(&probe));
+        }
+    }
+
+    /// Growing a distance matrix column-by-column with `append_point`
+    /// matches a from-scratch rebuild on every prefix.
+    #[test]
+    fn append_point_matches_full_rebuild_on_every_prefix(
+        vectors in vectors_strategy(20, 3),
+    ) {
+        let mut grown = DistanceMatrix::from_vectors(&vectors[..1]).unwrap();
+        for m in 1..vectors.len() {
+            grown.append_point(&vectors[..m], &vectors[m]).unwrap();
+            let rebuilt = DistanceMatrix::from_vectors(&vectors[..=m]).unwrap();
+            prop_assert_eq!(grown.len(), rebuilt.len());
+            for i in 0..grown.len() {
+                for j in 0..grown.len() {
+                    prop_assert!((grown.get(i, j) - rebuilt.get(i, j)).abs() < 1e-12,
+                        "entry ({}, {}) diverged", i, j);
+                }
+            }
         }
     }
 

@@ -187,8 +187,7 @@ impl Application for PhasedApp {
             // Finite script without explicit work bound: finished when the
             // last phase has been fully traversed.
             let last = self.phases.len() - 1;
-            return self.phase_idx == last
-                && self.phase_progress >= self.phases[last].duration();
+            return self.phase_idx == last && self.phase_progress >= self.phases[last].duration();
         }
         false
     }

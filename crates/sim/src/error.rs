@@ -58,7 +58,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SimError::UnknownContainer { id: 3 }.to_string().contains('3'));
+        assert!(SimError::UnknownContainer { id: 3 }
+            .to_string()
+            .contains('3'));
         assert!(SimError::InvalidConfig {
             reason: "bad".into()
         }

@@ -408,8 +408,7 @@ mod tests {
                 "capture"
             }
             fn decide(&mut self, obs: &Observation) -> Vec<Action> {
-                self.0
-                    .push(obs.containers[0].usage.get(ResourceKind::Cpu));
+                self.0.push(obs.containers[0].usage.get(ResourceKind::Cpu));
                 Vec::new()
             }
         }

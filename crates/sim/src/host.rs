@@ -1,8 +1,8 @@
 //! The simulated physical host.
 
 use crate::app::{AppClass, Application};
-use crate::contention::{allocate, Allocation, ContentionParams};
 use crate::container::{Container, ContainerId};
+use crate::contention::{allocate, Allocation, ContentionParams};
 use crate::resources::{ResourceKind, ResourceVector};
 use crate::SimError;
 
@@ -199,8 +199,9 @@ impl Host {
         priority: u8,
     ) -> ContainerId {
         let id = ContainerId::new(self.containers.len());
-        self.containers
-            .push(Container::with_priority(id, class, app, start_tick, priority));
+        self.containers.push(Container::with_priority(
+            id, class, app, start_tick, priority,
+        ));
         id
     }
 
@@ -447,18 +448,10 @@ mod tests {
     #[test]
     fn priority_rules_for_pausing_sensitive_containers() {
         let mut host = Host::new(HostSpec::default()).unwrap();
-        let top = host.add_container_with_priority(
-            AppClass::Sensitive,
-            cpu_app("top", 1.0, 100.0),
-            0,
-            0,
-        );
-        let low = host.add_container_with_priority(
-            AppClass::Sensitive,
-            cpu_app("low", 1.0, 100.0),
-            0,
-            1,
-        );
+        let top =
+            host.add_container_with_priority(AppClass::Sensitive, cpu_app("top", 1.0, 100.0), 0, 0);
+        let low =
+            host.add_container_with_priority(AppClass::Sensitive, cpu_app("low", 1.0, 100.0), 0, 1);
         // The top-priority sensitive container is protected…
         assert!(matches!(
             host.pause(top),

@@ -262,7 +262,12 @@ impl Scenario {
         for (kind, start) in &self.batches {
             host.add_container(AppClass::Batch, kind.build(&self.host), *start);
         }
-        Harness::new(host, QosSpec::new(self.qos_threshold)?, self.noise_sd, self.seed)
+        Harness::new(
+            host,
+            QosSpec::new(self.qos_threshold)?,
+            self.noise_sd,
+            self.seed,
+        )
     }
 
     fn build_sensitive(kind: &SensitiveKind) -> Option<Box<dyn crate::app::Application>> {

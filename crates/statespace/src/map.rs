@@ -100,10 +100,12 @@ impl StateMap {
     ///
     /// Returns [`StateSpaceError::UnknownState`] for an out-of-range index.
     pub fn entry(&self, index: usize) -> Result<&StateEntry, StateSpaceError> {
-        self.entries.get(index).ok_or(StateSpaceError::UnknownState {
-            index,
-            len: self.entries.len(),
-        })
+        self.entries
+            .get(index)
+            .ok_or(StateSpaceError::UnknownState {
+                index,
+                len: self.entries.len(),
+            })
     }
 
     /// The `c` constant used in the Rayleigh radius.
@@ -253,10 +255,7 @@ impl StateMap {
                 name: "index (not a violation-state)",
             });
         }
-        let d = self
-            .nearest_safe(e.point)
-            .map(|(_, d)| d)
-            .unwrap_or(0.0);
+        let d = self.nearest_safe(e.point).map(|(_, d)| d).unwrap_or(0.0);
         let r = rayleigh_radius(d, self.coordinate_scale);
         Ok(ViolationRange::new(e.point, r))
     }
@@ -394,10 +393,7 @@ mod tests {
         // R ≈ 0.6065 around (1,0).
         assert!(m.in_violation_range(Point2::new(1.2, 0.0)));
         assert!(!m.in_violation_range(Point2::new(0.2, 0.0)));
-        assert_eq!(
-            m.violation_range_containing(Point2::new(1.2, 0.0)),
-            Some(1)
-        );
+        assert_eq!(m.violation_range_containing(Point2::new(1.2, 0.0)), Some(1));
     }
 
     #[test]

@@ -312,9 +312,7 @@ mod tests {
     #[test]
     fn titles_are_escaped() {
         let map = sample_map();
-        let svg = MapRenderer::new(&map, 100, 100)
-            .title("a < b & c")
-            .render();
+        let svg = MapRenderer::new(&map, 100, 100).title("a < b & c").render();
         assert!(svg.contains("a &lt; b &amp; c"));
     }
 

@@ -109,9 +109,7 @@ impl ThrottleManager {
         }
         self.stable_ticks += 1;
         let required = (self.optimistic_after as f64 * self.optimistic_backoff) as u64;
-        if self.stable_ticks >= required
-            && rng.gen_range(0.0..1.0) < self.optimistic_probability
-        {
+        if self.stable_ticks >= required && rng.gen_range(0.0..1.0) < self.optimistic_probability {
             return Some(ResumeReason::Optimistic);
         }
         None

@@ -179,16 +179,21 @@ mod tests {
         let mut host = Host::new(HostSpec::default()).unwrap();
         let mut id = None;
         for _ in 0..=raw {
-            id = Some(host.add_container(
-                AppClass::Batch,
-                Box::new(
-                    PhasedApp::builder("x")
-                        .phase(Phase::steady(ResourceVector::zero().with(ResourceKind::Cpu, 0.1), 1.0))
-                        .looping(true)
-                        .build(),
+            id = Some(
+                host.add_container(
+                    AppClass::Batch,
+                    Box::new(
+                        PhasedApp::builder("x")
+                            .phase(Phase::steady(
+                                ResourceVector::zero().with(ResourceKind::Cpu, 0.1),
+                                1.0,
+                            ))
+                            .looping(true)
+                            .build(),
+                    ),
+                    0,
                 ),
-                0,
-            ));
+            );
         }
         id.unwrap()
     }

@@ -103,7 +103,10 @@ impl ControllerConfig {
         }
         if !(self.dedup_epsilon.is_finite() && self.dedup_epsilon >= 0.0) {
             return Err(CoreError::InvalidConfig {
-                reason: format!("dedup_epsilon must be non-negative, got {}", self.dedup_epsilon),
+                reason: format!(
+                    "dedup_epsilon must be non-negative, got {}",
+                    self.dedup_epsilon
+                ),
             });
         }
         if self.prediction_samples == 0 {

@@ -18,6 +18,12 @@ pub enum CoreError {
         /// Description of the problem.
         reason: String,
     },
+    /// A representative's 2-D position was requested before any embedding
+    /// was built (e.g. templates imported without a rebuild).
+    NoEmbedding {
+        /// The representative whose position was requested.
+        rep: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +33,12 @@ impl fmt::Display for CoreError {
             CoreError::Mapping(e) => write!(f, "mapping failure: {e}"),
             CoreError::StateSpace(e) => write!(f, "state-space failure: {e}"),
             CoreError::Template { reason } => write!(f, "template failure: {reason}"),
+            CoreError::NoEmbedding { rep } => {
+                write!(
+                    f,
+                    "no embedding built yet: position of representative {rep} unknown"
+                )
+            }
         }
     }
 }

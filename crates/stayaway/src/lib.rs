@@ -57,8 +57,8 @@ pub mod violation;
 mod error;
 
 pub use config::ControllerConfig;
-pub use mapping::EmbeddingStrategy;
 pub use controller::Controller;
 pub use error::CoreError;
 pub use events::{ControllerEvent, ControllerStats, ResumeReason};
+pub use mapping::EmbeddingStrategy;
 pub use violation::{ViolationDetection, ViolationDetector};

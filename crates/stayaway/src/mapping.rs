@@ -47,6 +47,11 @@ pub struct MappedSample {
 pub struct MappingEngine {
     normalizer: Normalizer,
     repr: ReprSet,
+    /// All-pairs distance matrix over `repr`'s vectors, grown in place by
+    /// column appends as representatives are created. Valid because
+    /// representative vectors never mutate after creation — merges only
+    /// bump hit counts — so cached entries can never go stale.
+    dissim: Option<DistanceMatrix>,
     smacof: Smacof,
     strategy: EmbeddingStrategy,
     landmark: Option<LandmarkMds>,
@@ -85,7 +90,10 @@ impl MappingEngine {
         }
         Ok(MappingEngine {
             normalizer: Normalizer::new(bounds)?,
-            repr: ReprSet::new(dedup_epsilon)?,
+            // The grid index keeps insert/nearest exact (identical indices
+            // and distances) while pruning far candidates.
+            repr: ReprSet::new(dedup_epsilon)?.grid_indexed(),
+            dissim: None,
             smacof: Smacof::new(2).max_iterations(smacof_iterations),
             strategy: EmbeddingStrategy::Smacof,
             landmark: None,
@@ -133,13 +141,20 @@ impl MappingEngine {
 
     /// Current position of representative `rep`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no embedding exists or `rep` is out of bounds.
-    pub fn point_of(&self, rep: usize) -> Point2 {
-        let e = self.embedding.as_ref().expect("embedding exists");
+    /// Returns [`CoreError::NoEmbedding`] when no embedding has been built
+    /// yet or `rep` lies outside it (e.g. representatives imported from a
+    /// template without a subsequent [`MappingEngine::rebuild`]) — the
+    /// controller's decide loop counts this instead of crashing.
+    pub fn point_of(&self, rep: usize) -> Result<Point2, CoreError> {
+        let e = self
+            .embedding
+            .as_ref()
+            .filter(|e| rep < e.len())
+            .ok_or(CoreError::NoEmbedding { rep })?;
         let (x, y) = e.xy(rep);
-        Point2::new(x, y)
+        Ok(Point2::new(x, y))
     }
 
     /// Median coordinate range of the current map — the Rayleigh `c`.
@@ -174,23 +189,40 @@ impl MappingEngine {
         if self.repr.is_empty() {
             return None;
         }
-        let mut dists: Vec<(usize, f64)> = self
-            .repr
-            .representatives()
-            .iter()
-            .enumerate()
-            .map(|(i, rep)| {
-                let d = stayaway_mds::distance::Metric::Euclidean.distance(rep, normalized);
-                (i, d)
-            })
-            .collect();
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        let nearest_dist = dists[0].1;
-        let k = dists.len().min(3);
+        // Allocation-free top-3 selection, ascending by (distance, index).
+        // A candidate provably farther than the current third-best is
+        // abandoned mid-distance by the pruned metric; ties rank after the
+        // incumbent (lower index wins), matching a stable sort of the full
+        // distance list.
+        let metric = stayaway_mds::distance::Metric::Euclidean;
+        let mut top: [(usize, f64); 3] = [(usize::MAX, f64::INFINITY); 3];
+        let mut filled = 0usize;
+        for (i, rep) in self.repr.representatives().iter().enumerate() {
+            let Some(d) = metric.distance_pruned(rep, normalized, top[2].1) else {
+                continue;
+            };
+            if d >= top[2].1 {
+                continue;
+            }
+            filled = (filled + 1).min(3);
+            if d < top[1].1 {
+                top[2] = top[1];
+                if d < top[0].1 {
+                    top[1] = top[0];
+                    top[0] = (i, d);
+                } else {
+                    top[1] = (i, d);
+                }
+            } else {
+                top[2] = (i, d);
+            }
+        }
+        let nearest_dist = top[0].1;
+        let k = filled; // == min(repr count, 3)
         let mut x = 0.0;
         let mut y = 0.0;
         let mut wsum = 0.0;
-        for &(i, d) in dists.iter().take(k) {
+        for &(i, d) in top.iter().take(k) {
             let w = 1.0 / (d + 1e-9);
             let (px, py) = embedding.xy(i);
             x += w * px;
@@ -218,7 +250,7 @@ impl MappingEngine {
                 return Ok(MappedSample {
                     rep,
                     is_new: false,
-                    point: self.point_of(rep),
+                    point: self.point_of(rep)?,
                 });
             }
         }
@@ -231,7 +263,7 @@ impl MappingEngine {
         Ok(MappedSample {
             rep,
             is_new: outcome.is_new(),
-            point: self.point_of(rep),
+            point: self.point_of(rep)?,
         })
     }
 
@@ -264,10 +296,36 @@ impl MappingEngine {
     pub fn rebuild(&mut self) -> Result<(), CoreError> {
         if self.repr.is_empty() {
             self.embedding = None;
+            self.dissim = None;
             return Ok(());
         }
-        let dissim = DistanceMatrix::from_vectors(self.repr.representatives())?;
-        self.embedding = Some(self.smacof.embed(&dissim)?);
+        self.refresh_dissim()?;
+        let dissim = self.dissim.as_ref().expect("cache refreshed");
+        self.embedding = Some(self.smacof.embed(dissim)?);
+        Ok(())
+    }
+
+    /// Brings the cached distance matrix up to date with the representative
+    /// set by appending one column per new representative — O(growth·n·dim)
+    /// instead of the O(n²·dim) full rebuild. A full rebuild happens only
+    /// when no cache exists yet.
+    fn refresh_dissim(&mut self) -> Result<(), CoreError> {
+        let reps = self.repr.representatives();
+        let n = reps.len();
+        if n == 0 {
+            self.dissim = None;
+            return Ok(());
+        }
+        // `len() > n` cannot happen (the set never shrinks), but a rebuild
+        // is the safe response if it ever does.
+        if self.dissim.as_ref().is_none_or(|d| d.len() > n) {
+            self.dissim = Some(DistanceMatrix::from_vectors(reps)?);
+            return Ok(());
+        }
+        let d = self.dissim.as_mut().expect("cache exists");
+        for m in d.len()..n {
+            d.append_point(&reps[..m], &reps[m])?;
+        }
         Ok(())
     }
 
@@ -286,12 +344,13 @@ impl MappingEngine {
     /// its nearest neighbour, run a few majorization sweeps, and
     /// Procrustes-align back to the previous frame.
     fn re_embed_smacof(&mut self) -> Result<(), CoreError> {
-        let dissim = DistanceMatrix::from_vectors(self.repr.representatives())?;
+        self.refresh_dissim()?;
+        let dissim = self.dissim.as_ref().expect("cache refreshed");
         let new_embedding = match &self.embedding {
-            None => self.smacof.embed(&dissim)?,
+            None => self.smacof.embed(dissim)?,
             Some(prev) => {
-                let init = warm_start_with_new_points(prev, &dissim)?;
-                let refined = self.smacof.embed_warm(&dissim, init)?;
+                let init = warm_start_with_new_points(prev, dissim)?;
+                let refined = self.smacof.embed_warm(dissim, init)?;
                 align_to_previous(&refined, prev)?
             }
         };
@@ -315,7 +374,11 @@ impl MappingEngine {
             Some(_) => (n as f64) >= (self.fitted_at as f64) * refit_growth.max(1.01),
         };
         if needs_refit {
-            let model = LandmarkMds::fit(self.repr.representatives(), k, 2)?;
+            // The refit reads all its pairwise distances out of the cached
+            // matrix instead of recomputing O(n·k·dim) of them.
+            self.refresh_dissim()?;
+            let dissim = self.dissim.as_ref().expect("cache refreshed");
+            let model = LandmarkMds::fit_with_dissim(self.repr.representatives(), dissim, k, 2)?;
             let placed = model.place_all(self.repr.representatives())?;
             let aligned = match &self.embedding {
                 Some(prev) if prev.len() > 1 => align_to_previous(&placed, prev)?,
@@ -401,19 +464,79 @@ mod tests {
                 .unwrap();
             low_points.push((s.rep, s.point));
         }
-        let before = e.point_of(0);
+        let before = e.point_of(0).unwrap();
         // New far-away samples must not teleport the old cluster.
         for i in 0..8 {
             e.observe(&raw(3.9, 7500.0, 3.9, 400.0 + 100.0 * i as f64))
                 .unwrap();
         }
-        let after = e.point_of(0);
+        let after = e.point_of(0).unwrap();
         let drift = before.distance(after);
         let spread = e.median_range();
         assert!(
             drift < 0.5 * spread.max(0.1),
             "old state drifted {drift} (spread {spread})"
         );
+    }
+
+    #[test]
+    fn approximate_point_matches_naive_sorted_reference() {
+        let mut e = engine();
+        for i in 0..12 {
+            let t = i as f64;
+            e.observe(&raw(0.3 * t, 500.0 + 400.0 * t, 0.1 * t, 50.0 * t))
+                .unwrap();
+        }
+        // Reference: the allocate-sort-all formulation the pruned top-3
+        // selection replaced.
+        let naive = |q: &[f64]| -> (Point2, f64) {
+            let embedding = e.embedding().unwrap();
+            let mut dists: Vec<(usize, f64)> = (0..e.repr_count())
+                .map(|i| {
+                    let d = stayaway_mds::distance::Metric::Euclidean
+                        .distance(e.normalized_vector(i), q);
+                    (i, d)
+                })
+                .collect();
+            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let (mut x, mut y, mut wsum) = (0.0, 0.0, 0.0);
+            for &(i, d) in dists.iter().take(3) {
+                let w = 1.0 / (d + 1e-9);
+                let (px, py) = embedding.xy(i);
+                x += w * px;
+                y += w * py;
+                wsum += w;
+            }
+            (Point2::new(x / wsum, y / wsum), dists[0].1)
+        };
+        for probe in [
+            raw(0.1, 600.0, 0.0, 10.0),
+            raw(2.0, 3000.0, 0.7, 300.0),
+            raw(3.9, 8000.0, 1.2, 600.0),
+            raw(0.0, 0.0, 0.0, 0.0),
+        ] {
+            let q = e.normalize(&probe).unwrap();
+            let fast = e.approximate_point(&q).unwrap();
+            assert_eq!(fast, naive(&q), "probe {probe:?} diverged");
+        }
+    }
+
+    #[test]
+    fn point_of_before_any_embedding_is_an_error_not_a_panic() {
+        let mut e = engine();
+        e.insert_normalized(&[0.1, 0.1, 0.0, 0.0]).unwrap();
+        // No rebuild yet: position queries must fail soft.
+        assert!(matches!(
+            e.point_of(0),
+            Err(CoreError::NoEmbedding { rep: 0 })
+        ));
+        e.rebuild().unwrap();
+        assert!(e.point_of(0).is_ok());
+        // Out-of-embedding index also fails soft.
+        assert!(matches!(
+            e.point_of(7),
+            Err(CoreError::NoEmbedding { rep: 7 })
+        ));
     }
 
     #[test]
@@ -440,7 +563,7 @@ mod tests {
         e.insert_normalized(&[0.9, 0.9, 0.9, 0.9]).unwrap();
         e.rebuild().unwrap();
         assert_eq!(e.repr_count(), 2);
-        let d = e.point_of(0).distance(e.point_of(1));
+        let d = e.point_of(0).unwrap().distance(e.point_of(1).unwrap());
         assert!(d > 0.5, "states not separated after rebuild: {d}");
     }
 

@@ -186,9 +186,7 @@ mod tests {
         d.extend(std::iter::repeat_n(0.1, 10));
         let mut rng = StdRng::seed_from_u64(11);
         let n = 1000;
-        let high = (0..n)
-            .filter(|_| d.sample(&mut rng).unwrap() > 0.5)
-            .count();
+        let high = (0..n).filter(|_| d.sample(&mut rng).unwrap() > 0.5).count();
         assert!(high > 800, "only {high}/{n} samples were high");
     }
 

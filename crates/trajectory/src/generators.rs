@@ -106,7 +106,10 @@ impl BurstyWalk {
                 heading = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
             }
             let (len, angle) = if in_burst {
-                (self.burst_step, wrap_angle(heading + 0.1 * standard_normal(rng)))
+                (
+                    self.burst_step,
+                    wrap_angle(heading + 0.1 * standard_normal(rng)),
+                )
             } else {
                 (
                     self.pause_step,

@@ -41,11 +41,7 @@ pub fn silverman_bandwidth(samples: &[f64]) -> f64 {
     };
     let iqr = q(0.75) - q(0.25);
 
-    let spread = if iqr > 0.0 {
-        sd.min(iqr / 1.34)
-    } else {
-        sd
-    };
+    let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
     let h = 0.9 * spread * (n as f64).powf(-0.2);
     if h.is_finite() && h > 0.0 {
         h

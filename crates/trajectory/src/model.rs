@@ -262,14 +262,10 @@ mod tests {
         let mut m = TrajectoryModel::new();
         feed_eastward(&mut m, 100);
         let mut rng = StdRng::seed_from_u64(5);
-        let p = m
-            .predict_from(Point2::origin(), 50, &mut rng)
-            .unwrap();
+        let p = m.predict_from(Point2::origin(), 50, &mut rng).unwrap();
         // Eastward steps: mean predicted x must be positive, |y| small.
-        let mean_x: f64 =
-            p.candidates().iter().map(|c| c.x).sum::<f64>() / p.len() as f64;
-        let mean_y: f64 =
-            p.candidates().iter().map(|c| c.y).sum::<f64>() / p.len() as f64;
+        let mean_x: f64 = p.candidates().iter().map(|c| c.x).sum::<f64>() / p.len() as f64;
+        let mean_y: f64 = p.candidates().iter().map(|c| c.y).sum::<f64>() / p.len() as f64;
         assert!(mean_x > 0.05, "mean_x = {mean_x}");
         assert!(mean_y.abs() < 0.05, "mean_y = {mean_y}");
     }
@@ -325,10 +321,7 @@ mod tests {
 
     #[test]
     fn exact_half_is_not_a_majority() {
-        let p = Prediction::from_candidates(vec![
-            Point2::new(1.0, 0.0),
-            Point2::new(-1.0, 0.0),
-        ]);
+        let p = Prediction::from_candidates(vec![Point2::new(1.0, 0.0), Point2::new(-1.0, 0.0)]);
         assert!(!p.majority_where(|c| c.x > 0.0));
     }
 

@@ -15,8 +15,8 @@
 //! window of transitions.
 
 use crate::TrajectoryError;
-use std::collections::VecDeque;
 use stayaway_statespace::Point2;
+use std::collections::VecDeque;
 
 /// Default sliding-window capacity (transitions retained for fitting).
 pub const DEFAULT_WINDOW: usize = 256;

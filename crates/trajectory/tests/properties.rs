@@ -133,9 +133,10 @@ proptest! {
         for w in points.windows(2) {
             model.observe(w[0], w[1]);
         }
-        match model.forecast(points[points.len() - 1]) {
-            Ok(p) => prop_assert!(p.is_finite()),
-            Err(_) => prop_assert!(model.len() < 6 || true),
+        // Refusal (too little data or a singular system) is acceptable;
+        // any produced forecast must be finite.
+        if let Ok(p) = model.forecast(points[points.len() - 1]) {
+            prop_assert!(p.is_finite());
         }
     }
 }

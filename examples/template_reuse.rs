@@ -17,8 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Learn: VLC streaming + CPUBomb, Stay-Away active.
     let capture = Scenario::vlc_with_cpubomb(5);
     let mut harness = capture.build_harness()?;
-    let mut controller =
-        Controller::for_host(ControllerConfig::default(), harness.host().spec())?;
+    let mut controller = Controller::for_host(ControllerConfig::default(), harness.host().spec())?;
     let outcome = harness.run(&mut controller, ticks);
     let template = controller.export_template("vlc-streaming")?;
     println!(

@@ -17,8 +17,7 @@ use stay_away::statespace::StateKind;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = Scenario::vlc_with_twitter(42);
     let mut harness = scenario.build_harness()?;
-    let mut controller =
-        Controller::for_host(ControllerConfig::default(), harness.host().spec())?;
+    let mut controller = Controller::for_host(ControllerConfig::default(), harness.host().spec())?;
     let outcome = harness.run(&mut controller, 384);
 
     let map = controller.state_map();

@@ -31,8 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let baseline = h0.run(&mut NoPrevention::new(), ticks);
 
         let mut h1 = scenario.build_harness()?;
-        let mut controller =
-            Controller::for_host(ControllerConfig::default(), h1.host().spec())?;
+        let mut controller = Controller::for_host(ControllerConfig::default(), h1.host().spec())?;
         let guarded = h1.run(&mut controller, ticks);
 
         let throttled = guarded

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints (warnings are errors), and the test
+# suite. Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q --workspace

@@ -102,9 +102,7 @@ fn parse_scenario(name: &str, seed: u64) -> Result<Scenario, String> {
         .ok_or_else(|| {
             format!(
                 "unknown batch app `{batch}` (expected one of {})",
-                BatchKind::ALL
-                    .map(|k| k.name())
-                    .join(", ")
+                BatchKind::ALL.map(|k| k.name()).join(", ")
             )
         })?;
     let trace = Trace::diurnal(DiurnalParams::default(), seed.wrapping_add(1));
@@ -234,7 +232,12 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         "compare" => {
             let scenario = parse_scenario(&args.scenario, args.seed)?;
-            println!("scenario: {} ({} ticks, seed {})\n", scenario.name(), args.ticks, args.seed);
+            println!(
+                "scenario: {} ({} ticks, seed {})\n",
+                scenario.name(),
+                args.ticks,
+                args.seed
+            );
             for policy in ["none", "always", "reactive", "static", "stay-away"] {
                 let (out, _) = run_policy_by_name(&scenario, policy, args.ticks)?;
                 summarize(policy, &scenario, &out, args.json);
@@ -246,9 +249,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let (out, ctl) = run_policy_by_name(&scenario, "stay-away", args.ticks)?;
             let ctl = ctl.expect("stay-away produces a controller");
             let sens_name = args.scenario.split('+').next().unwrap_or("sensitive");
-            let template = ctl
-                .export_template(sens_name)
-                .map_err(|e| e.to_string())?;
+            let template = ctl.export_template(sens_name).map_err(|e| e.to_string())?;
             let path = args.out.unwrap_or_else(|| "template.json".into());
             template.save_to_path(&path).map_err(|e| e.to_string())?;
             summarize("stay-away", &scenario, &out, args.json);
@@ -260,9 +261,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         "reuse" => {
-            let path = args
-                .template
-                .ok_or("reuse requires --template <path>")?;
+            let path = args.template.ok_or("reuse requires --template <path>")?;
             let template = Template::load_from_path(&path).map_err(|e| e.to_string())?;
             let scenario = parse_scenario(&args.scenario, args.seed)?;
             let mut harness = scenario.build_harness().map_err(|e| e.to_string())?;

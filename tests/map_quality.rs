@@ -22,10 +22,7 @@ impl Policy for Recorder {
         "recorder"
     }
     fn decide(&mut self, obs: &Observation) -> Vec<Action> {
-        if let Ok(sample) = self
-            .engine
-            .observe(&measurement_vector(obs, &self.metrics))
-        {
+        if let Ok(sample) = self.engine.observe(&measurement_vector(obs, &self.metrics)) {
             let mode = ExecutionMode::from_activity(obs.sensitive_active(), obs.batch_active());
             self.trail.push((mode, sample.rep, sample.point));
         }
@@ -126,8 +123,8 @@ fn recurring_regimes_reuse_representatives() {
 fn violation_states_live_in_the_colocated_region() {
     let scenario = Scenario::vlc_with_cpubomb(44);
     let mut h = scenario.build_harness().expect("harness");
-    let mut ctl = Controller::for_host(ControllerConfig::default(), h.host().spec())
-        .expect("controller");
+    let mut ctl =
+        Controller::for_host(ControllerConfig::default(), h.host().spec()).expect("controller");
     h.run(&mut ctl, 250);
     let map = ctl.state_map();
     assert!(map.violation_count() > 0);
@@ -149,8 +146,8 @@ fn violation_states_live_in_the_colocated_region() {
 fn violation_ranges_exclude_their_nearest_safe_state() {
     let scenario = Scenario::vlc_with_twitter(45);
     let mut h = scenario.build_harness().expect("harness");
-    let mut ctl = Controller::for_host(ControllerConfig::default(), h.host().spec())
-        .expect("controller");
+    let mut ctl =
+        Controller::for_host(ControllerConfig::default(), h.host().spec()).expect("controller");
     h.run(&mut ctl, 300);
     let map = ctl.state_map();
     for rep in 0..map.len() {

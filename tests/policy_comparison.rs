@@ -16,8 +16,8 @@ fn run(scenario: &Scenario, policy: &mut dyn Policy) -> RunOutcome {
 
 fn run_stayaway(scenario: &Scenario) -> RunOutcome {
     let mut h = scenario.build_harness().expect("harness");
-    let mut c = Controller::for_host(ControllerConfig::default(), h.host().spec())
-        .expect("controller");
+    let mut c =
+        Controller::for_host(ControllerConfig::default(), h.host().spec()).expect("controller");
     h.run(&mut c, TICKS)
 }
 

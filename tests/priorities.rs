@@ -40,8 +40,8 @@ fn top_priority_sensitive_is_protected_from_a_lower_priority_one() {
     );
 
     let mut h1 = s.build_harness().expect("harness");
-    let mut ctl = Controller::for_host(ControllerConfig::default(), h1.host().spec())
-        .expect("controller");
+    let mut ctl =
+        Controller::for_host(ControllerConfig::default(), h1.host().spec()).expect("controller");
     let out = h1.run(&mut ctl, ticks);
     assert!(
         out.qos.violations * 5 <= base.qos.violations,
@@ -59,8 +59,8 @@ fn top_priority_sensitive_is_protected_from_a_lower_priority_one() {
 fn lower_priority_sensitive_still_runs_when_safe() {
     let s = scenario(4);
     let mut h = s.build_harness().expect("harness");
-    let mut ctl = Controller::for_host(ControllerConfig::default(), h.host().spec())
-        .expect("controller");
+    let mut ctl =
+        Controller::for_host(ControllerConfig::default(), h.host().spec()).expect("controller");
     h.run(&mut ctl, 300);
     // The demoted webservice made progress (it is throttled, not killed).
     let web_work: f64 = h
@@ -76,7 +76,11 @@ fn lower_priority_sensitive_still_runs_when_safe() {
 fn host_protects_only_the_top_priority() {
     let s = scenario(5);
     let mut h = s.build_harness().expect("harness");
-    let ids: Vec<_> = h.host().containers().map(|c| (c.id(), c.priority())).collect();
+    let ids: Vec<_> = h
+        .host()
+        .containers()
+        .map(|c| (c.id(), c.priority()))
+        .collect();
     for (id, priority) in ids {
         let result = h.host_mut().pause(id);
         if priority == 0 {

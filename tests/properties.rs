@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use stay_away::baselines::NoPrevention;
 use stay_away::core::{Controller, ControllerConfig};
-use stay_away::sim::scenario::{BatchKind, Scenario};
 use stay_away::sim::apps::WebWorkload;
+use stay_away::sim::scenario::{BatchKind, Scenario};
 use stay_away::sim::ResourceKind;
 
 fn any_scenario(seed: u64, which: u8) -> Scenario {

@@ -9,8 +9,8 @@ const TICKS: u64 = 300;
 
 fn capture(scenario: &Scenario) -> Template {
     let mut h = scenario.build_harness().expect("harness");
-    let mut c = Controller::for_host(ControllerConfig::default(), h.host().spec())
-        .expect("controller");
+    let mut c =
+        Controller::for_host(ControllerConfig::default(), h.host().spec()).expect("controller");
     h.run(&mut c, TICKS);
     c.export_template("vlc-streaming").expect("export")
 }
@@ -35,8 +35,8 @@ fn imported_template_restores_the_violation_knowledge() {
     let h = Scenario::vlc_with_cpubomb(22)
         .build_harness()
         .expect("harness");
-    let mut fresh = Controller::for_host(ControllerConfig::default(), h.host().spec())
-        .expect("controller");
+    let mut fresh =
+        Controller::for_host(ControllerConfig::default(), h.host().spec()).expect("controller");
     fresh.import_template(&template).expect("import");
     assert_eq!(fresh.repr_count(), template.len());
     assert_eq!(
@@ -87,8 +87,8 @@ fn import_rejects_mismatched_dimensions() {
     let h = Scenario::vlc_with_cpubomb(25)
         .build_harness()
         .expect("harness");
-    let mut ctl = Controller::for_host(ControllerConfig::default(), h.host().spec())
-        .expect("controller");
+    let mut ctl =
+        Controller::for_host(ControllerConfig::default(), h.host().spec()).expect("controller");
     // Default config uses 5 metrics → dim 10; build a dim-4 template.
     let mut bad = Template::new("vlc-streaming", 4).expect("template");
     bad.push(vec![0.1, 0.2, 0.3, 0.4], true).expect("push");
