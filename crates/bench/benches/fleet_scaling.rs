@@ -1,0 +1,133 @@
+//! Fleet runtime scaling — cells/second throughput of the sharded
+//! multi-cell control plane at 1, 2, 4 and 8 workers, plus the QoS delta
+//! the cross-host template registry buys.
+//!
+//! The fleet contract is that the worker count changes *only* wall-clock
+//! time, never a single result bit, so the same 64-cell workload is run
+//! at every worker count and the outcomes are asserted identical before
+//! any timing is reported. Speedup tracks the host's physical core count:
+//! on a single-core machine every worker count collapses to ~1x (the
+//! cells still interleave correctly, they just can't run simultaneously).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stayaway_fleet::{Fleet, FleetConfig};
+
+const CELLS: usize = 64;
+const TICKS: u64 = 96;
+const SEED: u64 = 7;
+
+fn config(workers: usize, share: bool) -> FleetConfig {
+    let mut c = FleetConfig::new(CELLS, workers, SEED);
+    c.ticks = TICKS;
+    c.share_templates = share;
+    c
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_scaling");
+    group.sample_size(10);
+
+    // Determinism gate first: all worker counts must agree bit-for-bit,
+    // otherwise the timings below compare different computations.
+    let reference = Fleet::new(config(1, false))
+        .expect("fleet")
+        .run()
+        .expect("run");
+    for workers in [2usize, 4, 8] {
+        let outcome = Fleet::new(config(workers, false))
+            .expect("fleet")
+            .run()
+            .expect("run");
+        assert_eq!(
+            reference, outcome,
+            "worker count {workers} changed the fleet outcome"
+        );
+    }
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("cells64_ticks96", workers),
+            &workers,
+            |b, &workers| {
+                let fleet = Fleet::new(config(workers, false)).expect("fleet");
+                b.iter(|| {
+                    let outcome = fleet.run().expect("run");
+                    std::hint::black_box(outcome);
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Report throughput in cells/sec per worker count so the scaling
+    // curve is readable without post-processing criterion output.
+    println!("\n== fleet throughput (cells/sec, {CELLS} cells x {TICKS} ticks) ==");
+    for workers in [1usize, 2, 4, 8] {
+        let fleet = Fleet::new(config(workers, false)).expect("fleet");
+        let start = std::time::Instant::now();
+        let runs = 3u32;
+        for _ in 0..runs {
+            std::hint::black_box(fleet.run().expect("run"));
+        }
+        let secs = start.elapsed().as_secs_f64() / f64::from(runs);
+        println!(
+            "  workers={workers}: {:.1} cells/sec ({:.3} s per fleet run)",
+            CELLS as f64 / secs,
+            secs
+        );
+    }
+}
+
+fn bench_template_sharing_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_sharing");
+    group.sample_size(10);
+
+    for (label, share) in [("cold", false), ("warm", true)] {
+        group.bench_with_input(BenchmarkId::new("cells64", label), &share, |b, &share| {
+            let fleet = Fleet::new(config(4, share)).expect("fleet");
+            b.iter(|| {
+                let outcome = fleet.run().expect("run");
+                std::hint::black_box(outcome);
+            });
+        });
+    }
+    group.finish();
+
+    // The §6 head-start effect, fleet-wide: follower cells importing a
+    // pioneer's template throttle proactively on first contact instead of
+    // relearning the violation region from scratch. The benefit lives in
+    // the startup window, so report a short horizon alongside the full
+    // one — over long runs locally-relearned models catch up.
+    for ticks in [48u64, TICKS] {
+        let mut cold_cfg = config(4, false);
+        cold_cfg.ticks = ticks;
+        let mut warm_cfg = config(4, true);
+        warm_cfg.ticks = ticks;
+        let cold = Fleet::new(cold_cfg).expect("fleet").run().expect("run");
+        let warm = Fleet::new(warm_cfg).expect("fleet").run().expect("run");
+        println!("\n== template sharing QoS delta ({CELLS} cells x {ticks} ticks) ==");
+        println!(
+            "  cold: {} violations / {} active ticks ({:.2}% satisfaction), 0 imports",
+            cold.qos.violations,
+            cold.qos.active_ticks,
+            100.0 * cold.satisfaction()
+        );
+        println!(
+            "  warm: {} violations / {} active ticks ({:.2}% satisfaction), \
+             {} imports, {} proactive first throttles",
+            warm.qos.violations,
+            warm.qos.active_ticks,
+            100.0 * warm.satisfaction(),
+            warm.cells_imported,
+            warm.proactive_first_throttles
+        );
+        println!(
+            "  delta: {:+} violations, {:+.2} pp satisfaction",
+            warm.qos.violations as i64 - cold.qos.violations as i64,
+            100.0 * (warm.satisfaction() - cold.satisfaction())
+        );
+    }
+}
+
+criterion_group!(benches, bench_worker_scaling, bench_template_sharing_delta);
+criterion_main!(benches);

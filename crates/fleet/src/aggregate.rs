@@ -1,0 +1,267 @@
+//! Fleet-level rollups of per-cell outcomes.
+//!
+//! Aggregation folds cell results in cell-index order, so every derived
+//! float is a fixed-order sum — bit-identical regardless of how cells were
+//! scheduled across workers. The JSON rendering therefore is too.
+
+use crate::cell::CellOutcome;
+use crate::config::FleetConfig;
+use crate::FleetError;
+use serde::{Deserialize, Serialize};
+use stayaway_sim::QosSummary;
+
+/// The distilled result of one cell, embedded in the fleet outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Fleet-wide cell index.
+    pub cell: usize,
+    /// Scenario the cell ran.
+    pub scenario: String,
+    /// Sensitive-workload registry key.
+    pub sensitive: String,
+    /// The cell's derived seed.
+    pub seed: u64,
+    /// Ticks the sensitive application was active.
+    pub active_ticks: u64,
+    /// QoS violation ticks.
+    pub violations: u64,
+    /// Fraction of active ticks meeting the QoS requirement.
+    pub satisfaction: f64,
+    /// Mean machine utilisation over the run.
+    pub mean_utilization: f64,
+    /// Mean utilisation gained from batch co-location.
+    pub gained_utilization: f64,
+    /// Nominal batch work completed.
+    pub batch_work: f64,
+    /// Throttle actions issued by the controller.
+    pub throttles: u64,
+    /// Resume actions issued by the controller.
+    pub resumes: u64,
+    /// Representative states learned.
+    pub states: usize,
+    /// Events evicted from the bounded decision log.
+    pub events_dropped: u64,
+    /// True when the cell warm-started from a registry template.
+    pub imported_template: bool,
+    /// True when the cell's first throttle was proactive.
+    pub first_throttle_proactive: bool,
+}
+
+impl CellSummary {
+    fn from_outcome(o: &CellOutcome) -> Self {
+        CellSummary {
+            cell: o.idx,
+            scenario: o.scenario.clone(),
+            sensitive: o.sensitive.clone(),
+            seed: o.seed,
+            active_ticks: o.run.qos.active_ticks,
+            violations: o.run.qos.violations,
+            satisfaction: o.run.qos.satisfaction(),
+            mean_utilization: o.run.mean_utilization(),
+            gained_utilization: o.run.mean_gained_utilization(o.cpu_capacity),
+            batch_work: o.run.batch_work,
+            throttles: o.stats.throttles,
+            resumes: o.stats.resumes,
+            states: o.stats.states,
+            events_dropped: o.stats.events_dropped,
+            imported_template: o.imported_template,
+            first_throttle_proactive: o.first_throttle_proactive,
+        }
+    }
+}
+
+/// The aggregated result of one fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// Number of cells run.
+    pub cells: usize,
+    /// Ticks each cell ran for.
+    pub ticks_per_cell: u64,
+    /// The fleet seed everything derived from.
+    pub fleet_seed: u64,
+    /// Whether template sharing was enabled.
+    pub share_templates: bool,
+    /// Fleet-wide QoS accounting (all cells' active ticks pooled).
+    pub qos: QosSummary,
+    /// Mean of the cells' mean machine utilisations.
+    pub mean_utilization: f64,
+    /// Mean of the cells' gained (batch) utilisations.
+    pub mean_gained_utilization: f64,
+    /// Total nominal batch work completed across the fleet.
+    pub total_batch_work: f64,
+    /// Total throttle actions.
+    pub throttles: u64,
+    /// Total resume actions.
+    pub resumes: u64,
+    /// Total predicted violations.
+    pub violations_predicted: u64,
+    /// Total checked predictions.
+    pub prediction_checks: u64,
+    /// Total checked predictions that matched reality.
+    pub prediction_hits: u64,
+    /// Total events evicted from bounded decision logs.
+    pub events_dropped: u64,
+    /// Cells that warm-started from a registry template.
+    pub cells_imported: usize,
+    /// Cells whose *first* throttle was proactive — the §6 head-start
+    /// effect, visible fleet-wide when template sharing is on.
+    pub proactive_first_throttles: usize,
+    /// Per-cell summaries, in cell-index order.
+    pub per_cell: Vec<CellSummary>,
+}
+
+impl FleetOutcome {
+    /// Folds per-cell outcomes (already sorted by cell index) into the
+    /// fleet rollup.
+    pub fn aggregate(config: &FleetConfig, outcomes: &[CellOutcome]) -> Self {
+        let mut qos = QosSummary::new();
+        let mut mean_utilization = 0.0;
+        let mut mean_gained = 0.0;
+        let mut total_batch_work = 0.0;
+        let mut throttles = 0;
+        let mut resumes = 0;
+        let mut violations_predicted = 0;
+        let mut prediction_checks = 0;
+        let mut prediction_hits = 0;
+        let mut events_dropped = 0;
+        let mut cells_imported = 0;
+        let mut proactive_first_throttles = 0;
+        for o in outcomes {
+            qos.active_ticks += o.run.qos.active_ticks;
+            qos.violations += o.run.qos.violations;
+            qos.qos_sum += o.run.qos.qos_sum;
+            qos.worst = qos.worst.min(o.run.qos.worst);
+            mean_utilization += o.run.mean_utilization();
+            mean_gained += o.run.mean_gained_utilization(o.cpu_capacity);
+            total_batch_work += o.run.batch_work;
+            throttles += o.stats.throttles;
+            resumes += o.stats.resumes;
+            violations_predicted += o.stats.violations_predicted;
+            prediction_checks += o.stats.prediction_checks;
+            prediction_hits += o.stats.prediction_hits;
+            events_dropped += o.stats.events_dropped;
+            cells_imported += usize::from(o.imported_template);
+            proactive_first_throttles += usize::from(o.first_throttle_proactive);
+        }
+        let n = outcomes.len().max(1) as f64;
+        FleetOutcome {
+            cells: outcomes.len(),
+            ticks_per_cell: config.ticks,
+            fleet_seed: config.fleet_seed,
+            share_templates: config.share_templates,
+            qos,
+            mean_utilization: mean_utilization / n,
+            mean_gained_utilization: mean_gained / n,
+            total_batch_work,
+            throttles,
+            resumes,
+            violations_predicted,
+            prediction_checks,
+            prediction_hits,
+            events_dropped,
+            cells_imported,
+            proactive_first_throttles,
+            per_cell: outcomes.iter().map(CellSummary::from_outcome).collect(),
+        }
+    }
+
+    /// Fleet-wide QoS satisfaction (pooled active ticks).
+    pub fn satisfaction(&self) -> f64 {
+        self.qos.satisfaction()
+    }
+
+    /// Fleet-wide mean QoS value (pooled active ticks).
+    pub fn mean_qos(&self) -> f64 {
+        self.qos.mean_qos()
+    }
+
+    /// Fleet-wide prediction accuracy (pooled checks).
+    pub fn prediction_accuracy(&self) -> f64 {
+        if self.prediction_checks == 0 {
+            1.0
+        } else {
+            self.prediction_hits as f64 / self.prediction_checks as f64
+        }
+    }
+
+    /// Renders the outcome as pretty JSON. Deterministic: identical
+    /// outcomes render to identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Registry`] on serialisation failure.
+    pub fn to_json(&self) -> Result<String, FleetError> {
+        serde_json::to_string_pretty(self).map_err(|e| FleetError::Registry(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{run_cell, CellPlan};
+    use stayaway_core::ControllerConfig;
+    use stayaway_sim::scenario::Scenario;
+
+    fn outcomes() -> Vec<CellOutcome> {
+        let plans = [
+            CellPlan::new(0, 5, Scenario::vlc_with_cpubomb(5)),
+            CellPlan::new(1, 5, Scenario::vlc_with_twitter(5)),
+        ];
+        plans
+            .iter()
+            .map(|p| run_cell(p, &ControllerConfig::default(), None, 100).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_pools_qos_and_sums_counters() {
+        let outs = outcomes();
+        let mut config = FleetConfig::new(2, 1, 5);
+        config.ticks = 100;
+        let fleet = FleetOutcome::aggregate(&config, &outs);
+        assert_eq!(fleet.cells, 2);
+        assert_eq!(
+            fleet.qos.active_ticks,
+            outs[0].run.qos.active_ticks + outs[1].run.qos.active_ticks
+        );
+        assert_eq!(
+            fleet.throttles,
+            outs[0].stats.throttles + outs[1].stats.throttles
+        );
+        assert_eq!(fleet.per_cell.len(), 2);
+        assert_eq!(fleet.per_cell[1].cell, 1);
+        assert!(fleet.satisfaction() > 0.0 && fleet.satisfaction() <= 1.0);
+        assert!(fleet.prediction_accuracy() <= 1.0);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic() {
+        let outs = outcomes();
+        let mut config = FleetConfig::new(2, 1, 5);
+        config.ticks = 100;
+        let a = FleetOutcome::aggregate(&config, &outs);
+        let b = FleetOutcome::aggregate(&config, &outs);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
+    fn json_round_trips_through_serde() {
+        let outs = outcomes();
+        let mut config = FleetConfig::new(2, 1, 5);
+        config.ticks = 100;
+        let fleet = FleetOutcome::aggregate(&config, &outs);
+        let json = fleet.to_json().unwrap();
+        let back: FleetOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(fleet, back);
+    }
+
+    #[test]
+    fn empty_fleet_aggregates_to_neutral_values() {
+        let config = FleetConfig::new(1, 1, 0);
+        let fleet = FleetOutcome::aggregate(&config, &[]);
+        assert_eq!(fleet.cells, 0);
+        assert_eq!(fleet.satisfaction(), 1.0);
+        assert_eq!(fleet.mean_utilization, 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! One fleet cell: a harness + controller closed loop on "one host".
+
+use crate::seed::derive_cell_seed;
+use crate::FleetError;
+use stayaway_core::{Controller, ControllerConfig, ControllerEvent, ControllerStats};
+use stayaway_sim::scenario::Scenario;
+use stayaway_sim::RunOutcome;
+use stayaway_statespace::Template;
+
+/// The immutable plan for one cell, fixed before any worker starts.
+#[derive(Debug, Clone)]
+pub struct CellPlan {
+    /// Fleet-wide cell index.
+    pub idx: usize,
+    /// Seed derived from `(fleet_seed, idx)`.
+    pub seed: u64,
+    /// Scenario prototype this cell runs.
+    pub scenario: Scenario,
+}
+
+impl CellPlan {
+    /// Builds the plan of cell `idx` under `fleet_seed`.
+    pub fn new(idx: usize, fleet_seed: u64, scenario: Scenario) -> Self {
+        CellPlan {
+            idx,
+            seed: derive_cell_seed(fleet_seed, idx as u64),
+            scenario,
+        }
+    }
+
+    /// The sensitive-workload key templates are registered under: the
+    /// `<sensitive>` half of the scenario's `<sensitive>+<batch>` name.
+    pub fn sensitive_key(&self) -> &str {
+        let name = self.scenario.name();
+        name.split('+').next().unwrap_or(name)
+    }
+}
+
+/// Everything one finished cell reports back to the fleet.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Fleet-wide cell index.
+    pub idx: usize,
+    /// Scenario name the cell ran.
+    pub scenario: String,
+    /// Sensitive-workload registry key.
+    pub sensitive: String,
+    /// The cell's derived seed.
+    pub seed: u64,
+    /// Closed-loop run result.
+    pub run: RunOutcome,
+    /// Controller statistics at the end of the run.
+    pub stats: ControllerStats,
+    /// CPU capacity of the cell's host, for utilisation rollups.
+    pub cpu_capacity: f64,
+    /// True when the cell warm-started from a registry template.
+    pub imported_template: bool,
+    /// The template the cell learned (exported at end of run).
+    pub template: Template,
+    /// Tick of the controller's first throttle, or `u64::MAX` if it never
+    /// throttled.
+    pub first_throttle_tick: u64,
+    /// True when the first throttle was proactive (prediction- or
+    /// template-driven, not a reaction to an observed violation).
+    pub first_throttle_proactive: bool,
+}
+
+/// Runs one cell to completion: build the harness from the scenario
+/// prototype, inject the per-cell seed, optionally import a registry
+/// template, drive the closed loop, and export the learned template.
+///
+/// # Errors
+///
+/// Propagates harness construction, controller construction and template
+/// import/export failures.
+pub fn run_cell(
+    plan: &CellPlan,
+    controller: &ControllerConfig,
+    import: Option<&Template>,
+    ticks: u64,
+) -> Result<CellOutcome, FleetError> {
+    let mut harness = plan.scenario.build_harness()?;
+    harness.reseed(plan.seed);
+    let config = ControllerConfig {
+        seed: plan.seed,
+        ..controller.clone()
+    };
+    let mut ctl = Controller::for_host(config, harness.host().spec())?;
+    if let Some(template) = import {
+        ctl.import_template(template)?;
+    }
+    let run = harness.run(&mut ctl, ticks);
+    let template = ctl.export_template(plan.sensitive_key())?;
+    let (first_throttle_tick, first_throttle_proactive) = ctl
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            ControllerEvent::Throttled {
+                tick, proactive, ..
+            } => Some((*tick, *proactive)),
+            _ => None,
+        })
+        .unwrap_or((u64::MAX, false));
+    Ok(CellOutcome {
+        idx: plan.idx,
+        scenario: plan.scenario.name().to_string(),
+        sensitive: plan.sensitive_key().to_string(),
+        seed: plan.seed,
+        stats: ctl.stats(),
+        cpu_capacity: plan.scenario.host_spec().cpu_cores,
+        imported_template: import.is_some(),
+        template,
+        first_throttle_tick,
+        first_throttle_proactive,
+        run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitive_key_is_the_name_prefix() {
+        let plan = CellPlan::new(0, 7, Scenario::vlc_with_cpubomb(7));
+        assert_eq!(plan.sensitive_key(), "vlc");
+        assert_eq!(plan.seed, derive_cell_seed(7, 0));
+    }
+
+    #[test]
+    fn run_cell_produces_a_template_and_stats() {
+        let plan = CellPlan::new(3, 7, Scenario::vlc_with_cpubomb(7));
+        let out = run_cell(&plan, &ControllerConfig::default(), None, 150).unwrap();
+        assert_eq!(out.idx, 3);
+        assert_eq!(out.scenario, "vlc+cpu-bomb");
+        assert_eq!(out.run.timeline.len(), 150);
+        assert!(out.stats.periods == 150);
+        assert!(!out.template.is_empty());
+        assert!(!out.imported_template);
+        // CPUBomb forces throttles; the cold first throttle is reactive.
+        assert!(out.first_throttle_tick < u64::MAX);
+        assert!(!out.first_throttle_proactive);
+    }
+
+    #[test]
+    fn identical_plans_give_identical_outcomes() {
+        let plan = CellPlan::new(1, 9, Scenario::vlc_with_twitter(9));
+        let a = run_cell(&plan, &ControllerConfig::default(), None, 120).unwrap();
+        let b = run_cell(&plan, &ControllerConfig::default(), None, 120).unwrap();
+        assert_eq!(a.run, b.run);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.template, b.template);
+    }
+
+    #[test]
+    fn importing_a_template_enables_proactive_first_contact() {
+        // Learn on one cell, warm-start another of the same sensitive app.
+        let teacher = CellPlan::new(0, 11, Scenario::vlc_with_cpubomb(11));
+        let learned = run_cell(&teacher, &ControllerConfig::default(), None, 250).unwrap();
+        assert!(learned.template.violation_count() > 0);
+
+        let student = CellPlan::new(1, 11, Scenario::vlc_with_soplex(11));
+        let warm = run_cell(
+            &student,
+            &ControllerConfig::default(),
+            Some(&learned.template),
+            250,
+        )
+        .unwrap();
+        assert!(warm.imported_template);
+        assert!(
+            warm.first_throttle_proactive,
+            "warm cell should throttle proactively on first contact"
+        );
+    }
+}

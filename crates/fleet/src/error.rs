@@ -1,0 +1,86 @@
+//! Fleet-level error type.
+
+use stayaway_core::CoreError;
+use stayaway_sim::SimError;
+use stayaway_statespace::StateSpaceError;
+
+/// Anything that can go wrong while planning or running a fleet.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The fleet configuration is inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the first problem found.
+        reason: String,
+    },
+    /// A cell's simulator failed.
+    Sim(SimError),
+    /// A cell's controller failed.
+    Core(CoreError),
+    /// Template registry (de)serialisation failed.
+    Registry(String),
+    /// A worker thread died without reporting a result.
+    WorkerPanicked {
+        /// Index of the cell whose result never arrived.
+        cell: usize,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::InvalidConfig { reason } => {
+                write!(f, "invalid fleet configuration: {reason}")
+            }
+            FleetError::Sim(e) => write!(f, "cell simulator error: {e}"),
+            FleetError::Core(e) => write!(f, "cell controller error: {e}"),
+            FleetError::Registry(reason) => write!(f, "template registry error: {reason}"),
+            FleetError::WorkerPanicked { cell } => {
+                write!(f, "worker panicked while running cell {cell}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Sim(e) => Some(e),
+            FleetError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for FleetError {
+    fn from(e: SimError) -> Self {
+        FleetError::Sim(e)
+    }
+}
+
+impl From<CoreError> for FleetError {
+    fn from(e: CoreError) -> Self {
+        FleetError::Core(e)
+    }
+}
+
+impl From<StateSpaceError> for FleetError {
+    fn from(e: StateSpaceError) -> Self {
+        FleetError::Registry(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = FleetError::InvalidConfig {
+            reason: "cells must be positive".into(),
+        };
+        assert!(e.to_string().contains("cells must be positive"));
+        assert!(FleetError::WorkerPanicked { cell: 3 }
+            .to_string()
+            .contains("cell 3"));
+    }
+}

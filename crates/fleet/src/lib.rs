@@ -1,0 +1,60 @@
+//! The fleet runtime: a sharded multi-host control plane.
+//!
+//! The paper's controller protects one sensitive application on one host.
+//! At production scale the same mechanism runs on *many* hosts at once:
+//! each **cell** is one independent co-location experiment — a
+//! [`stayaway_sim::Harness`] closed loop driven by its own
+//! [`stayaway_core::Controller`] — and the fleet runtime executes N cells
+//! concurrently over a fixed worker pool.
+//!
+//! Three properties define the design:
+//!
+//! * **Determinism regardless of worker count.** Every cell derives its
+//!   seed from `(fleet_seed, cell_idx)` via a splitmix64 mix ([`seed`]),
+//!   cells never share mutable state while running, and aggregation folds
+//!   cell results in cell-index order — so `workers = 1` and `workers = 8`
+//!   produce bit-identical [`FleetOutcome`]s.
+//! * **Cross-host template transfer.** The paper's §6 observation —
+//!   specialized knowledge captured on one deployment warm-starts a fresh
+//!   one — pays off at fleet scale: pioneer cells publish their learned
+//!   [`stayaway_statespace::Template`]s into a shared [`TemplateRegistry`]
+//!   and every later cell of the same sensitive workload imports the best
+//!   match before its first tick, throttling proactively on first contact.
+//!   Sharing is phased (pioneers → barrier → followers) precisely so the
+//!   registry contents a cell observes do not depend on thread scheduling.
+//! * **Constant-memory cells.** Controllers bound their decision logs
+//!   ([`stayaway_core::EventLog`]), so week-long fleet runs do not grow
+//!   without limit; evictions are surfaced in the fleet rollup.
+//!
+//! ```
+//! use stayaway_fleet::{Fleet, FleetConfig};
+//!
+//! # fn main() -> Result<(), stayaway_fleet::FleetError> {
+//! let mut config = FleetConfig::new(8, 2, 7);
+//! config.ticks = 120;
+//! config.share_templates = true;
+//! let outcome = Fleet::new(config)?.run()?;
+//! assert_eq!(outcome.per_cell.len(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod cell;
+pub mod config;
+pub mod registry;
+pub mod runner;
+pub mod seed;
+
+mod error;
+
+pub use aggregate::{CellSummary, FleetOutcome};
+pub use cell::{CellOutcome, CellPlan};
+pub use config::FleetConfig;
+pub use error::FleetError;
+pub use registry::{RegistryEntry, TemplateRegistry};
+pub use runner::Fleet;
+pub use seed::derive_cell_seed;

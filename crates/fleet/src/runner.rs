@@ -1,0 +1,265 @@
+//! The sharded fleet executor.
+//!
+//! Cells are distributed over a fixed pool of worker threads via an atomic
+//! work counter (work-stealing by index). Determinism is preserved by
+//! construction:
+//!
+//! * cell plans (scenario, seed) are fixed before any worker starts;
+//! * cells share nothing mutable while running;
+//! * template sharing is **phased**: pioneer cells (the first cell of each
+//!   distinct sensitive workload) run first, a barrier publishes their
+//!   templates in cell-index order, and only then do follower cells run —
+//!   each importing from a registry whose contents no longer change. The
+//!   followers' own templates are published after the wave, again in
+//!   cell-index order, using the registry's order-independent conflict
+//!   resolution;
+//! * aggregation folds cell outcomes in cell-index order.
+//!
+//! The result: [`FleetOutcome`] is a pure function of the configuration,
+//! bit-identical for any worker count.
+
+use crate::aggregate::FleetOutcome;
+use crate::cell::{run_cell, CellOutcome, CellPlan};
+use crate::config::FleetConfig;
+use crate::registry::TemplateRegistry;
+use crate::FleetError;
+use stayaway_statespace::Template;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// A configured fleet, ready to run.
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    registry: Arc<TemplateRegistry>,
+}
+
+impl Fleet {
+    /// Validates the configuration and prepares a fleet with a fresh,
+    /// empty template registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for inconsistent
+    /// configurations.
+    pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
+        Self::with_registry(config, Arc::new(TemplateRegistry::new()))
+    }
+
+    /// Like [`Fleet::new`] but starting from an existing registry — e.g.
+    /// one deserialised from a previous fleet's
+    /// [`TemplateRegistry::to_json`] snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for inconsistent
+    /// configurations.
+    pub fn with_registry(
+        config: FleetConfig,
+        registry: Arc<TemplateRegistry>,
+    ) -> Result<Self, FleetError> {
+        config.validate()?;
+        Ok(Fleet { config, registry })
+    }
+
+    /// The shared template registry.
+    pub fn registry(&self) -> &Arc<TemplateRegistry> {
+        &self.registry
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Builds the per-cell plans: scenario `i % mix` reseeded with the
+    /// derived cell seed.
+    fn plans(&self) -> Vec<CellPlan> {
+        (0..self.config.cells)
+            .map(|idx| {
+                let scenario = self.config.scenarios[idx % self.config.scenarios.len()].clone();
+                CellPlan::new(idx, self.config.fleet_seed, scenario)
+            })
+            .collect()
+    }
+
+    /// Runs every cell and aggregates the fleet outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure of the lowest-indexed failing cell (a
+    /// deterministic choice), or [`FleetError::WorkerPanicked`] if a
+    /// worker died.
+    pub fn run(&self) -> Result<FleetOutcome, FleetError> {
+        let plans = self.plans();
+        let mut outcomes: Vec<CellOutcome>;
+        if self.config.share_templates {
+            // Pioneers: the first cell of each sensitive workload that the
+            // registry cannot already serve.
+            let mut served: BTreeSet<String> = plans
+                .iter()
+                .map(|p| p.sensitive_key())
+                .filter(|key| self.registry.contains(key))
+                .map(str::to_string)
+                .collect();
+            let mut pioneer_jobs = Vec::new();
+            let mut follower_plans = Vec::new();
+            for plan in plans {
+                if served.insert(plan.sensitive_key().to_string()) {
+                    pioneer_jobs.push((plan, None));
+                } else {
+                    follower_plans.push(plan);
+                }
+            }
+            outcomes = self.run_wave(pioneer_jobs)?;
+            // Barrier: publish pioneer knowledge in cell-index order, then
+            // freeze the registry for the follower wave.
+            for outcome in &outcomes {
+                self.registry.publish(outcome.template.clone(), outcome.idx);
+            }
+            let follower_jobs: Vec<(CellPlan, Option<Template>)> = follower_plans
+                .into_iter()
+                .map(|plan| {
+                    let import = self
+                        .registry
+                        .lookup(plan.sensitive_key())
+                        .map(|entry| entry.template);
+                    (plan, import)
+                })
+                .collect();
+            let followers = self.run_wave(follower_jobs)?;
+            for outcome in &followers {
+                self.registry.publish(outcome.template.clone(), outcome.idx);
+            }
+            outcomes.extend(followers);
+        } else {
+            let jobs = plans.into_iter().map(|p| (p, None)).collect();
+            outcomes = self.run_wave(jobs)?;
+        }
+        outcomes.sort_by_key(|o| o.idx);
+        Ok(FleetOutcome::aggregate(&self.config, &outcomes))
+    }
+
+    /// Executes one wave of `(plan, optional import)` jobs over the worker
+    /// pool and returns the outcomes sorted by cell index.
+    fn run_wave(
+        &self,
+        jobs: Vec<(CellPlan, Option<Template>)>,
+    ) -> Result<Vec<CellOutcome>, FleetError> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.config.workers.min(jobs.len());
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<CellOutcome, FleetError>)>();
+        let controller = &self.config.controller;
+        let ticks = self.config.ticks;
+        let jobs = &jobs;
+        let next = &next;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((plan, import)) = jobs.get(i) else {
+                        break;
+                    };
+                    let result = run_cell(plan, controller, import.as_ref(), ticks);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut slots: Vec<Option<Result<CellOutcome, FleetError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+        // Resolve deterministically: report the lowest-indexed failure.
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(outcome)) => outcomes.push(outcome),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(FleetError::WorkerPanicked {
+                        cell: jobs[i].0.idx,
+                    })
+                }
+            }
+        }
+        outcomes.sort_by_key(|o| o.idx);
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(workers: usize, share: bool) -> FleetConfig {
+        let mut config = FleetConfig::new(6, workers, 21);
+        config.ticks = 90;
+        config.share_templates = share;
+        config
+    }
+
+    #[test]
+    fn plans_round_robin_scenarios_and_derive_seeds() {
+        let fleet = Fleet::new(small_config(2, false)).unwrap();
+        let plans = fleet.plans();
+        assert_eq!(plans.len(), 6);
+        assert_eq!(plans[0].scenario.name(), plans[4].scenario.name());
+        assert_ne!(plans[0].seed, plans[4].seed);
+        assert_eq!(plans[1].idx, 1);
+    }
+
+    #[test]
+    fn run_covers_every_cell() {
+        let outcome = Fleet::new(small_config(3, false)).unwrap().run().unwrap();
+        assert_eq!(outcome.per_cell.len(), 6);
+        for (i, cell) in outcome.per_cell.iter().enumerate() {
+            assert_eq!(cell.cell, i);
+        }
+        assert_eq!(outcome.cells_imported, 0);
+    }
+
+    #[test]
+    fn sharing_populates_registry_and_warm_starts_followers() {
+        let fleet = Fleet::new(small_config(2, true)).unwrap();
+        let outcome = fleet.run().unwrap();
+        // 4 distinct sensitive keys... vlc appears 3×, webservice-mix 1×:
+        // 2 pioneers (vlc, webservice-mix), so 4 of 6 cells import.
+        assert_eq!(fleet.registry().len(), 2);
+        assert_eq!(outcome.cells_imported, 4);
+        let imported = outcome
+            .per_cell
+            .iter()
+            .filter(|c| c.imported_template)
+            .count();
+        assert_eq!(imported, 4);
+    }
+
+    #[test]
+    fn pre_seeded_registry_means_no_pioneers() {
+        // Run one sharing fleet, snapshot its registry, and feed it to a
+        // second fleet: now every cell can import.
+        let first = Fleet::new(small_config(2, true)).unwrap();
+        first.run().unwrap();
+        let json = first.registry().to_json().unwrap();
+        let registry = Arc::new(TemplateRegistry::from_json(&json).unwrap());
+        let second = Fleet::with_registry(small_config(2, true), registry).unwrap();
+        let outcome = second.run().unwrap();
+        assert_eq!(outcome.cells_imported, 6);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut config = small_config(1, false);
+        config.cells = 0;
+        assert!(Fleet::new(config).is_err());
+    }
+}

@@ -57,6 +57,9 @@ pub struct ControllerConfig {
     /// Seed of the controller's internal randomness (prediction sampling
     /// and optimistic resumes).
     pub seed: u64,
+    /// Maximum number of retained [`crate::EventLog`] entries; older events
+    /// are evicted (and counted) so long fleet runs hold constant memory.
+    pub events_capacity: usize,
 }
 
 impl Default for ControllerConfig {
@@ -84,6 +87,7 @@ impl Default for ControllerConfig {
             violation_detection: ViolationDetection::AppReported,
             embedding_strategy: EmbeddingStrategy::Smacof,
             seed: 0,
+            events_capacity: 4096,
         }
     }
 }
@@ -150,6 +154,11 @@ impl ControllerConfig {
                 });
             }
         }
+        if self.events_capacity == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "events_capacity must be positive".into(),
+            });
+        }
         if let ViolationDetection::IpcInferred { threshold } = self.violation_detection {
             if !(threshold.is_finite() && threshold > 0.0 && threshold <= 1.0) {
                 return Err(CoreError::InvalidConfig {
@@ -201,6 +210,10 @@ mod tests {
             },
             ControllerConfig {
                 max_states: 1,
+                ..base.clone()
+            },
+            ControllerConfig {
+                events_capacity: 0,
                 ..base.clone()
             },
         ];

@@ -6,7 +6,7 @@ use crate::aggregate::{
     throttleable_active,
 };
 use crate::config::ControllerConfig;
-use crate::events::{ControllerEvent, ControllerStats};
+use crate::events::{ControllerEvent, ControllerStats, EventLog};
 use crate::mapping::MappingEngine;
 use crate::violation::ViolationDetector;
 use crate::CoreError;
@@ -75,7 +75,7 @@ pub struct Controller {
     throttle_anchor: Option<Point2>,
     paused_by_us: Vec<ContainerId>,
     violation_detector: ViolationDetector,
-    events: Vec<ControllerEvent>,
+    events: EventLog,
     stats: ControllerStats,
 }
 
@@ -120,7 +120,7 @@ impl Controller {
             throttle_anchor: None,
             paused_by_us: Vec::new(),
             violation_detector: ViolationDetector::new(config.violation_detection),
-            events: Vec::new(),
+            events: EventLog::with_capacity(config.events_capacity),
             stats: ControllerStats::default(),
             config,
         })
@@ -157,11 +157,13 @@ impl Controller {
         let mut s = self.stats;
         s.states = self.mapping.repr_count();
         s.violation_states = self.map.violation_count();
+        s.events_dropped = self.events.dropped();
         s
     }
 
-    /// The decision log.
-    pub fn events(&self) -> &[ControllerEvent] {
+    /// The decision log: the most recent
+    /// [`ControllerConfig::events_capacity`] events, oldest first.
+    pub fn events(&self) -> &EventLog {
         &self.events
     }
 
@@ -631,6 +633,28 @@ mod tests {
         assert!(!ctl.events().is_empty());
         assert_eq!(stats.mapping_errors, 0);
         // Events are tick-ordered.
+        let ticks: Vec<u64> = ctl.events().iter().map(|e| e.tick()).collect();
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn event_log_is_bounded_and_drops_are_counted() {
+        let scenario = Scenario::vlc_with_cpubomb(29);
+        let mut h = scenario.build_harness().unwrap();
+        let config = ControllerConfig {
+            events_capacity: 8,
+            ..ControllerConfig::default()
+        };
+        let mut ctl = Controller::for_host(config, h.host().spec()).unwrap();
+        h.run(&mut ctl, 400);
+        assert!(ctl.events().len() <= 8);
+        let stats = ctl.stats();
+        assert!(
+            stats.events_dropped > 0,
+            "a 400-tick CPUBomb run must overflow an 8-event log"
+        );
+        assert_eq!(stats.events_dropped, ctl.events().dropped());
+        // The retained suffix is still tick-ordered.
         let ticks: Vec<u64> = ctl.events().iter().map(|e| e.tick()).collect();
         assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
     }

@@ -70,6 +70,91 @@ impl ControllerEvent {
     }
 }
 
+/// Fixed-capacity ring buffer over [`ControllerEvent`]s.
+///
+/// The controller appends one or more events per control period; a
+/// week-long run would grow an unbounded `Vec` without limit. The ring
+/// keeps the most recent `capacity` events and counts how many older ones
+/// were evicted (exposed as [`ControllerStats::events_dropped`]), so
+/// long-lived fleet cells run in constant memory while recent decisions
+/// stay inspectable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventLog {
+    buf: Vec<ControllerEvent>,
+    /// Index of the oldest retained event once the buffer is full.
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// An empty log retaining at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            buf: Vec::new(),
+            head: 0,
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events evicted to honour the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an event, evicting the oldest one when full.
+    pub fn push(&mut self, event: ControllerEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Iterates oldest-to-newest over the retained events.
+    pub fn iter(&self) -> EventLogIter<'_> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// The retained events, oldest first, as an owned vector.
+    pub fn to_vec(&self) -> Vec<ControllerEvent> {
+        self.iter().cloned().collect()
+    }
+}
+
+/// Iterator over an [`EventLog`], oldest event first.
+pub type EventLogIter<'a> =
+    std::iter::Chain<std::slice::Iter<'a, ControllerEvent>, std::slice::Iter<'a, ControllerEvent>>;
+
+impl<'a> IntoIterator for &'a EventLog {
+    type Item = &'a ControllerEvent;
+    type IntoIter = EventLogIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// Aggregate controller statistics over a run.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ControllerStats {
@@ -94,6 +179,8 @@ pub struct ControllerStats {
     pub violation_states: usize,
     /// Control periods skipped because the mapping pipeline errored.
     pub mapping_errors: u64,
+    /// Events evicted from the bounded decision log (see [`EventLog`]).
+    pub events_dropped: u64,
 }
 
 impl ControllerStats {
@@ -140,6 +227,54 @@ mod tests {
             ..ControllerStats::default()
         };
         assert!((s.prediction_accuracy() - 0.9).abs() < 1e-12);
+    }
+
+    fn throttled(tick: u64) -> ControllerEvent {
+        ControllerEvent::Throttled {
+            tick,
+            count: 1,
+            proactive: false,
+        }
+    }
+
+    #[test]
+    fn event_log_below_capacity_keeps_everything() {
+        let mut log = EventLog::with_capacity(4);
+        assert!(log.is_empty());
+        for t in 0..3 {
+            log.push(throttled(t));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 0);
+        let ticks: Vec<u64> = log.iter().map(|e| e.tick()).collect();
+        assert_eq!(ticks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn event_log_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::with_capacity(4);
+        for t in 0..10 {
+            log.push(throttled(t));
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.dropped(), 6);
+        // Oldest-to-newest order is preserved across the wrap.
+        let ticks: Vec<u64> = log.iter().map(|e| e.tick()).collect();
+        assert_eq!(ticks, vec![6, 7, 8, 9]);
+        assert_eq!(log.to_vec().len(), 4);
+        // `for e in &log` works through IntoIterator.
+        assert_eq!((&log).into_iter().count(), 4);
+    }
+
+    #[test]
+    fn event_log_zero_capacity_clamps_to_one() {
+        let mut log = EventLog::with_capacity(0);
+        assert_eq!(log.capacity(), 1);
+        log.push(throttled(1));
+        log.push(throttled(2));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.iter().next().unwrap().tick(), 2);
     }
 
     #[test]

@@ -59,6 +59,6 @@ mod error;
 pub use config::ControllerConfig;
 pub use controller::Controller;
 pub use error::CoreError;
-pub use events::{ControllerEvent, ControllerStats, ResumeReason};
+pub use events::{ControllerEvent, ControllerStats, EventLog, ResumeReason};
 pub use mapping::EmbeddingStrategy;
 pub use violation::{ViolationDetection, ViolationDetector};

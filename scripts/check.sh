@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, lints (warnings are errors), and the test
-# suite. Run from anywhere inside the repository.
+# Full local gate: formatting, lints (warnings are errors), the release
+# build, the test suite (including the fleet determinism suite), and a
+# compile check of every criterion bench target. Run from anywhere
+# inside the repository.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release --workspace
 cargo test -q --workspace
+cargo test -q -p stayaway-fleet --test determinism
+cargo bench --workspace --no-run

@@ -6,6 +6,7 @@
 //! stayaway compare --scenario web-mem+twitter-analysis --ticks 300
 //! stayaway capture --scenario vlc+cpu-bomb --out template.json
 //! stayaway reuse --scenario vlc+soplex --template template.json
+//! stayaway fleet --cells 64 --workers 4 --seed 7 --share-templates --json
 //! ```
 //!
 //! Scenario names are `<sensitive>+<batch>` with sensitive ∈ {vlc,
@@ -14,6 +15,7 @@
 
 use stay_away::baselines::{AlwaysThrottle, NoPrevention, ReactivePolicy, StaticThresholdPolicy};
 use stay_away::core::{Controller, ControllerConfig};
+use stay_away::fleet::{Fleet, FleetConfig};
 use stay_away::sim::apps::WebWorkload;
 use stay_away::sim::scenario::{BatchKind, Scenario, SensitiveKind};
 use stay_away::sim::workload::{DiurnalParams, Trace};
@@ -29,38 +31,55 @@ commands:
   compare                    run one scenario under every policy
   capture                    run stay-away and export the learned template
   reuse                      run stay-away seeded from a template
+  fleet                      run many co-location cells over a worker pool
 
 options:
   --scenario <sens>+<batch>  e.g. vlc+cpu-bomb, web-mem+twitter-analysis
+                             (fleet default: a 4-scenario mix)
   --policy <name>            stay-away | none | always | reactive | static
   --ticks <n>                simulation length (default 384)
   --seed <n>                 deterministic seed (default 7)
   --template <path>          template file for capture/reuse
   --out <path>               output path for capture
+  --cells <n>                fleet: number of co-location cells (default 8)
+  --workers <n>              fleet: worker threads (default 1; results are
+                             identical for any value)
+  --share-templates          fleet: warm-start cells from the registry
   --json                     print a JSON summary instead of text
 ";
 
 #[derive(Debug, Clone)]
 struct Args {
     command: String,
-    scenario: String,
+    /// None means "not given on the command line": single-run commands
+    /// default to vlc+cpu-bomb, the fleet to its standard scenario mix.
+    scenario: Option<String>,
     policy: String,
     ticks: u64,
     seed: u64,
     template: Option<String>,
     out: Option<String>,
+    cells: usize,
+    workers: usize,
+    share_templates: bool,
     json: bool,
 }
+
+/// Scenario used by the single-run commands when `--scenario` is omitted.
+const DEFAULT_SCENARIO: &str = "vlc+cpu-bomb";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         command: argv.first().cloned().ok_or("missing command")?,
-        scenario: "vlc+cpu-bomb".into(),
+        scenario: None,
         policy: "stay-away".into(),
         ticks: 384,
         seed: 7,
         template: None,
         out: None,
+        cells: 8,
+        workers: 1,
+        share_templates: false,
         json: false,
     };
     let mut it = argv[1..].iter();
@@ -71,7 +90,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .ok_or_else(|| format!("{name} expects a value"))
         };
         match flag.as_str() {
-            "--scenario" => args.scenario = value("--scenario")?,
+            "--scenario" => args.scenario = Some(value("--scenario")?),
             "--policy" => args.policy = value("--policy")?,
             "--ticks" => {
                 args.ticks = value("--ticks")?
@@ -85,6 +104,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--template" => args.template = Some(value("--template")?),
             "--out" => args.out = Some(value("--out")?),
+            "--cells" => {
+                args.cells = value("--cells")?
+                    .parse()
+                    .map_err(|_| "--cells expects an integer".to_string())?
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects an integer".to_string())?
+            }
+            "--share-templates" => args.share_templates = true,
             "--json" => args.json = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -200,8 +230,43 @@ fn main() {
     }
 }
 
+fn fleet_summary(outcome: &stay_away::fleet::FleetOutcome) {
+    println!(
+        "fleet: {} cells x {} ticks, seed {}, template sharing {}",
+        outcome.cells,
+        outcome.ticks_per_cell,
+        outcome.fleet_seed,
+        if outcome.share_templates { "on" } else { "off" },
+    );
+    println!(
+        "qos: {} violations / {} active ticks ({:.1}% satisfaction), worst {:.3}",
+        outcome.qos.violations,
+        outcome.qos.active_ticks,
+        100.0 * outcome.satisfaction(),
+        outcome.qos.worst,
+    );
+    println!(
+        "utilization: mean {:.1}%, gained from batch {:.1}%, total batch work {:.0}",
+        100.0 * outcome.mean_utilization,
+        100.0 * outcome.mean_gained_utilization,
+        outcome.total_batch_work,
+    );
+    println!(
+        "control: {} throttles, {} resumes, prediction accuracy {:.1}%, {} log events dropped",
+        outcome.throttles,
+        outcome.resumes,
+        100.0 * outcome.prediction_accuracy(),
+        outcome.events_dropped,
+    );
+    println!(
+        "templates: {} cells imported, {} proactive first throttles",
+        outcome.cells_imported, outcome.proactive_first_throttles,
+    );
+}
+
 fn run(argv: &[String]) -> Result<(), String> {
     let args = parse_args(argv)?;
+    let scenario_name = args.scenario.clone().unwrap_or(DEFAULT_SCENARIO.into());
     match args.command.as_str() {
         "list" => {
             println!("sensitive applications: vlc, web-cpu, web-mem, web-mix");
@@ -213,7 +278,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         "run" => {
-            let scenario = parse_scenario(&args.scenario, args.seed)?;
+            let scenario = parse_scenario(&scenario_name, args.seed)?;
             let (out, ctl) = run_policy_by_name(&scenario, &args.policy, args.ticks)?;
             summarize(&args.policy, &scenario, &out, args.json);
             if let (Some(ctl), false) = (&ctl, args.json) {
@@ -231,7 +296,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         "compare" => {
-            let scenario = parse_scenario(&args.scenario, args.seed)?;
+            let scenario = parse_scenario(&scenario_name, args.seed)?;
             println!(
                 "scenario: {} ({} ticks, seed {})\n",
                 scenario.name(),
@@ -245,10 +310,10 @@ fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         "capture" => {
-            let scenario = parse_scenario(&args.scenario, args.seed)?;
+            let scenario = parse_scenario(&scenario_name, args.seed)?;
             let (out, ctl) = run_policy_by_name(&scenario, "stay-away", args.ticks)?;
             let ctl = ctl.expect("stay-away produces a controller");
-            let sens_name = args.scenario.split('+').next().unwrap_or("sensitive");
+            let sens_name = scenario_name.split('+').next().unwrap_or("sensitive");
             let template = ctl.export_template(sens_name).map_err(|e| e.to_string())?;
             let path = args.out.unwrap_or_else(|| "template.json".into());
             template.save_to_path(&path).map_err(|e| e.to_string())?;
@@ -263,7 +328,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "reuse" => {
             let path = args.template.ok_or("reuse requires --template <path>")?;
             let template = Template::load_from_path(&path).map_err(|e| e.to_string())?;
-            let scenario = parse_scenario(&args.scenario, args.seed)?;
+            let scenario = parse_scenario(&scenario_name, args.seed)?;
             let mut harness = scenario.build_harness().map_err(|e| e.to_string())?;
             let mut ctl = Controller::for_host(ControllerConfig::default(), harness.host().spec())
                 .map_err(|e| e.to_string())?;
@@ -275,6 +340,29 @@ fn run(argv: &[String]) -> Result<(), String> {
                 template.violation_count()
             );
             summarize("stay-away+tpl", &scenario, &out, args.json);
+            Ok(())
+        }
+        "fleet" => {
+            let scenarios = match &args.scenario {
+                Some(name) => vec![parse_scenario(name, args.seed)?],
+                None => FleetConfig::standard_mix(args.seed),
+            };
+            let config = FleetConfig {
+                cells: args.cells,
+                workers: args.workers,
+                ticks: args.ticks,
+                fleet_seed: args.seed,
+                share_templates: args.share_templates,
+                scenarios,
+                controller: ControllerConfig::default(),
+            };
+            let fleet = Fleet::new(config).map_err(|e| e.to_string())?;
+            let outcome = fleet.run().map_err(|e| e.to_string())?;
+            if args.json {
+                println!("{}", outcome.to_json().map_err(|e| e.to_string())?);
+            } else {
+                fleet_summary(&outcome);
+            }
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
@@ -296,7 +384,7 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(a.command, "run");
-        assert_eq!(a.scenario, "web-mem+soplex");
+        assert_eq!(a.scenario.as_deref(), Some("web-mem+soplex"));
         assert_eq!(a.policy, "reactive");
         assert_eq!(a.ticks, 100);
         assert_eq!(a.seed, 3);
@@ -304,10 +392,36 @@ mod tests {
     }
 
     #[test]
+    fn parses_fleet_flags() {
+        let a = parse_args(&argv(
+            "fleet --cells 64 --workers 4 --seed 7 --share-templates --json",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "fleet");
+        assert_eq!(a.cells, 64);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.seed, 7);
+        assert!(a.share_templates);
+        assert!(a.json);
+        // No --scenario means the fleet runs its standard mix.
+        assert_eq!(a.scenario, None);
+    }
+
+    #[test]
+    fn fleet_defaults_are_modest() {
+        let a = parse_args(&argv("fleet")).unwrap();
+        assert_eq!(a.cells, 8);
+        assert_eq!(a.workers, 1);
+        assert!(!a.share_templates);
+    }
+
+    #[test]
     fn rejects_unknown_flags_and_bad_values() {
         assert!(parse_args(&argv("run --bogus 1")).is_err());
         assert!(parse_args(&argv("run --ticks abc")).is_err());
         assert!(parse_args(&argv("run --scenario")).is_err());
+        assert!(parse_args(&argv("fleet --cells abc")).is_err());
+        assert!(parse_args(&argv("fleet --workers")).is_err());
         assert!(parse_args(&[]).is_err());
     }
 

@@ -25,7 +25,10 @@
 //!   testbed;
 //! * [`core`] — the Stay-Away controller (mapping → prediction → action);
 //! * [`baselines`] — no-prevention / reactive / static-threshold / oracle
-//!   comparison policies.
+//!   comparison policies;
+//! * [`fleet`] — the sharded multi-cell runtime: N concurrent
+//!   harness+controller cells over a fixed worker pool, with deterministic
+//!   per-cell seeds and a cross-host template registry.
 //!
 //! # Quickstart
 //!
@@ -55,6 +58,7 @@
 
 pub use stayaway_baselines as baselines;
 pub use stayaway_core as core;
+pub use stayaway_fleet as fleet;
 pub use stayaway_mds as mds;
 pub use stayaway_sim as sim;
 pub use stayaway_statespace as statespace;
