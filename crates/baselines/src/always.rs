@@ -1,5 +1,6 @@
 //! The isolated-run bound: batch applications never execute.
 
+use stayaway_core::ControlPolicy;
 use stayaway_sim::{Action, Observation, Policy};
 
 /// Pauses every batch container as soon as it is seen running. The
@@ -29,6 +30,9 @@ impl Policy for AlwaysThrottle {
             .collect()
     }
 }
+
+/// Tracks no stats, keeps no log, supports no templates: pure defaults.
+impl ControlPolicy for AlwaysThrottle {}
 
 #[cfg(test)]
 mod tests {

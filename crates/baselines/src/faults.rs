@@ -11,7 +11,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use stayaway_core::{ControlPolicy, ControllerStats, CoreError, EventLog};
 use stayaway_sim::{Action, Observation, Policy, ResourceVector};
+use stayaway_statespace::Template;
 
 /// Wraps a policy with seeded sensor-dropout and actuation-failure faults.
 #[derive(Debug)]
@@ -95,6 +97,30 @@ impl<P: Policy> Policy for FaultInjector<P> {
             return Vec::new();
         }
         actions
+    }
+}
+
+/// Faults touch only the decision loop; introspection passes through to the
+/// wrapped policy undisturbed.
+impl<P: ControlPolicy> ControlPolicy for FaultInjector<P> {
+    fn stats(&self) -> ControllerStats {
+        self.inner.stats()
+    }
+
+    fn events(&self) -> Option<&EventLog> {
+        self.inner.events()
+    }
+
+    fn supports_templates(&self) -> bool {
+        self.inner.supports_templates()
+    }
+
+    fn export_template(&self, sensitive_app: &str) -> Result<Option<Template>, CoreError> {
+        self.inner.export_template(sensitive_app)
+    }
+
+    fn import_template(&mut self, template: &Template) -> Result<bool, CoreError> {
+        self.inner.import_template(template)
     }
 }
 

@@ -1,5 +1,6 @@
 //! Reactive throttling: act only after the damage is observed.
 
+use stayaway_core::ControlPolicy;
 use stayaway_sim::{Action, ContainerId, Observation, Policy};
 
 /// Pauses all active batch containers when the sensitive application
@@ -72,6 +73,9 @@ impl Policy for ReactivePolicy {
         Vec::new()
     }
 }
+
+/// Tracks no stats, keeps no log, supports no templates: pure defaults.
+impl ControlPolicy for ReactivePolicy {}
 
 #[cfg(test)]
 mod tests {

@@ -1,5 +1,6 @@
 //! Static-profiling baseline: a fixed co-location rule decided "offline".
 
+use stayaway_core::ControlPolicy;
 use stayaway_sim::{Action, AppClass, ContainerId, Observation, Policy, ResourceKind};
 
 /// Pauses the batch containers whenever the sensitive application's CPU
@@ -72,6 +73,9 @@ impl Policy for StaticThresholdPolicy {
         }
     }
 }
+
+/// Tracks no stats, keeps no log, supports no templates: pure defaults.
+impl ControlPolicy for StaticThresholdPolicy {}
 
 #[cfg(test)]
 mod tests {

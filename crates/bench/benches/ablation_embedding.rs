@@ -6,7 +6,7 @@
 //! accuracy) and the wall-clock cost of the whole run, since the embedding
 //! dominates the controller's period cost during learning.
 
-use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_bench::{run, stayaway, ExperimentSink, Table};
 use stayaway_core::{ControllerConfig, EmbeddingStrategy};
 use stayaway_sim::scenario::Scenario;
 use std::time::Instant;
@@ -44,7 +44,7 @@ fn main() {
                 ..ControllerConfig::default()
             };
             let started = Instant::now();
-            let run = run_stayaway(scenario, config, ticks);
+            let run = run(scenario, stayaway(scenario, config), ticks);
             let elapsed = started.elapsed();
             let stats = run.stats();
             table.row(&[

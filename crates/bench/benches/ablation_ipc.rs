@@ -8,7 +8,7 @@
 //! application cooperation — at the cost of a warm-up and sensitivity to
 //! counter noise.
 
-use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_bench::{run, stayaway, ExperimentSink, Table};
 use stayaway_core::{ControllerConfig, ViolationDetection};
 use stayaway_sim::scenario::Scenario;
 
@@ -41,7 +41,7 @@ fn main() {
                 violation_detection: detection,
                 ..ControllerConfig::default()
             };
-            let run = run_stayaway(scenario, config, ticks);
+            let run = run(scenario, stayaway(scenario, config), ticks);
             let stats = run.stats();
             table.row(&[
                 scenario.name().to_string(),

@@ -14,7 +14,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_bench::{run, stayaway, ExperimentSink, Table};
 use stayaway_core::ControllerConfig;
 use stayaway_sim::apps::WebWorkload;
 use stayaway_sim::scenario::{BatchKind, Scenario};
@@ -140,7 +140,7 @@ fn main() {
                 per_mode_models: per_mode,
                 ..ControllerConfig::default()
             };
-            let run = run_stayaway(scenario, config, ticks);
+            let run = run(scenario, stayaway(scenario, config), ticks);
             let stats = run.stats();
             table.row(&[
                 scenario.name().to_string(),

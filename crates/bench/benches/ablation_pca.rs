@@ -6,7 +6,7 @@
 //! each embedding separates violation states from safe states on a real
 //! co-located trace (silhouette-style separation ratio).
 
-use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_bench::{run, stayaway, ExperimentSink, Table};
 use stayaway_core::ControllerConfig;
 use stayaway_mds::distance::DistanceMatrix;
 use stayaway_mds::pca::Pca;
@@ -42,12 +42,13 @@ fn main() {
     println!("=== Ablation: MDS vs PCA embeddings (§2.2) ===\n");
 
     // Harvest labelled high-dimensional states from a real co-located run.
-    let run = run_stayaway(
-        &Scenario::vlc_with_cpubomb(71),
-        ControllerConfig::default(),
+    let scenario = Scenario::vlc_with_cpubomb(71);
+    let run = run(
+        &scenario,
+        stayaway(&scenario, ControllerConfig::default()),
         384,
     );
-    let ctl = &run.controller;
+    let ctl = &run.policy;
     let n = ctl.repr_count();
     let vectors: Vec<Vec<f64>> = (0..n)
         .map(|rep| {

@@ -5,7 +5,7 @@
 //! states of violation": without ranges the controller must re-experience
 //! each minor variation of a contention before it can prevent it.
 
-use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_bench::{run, stayaway, ExperimentSink, Table};
 use stayaway_core::ControllerConfig;
 use stayaway_sim::scenario::Scenario;
 
@@ -31,7 +31,7 @@ fn main() {
                 violation_range_enabled: enabled,
                 ..ControllerConfig::default()
             };
-            let run = run_stayaway(scenario, config, ticks);
+            let run = run(scenario, stayaway(scenario, config), ticks);
             let stats = run.stats();
             table.row(&[
                 scenario.name().to_string(),

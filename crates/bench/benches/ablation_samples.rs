@@ -1,7 +1,7 @@
 //! Ablation (§3.2.3) — number of candidate future states drawn per
 //! prediction (the paper settles on 5).
 
-use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_bench::{run, stayaway, ExperimentSink, Table};
 use stayaway_core::ControllerConfig;
 use stayaway_sim::scenario::Scenario;
 
@@ -23,7 +23,7 @@ fn main() {
             prediction_samples: samples,
             ..ControllerConfig::default()
         };
-        let run = run_stayaway(&scenario, config, ticks);
+        let run = run(&scenario, stayaway(&scenario, config), ticks);
         let stats = run.stats();
         table.row(&[
             samples.to_string(),

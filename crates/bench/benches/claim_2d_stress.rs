@@ -8,7 +8,7 @@
 //! stress must already be low (the figure-ready elbow), with little gained
 //! by a third dimension.
 
-use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_bench::{run, stayaway, ExperimentSink, Table};
 use stayaway_core::ControllerConfig;
 use stayaway_mds::classical::explained_fraction;
 use stayaway_mds::distance::DistanceMatrix;
@@ -39,8 +39,12 @@ fn main() {
     ]);
     let mut json_rows = Vec::new();
     for scenario in &scenarios {
-        let run = run_stayaway(scenario, ControllerConfig::default(), ticks);
-        let ctl = &run.controller;
+        let run = run(
+            scenario,
+            stayaway(scenario, ControllerConfig::default()),
+            ticks,
+        );
+        let ctl = &run.policy;
         let template = ctl.export_template("probe").expect("template");
         let vectors: Vec<Vec<f64>> = template.iter().map(|s| s.vector.clone()).collect();
         let dissim = DistanceMatrix::from_vectors(&vectors).expect("matrix");

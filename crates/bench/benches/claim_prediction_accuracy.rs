@@ -6,7 +6,7 @@
 //! prediction's in-violation-range verdict is checked against the actually
 //! reached next state.
 
-use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_bench::{run, stayaway, ExperimentSink, Table};
 use stayaway_core::ControllerConfig;
 use stayaway_sim::apps::WebWorkload;
 use stayaway_sim::scenario::{BatchKind, Scenario};
@@ -28,7 +28,11 @@ fn main() {
     let mut sum = 0.0;
     let mut json_rows = Vec::new();
     for scenario in &scenarios {
-        let run = run_stayaway(scenario, ControllerConfig::default(), ticks);
+        let run = run(
+            scenario,
+            stayaway(scenario, ControllerConfig::default()),
+            ticks,
+        );
         let stats = run.stats();
         let acc = stats.prediction_accuracy();
         sum += acc;

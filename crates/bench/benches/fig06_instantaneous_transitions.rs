@@ -6,7 +6,7 @@
 //! point that CPU spikes leave "almost no time for the system to react"),
 //! in contrast to the gradual drift of Figure 7.
 
-use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_bench::{run, stayaway, ExperimentSink, Table};
 use stayaway_core::ControllerConfig;
 use stayaway_sim::scenario::Scenario;
 use stayaway_statespace::StateKind;
@@ -18,8 +18,8 @@ fn main() {
         actions_enabled: false, // Action status: False
         ..ControllerConfig::default()
     };
-    let run = run_stayaway(&scenario, config, 200);
-    let ctl = &run.controller;
+    let run = run(&scenario, stayaway(&scenario, config), 200);
+    let ctl = &run.policy;
 
     // The mapped states with their labels (the A..G annotations of the
     // paper's snapshot correspond to these clusters).

@@ -6,7 +6,7 @@
 //! ticks, so consecutive mapped states drift in small steps — giving the
 //! predictor time to act before the violation-range is entered.
 
-use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_bench::{run, stayaway, ExperimentSink, Table};
 use stayaway_core::{ControllerConfig, ControllerEvent};
 use stayaway_sim::scenario::Scenario;
 use stayaway_statespace::StateKind;
@@ -14,8 +14,12 @@ use stayaway_statespace::StateKind;
 fn main() {
     println!("=== Figure 7: gradual transitions (VLC streaming + Twitter-Analysis) ===\n");
     let scenario = Scenario::vlc_with_twitter(21);
-    let run = run_stayaway(&scenario, ControllerConfig::default(), 300);
-    let ctl = &run.controller;
+    let run = run(
+        &scenario,
+        stayaway(&scenario, ControllerConfig::default()),
+        300,
+    );
+    let ctl = &run.policy;
 
     let mut table = Table::new(&["state", "position", "kind", "visits"]);
     for rep in 0..ctl.repr_count() {

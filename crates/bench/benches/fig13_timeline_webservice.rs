@@ -9,7 +9,7 @@
 //! window it runs uninterrupted because the Webservice has moved away from
 //! the contended states.
 
-use stayaway_bench::{run_stayaway, ExperimentSink};
+use stayaway_bench::{run, stayaway, ExperimentSink};
 use stayaway_core::ControllerConfig;
 use stayaway_sim::apps::WebWorkload;
 use stayaway_sim::scenario::Scenario;
@@ -27,7 +27,11 @@ fn band(v: f64) -> char {
 
 fn timeline(label: &str, workload: WebWorkload, ticks: u64) -> serde_json::Value {
     let scenario = Scenario::webservice_timeline(workload, 13).expect("valid timeline scenario");
-    let run = run_stayaway(&scenario, ControllerConfig::default(), ticks);
+    let run = run(
+        &scenario,
+        stayaway(&scenario, ControllerConfig::default()),
+        ticks,
+    );
 
     println!("--- Figure {label}: Webservice ({workload}) + Twitter-Analysis ---");
     let stress: String = run

@@ -2,7 +2,7 @@
 //! CPUBomb, used as the *template* for future executions of the same
 //! sensitive application (§6, §7.3).
 
-use stayaway_bench::{run_stayaway, ExperimentSink, Table};
+use stayaway_bench::{run, stayaway, ExperimentSink, Table};
 use stayaway_core::ControllerConfig;
 use stayaway_sim::scenario::Scenario;
 use stayaway_statespace::StateKind;
@@ -10,8 +10,12 @@ use stayaway_statespace::StateKind;
 fn main() {
     println!("=== Figure 17: template capture (VLC streaming + CPUBomb) ===\n");
     let scenario = Scenario::vlc_with_cpubomb(17);
-    let run = run_stayaway(&scenario, ControllerConfig::default(), 384);
-    let ctl = &run.controller;
+    let run = run(
+        &scenario,
+        stayaway(&scenario, ControllerConfig::default()),
+        384,
+    );
+    let ctl = &run.policy;
 
     let mut table = Table::new(&["state", "position", "kind", "visits"]);
     for rep in 0..ctl.repr_count() {

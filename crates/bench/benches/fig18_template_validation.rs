@@ -13,7 +13,7 @@
 //! looser area correspondence (violations sit nearer the template's
 //! violation states than safe ticks do).
 
-use stayaway_bench::{run_stayaway, ExperimentSink};
+use stayaway_bench::{run, stayaway, ExperimentSink};
 use stayaway_core::{Controller, ControllerConfig};
 use stayaway_sim::scenario::Scenario;
 use stayaway_sim::{Action, Observation, Policy};
@@ -21,8 +21,12 @@ use stayaway_statespace::{Point2, Template};
 
 fn capture_template() -> Template {
     let scenario = Scenario::vlc_with_cpubomb(17);
-    let run = run_stayaway(&scenario, ControllerConfig::default(), 384);
-    run.controller
+    let run = run(
+        &scenario,
+        stayaway(&scenario, ControllerConfig::default()),
+        384,
+    );
+    run.policy
         .export_template("vlc-streaming")
         .expect("template export")
 }

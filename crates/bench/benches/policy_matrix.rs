@@ -1,0 +1,49 @@
+//! Per-tick cost of every control policy behind the [`ControlPolicy`]
+//! trait, on the same scenario.
+//!
+//! The matrix puts the staged Stay-Away controller next to the baselines
+//! so the price of sensing, mapping and prediction is visible as a
+//! multiple of the (near-free) reactive/static/null policies rather than
+//! an absolute number. Criterion reports throughput in ticks, so the
+//! per-tick figure is the reciprocal of the element rate.
+//!
+//! [`ControlPolicy`]: stayaway_core::ControlPolicy
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stayaway_core::ControllerConfig;
+use stayaway_fleet::PolicySpec;
+use stayaway_sim::scenario::Scenario;
+
+const TICKS: u64 = 200;
+
+fn bench_policy_matrix(c: &mut Criterion) {
+    let scenario = Scenario::vlc_with_cpubomb(42);
+    let specs = [
+        PolicySpec::StayAway,
+        PolicySpec::Reactive { cooldown: 10 },
+        PolicySpec::StaticThreshold { fraction: 0.5 },
+        PolicySpec::AlwaysThrottle,
+        PolicySpec::Null,
+    ];
+
+    let mut group = c.benchmark_group("policy_matrix");
+    group.sample_size(20);
+    for spec in specs {
+        // Each sample is one full 200-tick run including harness and
+        // policy construction; the setup cost is identical across rows,
+        // so differences between rows are pure per-tick policy cost.
+        group.bench_function(format!("{}_{TICKS}_ticks", spec.name()), |b| {
+            b.iter(|| {
+                let mut harness = scenario.build_harness().expect("scenario builds");
+                let mut policy = spec
+                    .build(&ControllerConfig::default(), harness.host().spec())
+                    .expect("policy builds");
+                harness.run(policy.as_mut(), TICKS)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_matrix);
+criterion_main!(benches);

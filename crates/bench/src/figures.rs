@@ -2,8 +2,8 @@
 //! comparisons between no-prevention and Stay-Away runs.
 
 use crate::report::{ascii_chart, sparkline};
-use crate::runner::{outcome_json, run_policy, run_stayaway, ExperimentSink, StayAwayRun};
-use stayaway_core::ControllerConfig;
+use crate::runner::{outcome_json, run, stayaway, ExperimentSink, PolicyRun};
+use stayaway_core::{Controller, ControllerConfig};
 use stayaway_sim::scenario::Scenario;
 use stayaway_sim::{NullPolicy, RunOutcome};
 
@@ -13,13 +13,17 @@ pub struct PairedRuns {
     /// The unprotected run.
     pub baseline: RunOutcome,
     /// The Stay-Away-protected run.
-    pub stayaway: StayAwayRun,
+    pub stayaway: PolicyRun<Controller>,
 }
 
 /// Runs the same scenario with and without Stay-Away.
 pub fn paired_runs(scenario: &Scenario, ticks: u64) -> PairedRuns {
-    let baseline = run_policy(scenario, &mut NullPolicy::new(), ticks);
-    let stayaway = run_stayaway(scenario, ControllerConfig::default(), ticks);
+    let baseline = run(scenario, NullPolicy::new(), ticks).outcome;
+    let stayaway = run(
+        scenario,
+        stayaway(scenario, ControllerConfig::default()),
+        ticks,
+    );
     PairedRuns { baseline, stayaway }
 }
 

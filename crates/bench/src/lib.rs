@@ -15,4 +15,4 @@ pub mod runner;
 
 pub use figures::{gained_utilization_figure, paired_runs, qos_timeline_figure, PairedRuns};
 pub use report::{ascii_chart, sparkline, Table};
-pub use runner::{experiments_dir, run_policy, run_stayaway, ExperimentSink, StayAwayRun};
+pub use runner::{experiments_dir, outcome_json, run, stayaway, ExperimentSink, PolicyRun};

@@ -1,52 +1,57 @@
 //! Scenario execution helpers shared by every experiment target.
+//!
+//! One generic entry point, [`run`], drives any [`ControlPolicy`] — the
+//! Stay-Away controller or a baseline — through a scenario's closed loop.
+//! There is deliberately no Stay-Away special case: experiments that need
+//! the controller's internals construct one with [`stayaway`] and read it
+//! back from [`PolicyRun::policy`] after the run.
 
 use serde_json::Value;
-use stayaway_core::{Controller, ControllerConfig, ControllerStats};
+use stayaway_core::{ControlPolicy, Controller, ControllerConfig, ControllerStats};
 use stayaway_sim::scenario::Scenario;
-use stayaway_sim::{Policy, RunOutcome};
+use stayaway_sim::RunOutcome;
 
-/// Runs a scenario under an arbitrary policy for `ticks`.
+/// The outcome of one policy-driven run, with the policy kept for
+/// inspection (state map, events, template export for the controller;
+/// nothing extra for stateless baselines).
+#[derive(Debug)]
+pub struct PolicyRun<P> {
+    /// The run outcome.
+    pub outcome: RunOutcome,
+    /// The policy after the run.
+    pub policy: P,
+}
+
+impl<P: ControlPolicy> PolicyRun<P> {
+    /// Control-policy statistics of the run (all-zero for baselines that
+    /// track nothing).
+    pub fn stats(&self) -> ControllerStats {
+        self.policy.stats()
+    }
+}
+
+/// Runs a scenario under `policy` for `ticks` — the single runner every
+/// experiment target shares, for Stay-Away and baselines alike.
 ///
 /// # Panics
 ///
 /// Panics if the scenario cannot build a harness (misconfigured scenario —
 /// a programming error in the experiment definition).
-pub fn run_policy(scenario: &Scenario, policy: &mut dyn Policy, ticks: u64) -> RunOutcome {
+pub fn run<P: ControlPolicy>(scenario: &Scenario, mut policy: P, ticks: u64) -> PolicyRun<P> {
     let mut harness = scenario.build_harness().expect("scenario builds a harness");
-    harness.run(policy, ticks)
+    let outcome = harness.run(&mut policy, ticks);
+    PolicyRun { outcome, policy }
 }
 
-/// The outcome of a Stay-Away-driven run, with controller internals kept
-/// for inspection.
-#[derive(Debug)]
-pub struct StayAwayRun {
-    /// The run outcome.
-    pub outcome: RunOutcome,
-    /// The controller after the run (state map, events, template export).
-    pub controller: Controller,
-}
-
-impl StayAwayRun {
-    /// Controller statistics of the run.
-    pub fn stats(&self) -> ControllerStats {
-        self.controller.stats()
-    }
-}
-
-/// Runs a scenario under a fresh Stay-Away controller for `ticks`.
+/// Builds a fresh Stay-Away controller for the scenario's host, ready to
+/// pass to [`run`].
 ///
 /// # Panics
 ///
-/// Panics if the scenario or controller cannot be built.
-pub fn run_stayaway(scenario: &Scenario, config: ControllerConfig, ticks: u64) -> StayAwayRun {
-    let mut harness = scenario.build_harness().expect("scenario builds a harness");
-    let mut controller =
-        Controller::for_host(config, harness.host().spec()).expect("valid controller config");
-    let outcome = harness.run(&mut controller, ticks);
-    StayAwayRun {
-        outcome,
-        controller,
-    }
+/// Panics on an invalid controller configuration (a programming error in
+/// the experiment definition).
+pub fn stayaway(scenario: &Scenario, config: ControllerConfig) -> Controller {
+    Controller::for_host(config, scenario.host_spec()).expect("valid controller config")
 }
 
 /// The workspace-level `target/experiments/` directory, resolved from this
@@ -122,19 +127,26 @@ mod tests {
     use stayaway_sim::NullPolicy;
 
     #[test]
-    fn run_policy_and_stayaway_produce_outcomes() {
+    fn one_runner_drives_baselines_and_stayaway_alike() {
         let scenario = Scenario::vlc_with_cpubomb(1);
-        let base = run_policy(&scenario, &mut NullPolicy::new(), 50);
-        assert_eq!(base.timeline.len(), 50);
-        let sa = run_stayaway(&scenario, ControllerConfig::default(), 50);
+        let base = run(&scenario, NullPolicy::new(), 50);
+        assert_eq!(base.outcome.timeline.len(), 50);
+        assert_eq!(base.stats(), ControllerStats::default());
+        let sa = run(
+            &scenario,
+            stayaway(&scenario, ControllerConfig::default()),
+            50,
+        );
         assert_eq!(sa.outcome.timeline.len(), 50);
         assert!(sa.stats().periods == 50);
+        // The post-run policy is recoverable for inspection.
+        assert!(sa.policy.repr_count() > 0);
     }
 
     #[test]
     fn outcome_json_has_expected_fields() {
         let scenario = Scenario::vlc_with_cpubomb(1);
-        let base = run_policy(&scenario, &mut NullPolicy::new(), 30);
+        let base = run(&scenario, NullPolicy::new(), 30).outcome;
         let v = outcome_json(&base, 4.0);
         for key in [
             "policy",

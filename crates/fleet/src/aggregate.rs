@@ -3,11 +3,21 @@
 //! Aggregation folds cell results in cell-index order, so every derived
 //! float is a fixed-order sum — bit-identical regardless of how cells were
 //! scheduled across workers. The JSON rendering therefore is too.
+//!
+//! Not to be confused with `stayaway_core::aggregate`, which shares the
+//! name but not the job: that module aggregates *within one observation*
+//! (batch VMs → one logical VM, §5) to build the controller's measurement
+//! vector, while this one aggregates *across finished cells* into fleet
+//! and per-policy statistics. The two operate on different inputs at
+//! different times and share no code beyond [`stayaway_core::hit_ratio`] —
+//! the one genuinely common fold, kept in `stayaway-core` (its single
+//! home) and reused here.
 
 use crate::cell::CellOutcome;
 use crate::config::FleetConfig;
 use crate::FleetError;
 use serde::{Deserialize, Serialize};
+use stayaway_core::hit_ratio;
 use stayaway_sim::QosSummary;
 
 /// The distilled result of one cell, embedded in the fleet outcome.
@@ -19,6 +29,8 @@ pub struct CellSummary {
     pub scenario: String,
     /// Sensitive-workload registry key.
     pub sensitive: String,
+    /// Canonical name of the policy the cell ran.
+    pub policy: String,
     /// The cell's derived seed.
     pub seed: u64,
     /// Ticks the sensitive application was active.
@@ -53,6 +65,7 @@ impl CellSummary {
             cell: o.idx,
             scenario: o.scenario.clone(),
             sensitive: o.sensitive.clone(),
+            policy: o.policy.clone(),
             seed: o.seed,
             active_ticks: o.run.qos.active_ticks,
             violations: o.run.qos.violations,
@@ -67,6 +80,70 @@ impl CellSummary {
             imported_template: o.imported_template,
             first_throttle_proactive: o.first_throttle_proactive,
         }
+    }
+}
+
+/// Per-policy rollup of the cells that ran one control plane, for
+/// mixed-policy fleets (cohort vs control-group comparisons in one run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRollup {
+    /// Canonical policy name.
+    pub policy: String,
+    /// Cells that ran this policy.
+    pub cells: usize,
+    /// Pooled QoS accounting over those cells.
+    pub qos: QosSummary,
+    /// Mean of those cells' gained (batch) utilisations.
+    pub mean_gained_utilization: f64,
+    /// Total nominal batch work completed by those cells.
+    pub total_batch_work: f64,
+    /// Total throttle actions.
+    pub throttles: u64,
+    /// Total resume actions.
+    pub resumes: u64,
+    /// Total checked predictions (zero for non-predictive policies).
+    pub prediction_checks: u64,
+    /// Total checked predictions that matched reality.
+    pub prediction_hits: u64,
+}
+
+impl PolicyRollup {
+    fn new(policy: &str) -> Self {
+        PolicyRollup {
+            policy: policy.to_string(),
+            cells: 0,
+            qos: QosSummary::new(),
+            mean_gained_utilization: 0.0,
+            total_batch_work: 0.0,
+            throttles: 0,
+            resumes: 0,
+            prediction_checks: 0,
+            prediction_hits: 0,
+        }
+    }
+
+    fn fold(&mut self, o: &CellOutcome) {
+        self.cells += 1;
+        self.qos.active_ticks += o.run.qos.active_ticks;
+        self.qos.violations += o.run.qos.violations;
+        self.qos.qos_sum += o.run.qos.qos_sum;
+        self.qos.worst = self.qos.worst.min(o.run.qos.worst);
+        self.mean_gained_utilization += o.run.mean_gained_utilization(o.cpu_capacity);
+        self.total_batch_work += o.run.batch_work;
+        self.throttles += o.stats.throttles;
+        self.resumes += o.stats.resumes;
+        self.prediction_checks += o.stats.prediction_checks;
+        self.prediction_hits += o.stats.prediction_hits;
+    }
+
+    /// QoS satisfaction over this policy's pooled active ticks.
+    pub fn satisfaction(&self) -> f64 {
+        self.qos.satisfaction()
+    }
+
+    /// Prediction accuracy over this policy's pooled checks.
+    pub fn prediction_accuracy(&self) -> f64 {
+        hit_ratio(self.prediction_hits, self.prediction_checks)
     }
 }
 
@@ -106,6 +183,9 @@ pub struct FleetOutcome {
     /// Cells whose *first* throttle was proactive — the §6 head-start
     /// effect, visible fleet-wide when template sharing is on.
     pub proactive_first_throttles: usize,
+    /// Per-policy rollups, in order of first appearance across cells
+    /// (deterministic: cell plans are a pure function of the config).
+    pub per_policy: Vec<PolicyRollup>,
     /// Per-cell summaries, in cell-index order.
     pub per_cell: Vec<CellSummary>,
 }
@@ -126,7 +206,16 @@ impl FleetOutcome {
         let mut events_dropped = 0;
         let mut cells_imported = 0;
         let mut proactive_first_throttles = 0;
+        let mut per_policy: Vec<PolicyRollup> = Vec::new();
         for o in outcomes {
+            match per_policy.iter_mut().find(|r| r.policy == o.policy) {
+                Some(rollup) => rollup.fold(o),
+                None => {
+                    let mut rollup = PolicyRollup::new(&o.policy);
+                    rollup.fold(o);
+                    per_policy.push(rollup);
+                }
+            }
             qos.active_ticks += o.run.qos.active_ticks;
             qos.violations += o.run.qos.violations;
             qos.qos_sum += o.run.qos.qos_sum;
@@ -142,6 +231,9 @@ impl FleetOutcome {
             events_dropped += o.stats.events_dropped;
             cells_imported += usize::from(o.imported_template);
             proactive_first_throttles += usize::from(o.first_throttle_proactive);
+        }
+        for rollup in &mut per_policy {
+            rollup.mean_gained_utilization /= rollup.cells.max(1) as f64;
         }
         let n = outcomes.len().max(1) as f64;
         FleetOutcome {
@@ -161,6 +253,7 @@ impl FleetOutcome {
             events_dropped,
             cells_imported,
             proactive_first_throttles,
+            per_policy,
             per_cell: outcomes.iter().map(CellSummary::from_outcome).collect(),
         }
     }
@@ -177,11 +270,7 @@ impl FleetOutcome {
 
     /// Fleet-wide prediction accuracy (pooled checks).
     pub fn prediction_accuracy(&self) -> f64 {
-        if self.prediction_checks == 0 {
-            1.0
-        } else {
-            self.prediction_hits as f64 / self.prediction_checks as f64
-        }
+        hit_ratio(self.prediction_hits, self.prediction_checks)
     }
 
     /// Renders the outcome as pretty JSON. Deterministic: identical
@@ -199,13 +288,14 @@ impl FleetOutcome {
 mod tests {
     use super::*;
     use crate::cell::{run_cell, CellPlan};
+    use crate::policy::PolicySpec;
     use stayaway_core::ControllerConfig;
     use stayaway_sim::scenario::Scenario;
 
     fn outcomes() -> Vec<CellOutcome> {
         let plans = [
-            CellPlan::new(0, 5, Scenario::vlc_with_cpubomb(5)),
-            CellPlan::new(1, 5, Scenario::vlc_with_twitter(5)),
+            CellPlan::new(0, 5, Scenario::vlc_with_cpubomb(5), PolicySpec::StayAway),
+            CellPlan::new(1, 5, Scenario::vlc_with_twitter(5), PolicySpec::StayAway),
         ];
         plans
             .iter()

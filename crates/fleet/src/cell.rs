@@ -1,8 +1,9 @@
-//! One fleet cell: a harness + controller closed loop on "one host".
+//! One fleet cell: a harness + control-policy closed loop on "one host".
 
+use crate::policy::PolicySpec;
 use crate::seed::derive_cell_seed;
 use crate::FleetError;
-use stayaway_core::{Controller, ControllerConfig, ControllerEvent, ControllerStats};
+use stayaway_core::{ControllerConfig, ControllerEvent, ControllerStats};
 use stayaway_sim::scenario::Scenario;
 use stayaway_sim::RunOutcome;
 use stayaway_statespace::Template;
@@ -16,15 +17,18 @@ pub struct CellPlan {
     pub seed: u64,
     /// Scenario prototype this cell runs.
     pub scenario: Scenario,
+    /// The control plane this cell runs.
+    pub policy: PolicySpec,
 }
 
 impl CellPlan {
-    /// Builds the plan of cell `idx` under `fleet_seed`.
-    pub fn new(idx: usize, fleet_seed: u64, scenario: Scenario) -> Self {
+    /// Builds the plan of cell `idx` under `fleet_seed`, running `policy`.
+    pub fn new(idx: usize, fleet_seed: u64, scenario: Scenario, policy: PolicySpec) -> Self {
         CellPlan {
             idx,
             seed: derive_cell_seed(fleet_seed, idx as u64),
             scenario,
+            policy,
         }
     }
 
@@ -45,20 +49,24 @@ pub struct CellOutcome {
     pub scenario: String,
     /// Sensitive-workload registry key.
     pub sensitive: String,
+    /// Canonical name of the policy the cell ran.
+    pub policy: String,
     /// The cell's derived seed.
     pub seed: u64,
     /// Closed-loop run result.
     pub run: RunOutcome,
-    /// Controller statistics at the end of the run.
+    /// Control-policy statistics at the end of the run (all-zero for
+    /// baselines that track nothing).
     pub stats: ControllerStats,
     /// CPU capacity of the cell's host, for utilisation rollups.
     pub cpu_capacity: f64,
     /// True when the cell warm-started from a registry template.
     pub imported_template: bool,
-    /// The template the cell learned (exported at end of run).
-    pub template: Template,
-    /// Tick of the controller's first throttle, or `u64::MAX` if it never
-    /// throttled.
+    /// The template the cell learned (exported at end of run); `None` when
+    /// the cell's policy has no template support.
+    pub template: Option<Template>,
+    /// Tick of the policy's first throttle, or `u64::MAX` if it never
+    /// throttled (or keeps no decision log).
     pub first_throttle_tick: u64,
     /// True when the first throttle was proactive (prediction- or
     /// template-driven, not a reaction to an observed violation).
@@ -66,12 +74,13 @@ pub struct CellOutcome {
 }
 
 /// Runs one cell to completion: build the harness from the scenario
-/// prototype, inject the per-cell seed, optionally import a registry
-/// template, drive the closed loop, and export the learned template.
+/// prototype, inject the per-cell seed, instantiate the cell's control
+/// policy, optionally import a registry template, drive the closed loop,
+/// and export the learned template (when the policy supports one).
 ///
 /// # Errors
 ///
-/// Propagates harness construction, controller construction and template
+/// Propagates harness construction, policy construction and template
 /// import/export failures.
 pub fn run_cell(
     plan: &CellPlan,
@@ -85,30 +94,33 @@ pub fn run_cell(
         seed: plan.seed,
         ..controller.clone()
     };
-    let mut ctl = Controller::for_host(config, harness.host().spec())?;
+    let mut policy = plan.policy.build(&config, harness.host().spec())?;
+    let mut imported_template = false;
     if let Some(template) = import {
-        ctl.import_template(template)?;
+        imported_template = policy.import_template(template)?;
     }
-    let run = harness.run(&mut ctl, ticks);
-    let template = ctl.export_template(plan.sensitive_key())?;
-    let (first_throttle_tick, first_throttle_proactive) = ctl
+    let run = harness.run(policy.as_mut(), ticks);
+    let template = policy.export_template(plan.sensitive_key())?;
+    let (first_throttle_tick, first_throttle_proactive) = policy
         .events()
-        .iter()
-        .find_map(|e| match e {
-            ControllerEvent::Throttled {
-                tick, proactive, ..
-            } => Some((*tick, *proactive)),
-            _ => None,
+        .and_then(|events| {
+            events.iter().find_map(|e| match e {
+                ControllerEvent::Throttled {
+                    tick, proactive, ..
+                } => Some((*tick, *proactive)),
+                _ => None,
+            })
         })
         .unwrap_or((u64::MAX, false));
     Ok(CellOutcome {
         idx: plan.idx,
         scenario: plan.scenario.name().to_string(),
         sensitive: plan.sensitive_key().to_string(),
+        policy: plan.policy.name().to_string(),
         seed: plan.seed,
-        stats: ctl.stats(),
+        stats: policy.stats(),
         cpu_capacity: plan.scenario.host_spec().cpu_cores,
-        imported_template: import.is_some(),
+        imported_template,
         template,
         first_throttle_tick,
         first_throttle_proactive,
@@ -120,22 +132,27 @@ pub fn run_cell(
 mod tests {
     use super::*;
 
+    fn stayaway_plan(idx: usize, seed: u64, scenario: Scenario) -> CellPlan {
+        CellPlan::new(idx, seed, scenario, PolicySpec::StayAway)
+    }
+
     #[test]
     fn sensitive_key_is_the_name_prefix() {
-        let plan = CellPlan::new(0, 7, Scenario::vlc_with_cpubomb(7));
+        let plan = stayaway_plan(0, 7, Scenario::vlc_with_cpubomb(7));
         assert_eq!(plan.sensitive_key(), "vlc");
         assert_eq!(plan.seed, derive_cell_seed(7, 0));
     }
 
     #[test]
     fn run_cell_produces_a_template_and_stats() {
-        let plan = CellPlan::new(3, 7, Scenario::vlc_with_cpubomb(7));
+        let plan = stayaway_plan(3, 7, Scenario::vlc_with_cpubomb(7));
         let out = run_cell(&plan, &ControllerConfig::default(), None, 150).unwrap();
         assert_eq!(out.idx, 3);
         assert_eq!(out.scenario, "vlc+cpu-bomb");
+        assert_eq!(out.policy, "stay-away");
         assert_eq!(out.run.timeline.len(), 150);
         assert!(out.stats.periods == 150);
-        assert!(!out.template.is_empty());
+        assert!(!out.template.as_ref().unwrap().is_empty());
         assert!(!out.imported_template);
         // CPUBomb forces throttles; the cold first throttle is reactive.
         assert!(out.first_throttle_tick < u64::MAX);
@@ -144,7 +161,7 @@ mod tests {
 
     #[test]
     fn identical_plans_give_identical_outcomes() {
-        let plan = CellPlan::new(1, 9, Scenario::vlc_with_twitter(9));
+        let plan = stayaway_plan(1, 9, Scenario::vlc_with_twitter(9));
         let a = run_cell(&plan, &ControllerConfig::default(), None, 120).unwrap();
         let b = run_cell(&plan, &ControllerConfig::default(), None, 120).unwrap();
         assert_eq!(a.run, b.run);
@@ -155,22 +172,45 @@ mod tests {
     #[test]
     fn importing_a_template_enables_proactive_first_contact() {
         // Learn on one cell, warm-start another of the same sensitive app.
-        let teacher = CellPlan::new(0, 11, Scenario::vlc_with_cpubomb(11));
+        let teacher = stayaway_plan(0, 11, Scenario::vlc_with_cpubomb(11));
         let learned = run_cell(&teacher, &ControllerConfig::default(), None, 250).unwrap();
-        assert!(learned.template.violation_count() > 0);
+        let template = learned.template.unwrap();
+        assert!(template.violation_count() > 0);
 
-        let student = CellPlan::new(1, 11, Scenario::vlc_with_soplex(11));
-        let warm = run_cell(
-            &student,
-            &ControllerConfig::default(),
-            Some(&learned.template),
-            250,
-        )
-        .unwrap();
+        let student = stayaway_plan(1, 11, Scenario::vlc_with_soplex(11));
+        let warm = run_cell(&student, &ControllerConfig::default(), Some(&template), 250).unwrap();
         assert!(warm.imported_template);
         assert!(
             warm.first_throttle_proactive,
             "warm cell should throttle proactively on first contact"
         );
+    }
+
+    #[test]
+    fn baseline_cell_runs_without_templates_or_stats() {
+        let plan = CellPlan::new(
+            0,
+            13,
+            Scenario::vlc_with_cpubomb(13),
+            PolicySpec::Reactive { cooldown: 10 },
+        );
+        let out = run_cell(&plan, &ControllerConfig::default(), None, 150).unwrap();
+        assert_eq!(out.policy, "reactive");
+        assert!(out.template.is_none());
+        assert_eq!(out.stats, ControllerStats::default());
+        // Keeps no decision log → no first-throttle telemetry.
+        assert_eq!(out.first_throttle_tick, u64::MAX);
+        // A template offered to a non-supporting policy is ignored.
+        let teacher = stayaway_plan(1, 13, Scenario::vlc_with_cpubomb(13));
+        let learned = run_cell(&teacher, &ControllerConfig::default(), None, 150).unwrap();
+        let with_offer = run_cell(
+            &plan,
+            &ControllerConfig::default(),
+            learned.template.as_ref(),
+            150,
+        )
+        .unwrap();
+        assert!(!with_offer.imported_template);
+        assert_eq!(with_offer.run, out.run);
     }
 }

@@ -1,5 +1,6 @@
 //! Fleet configuration: how many cells, how many workers, which scenarios.
 
+use crate::policy::PolicySpec;
 use crate::FleetError;
 use stayaway_core::ControllerConfig;
 use stayaway_sim::apps::WebWorkload;
@@ -31,8 +32,14 @@ pub struct FleetConfig {
     pub share_templates: bool,
     /// Scenario prototypes round-robined across cells; must be non-empty.
     pub scenarios: Vec<Scenario>,
-    /// Controller tunables shared by every cell (the per-cell seed
-    /// overrides [`ControllerConfig::seed`]).
+    /// Control planes round-robined across cells (cell `i` runs
+    /// `policies[i % policies.len()]`); must be non-empty. A single-entry
+    /// list gives a homogeneous fleet; several entries run a mixed-policy
+    /// population in one deterministic experiment.
+    pub policies: Vec<PolicySpec>,
+    /// Controller tunables shared by every Stay-Away cell (the per-cell
+    /// seed overrides [`ControllerConfig::seed`]); ignored by baseline
+    /// policies.
     pub controller: ControllerConfig,
 }
 
@@ -48,6 +55,7 @@ impl FleetConfig {
             fleet_seed,
             share_templates: false,
             scenarios: Self::standard_mix(fleet_seed),
+            policies: vec![PolicySpec::StayAway],
             controller: ControllerConfig::default(),
         }
     }
@@ -92,6 +100,14 @@ impl FleetConfig {
                 reason: "scenario mix must not be empty".into(),
             });
         }
+        if self.policies.is_empty() {
+            return Err(FleetError::InvalidConfig {
+                reason: "policy mix must not be empty".into(),
+            });
+        }
+        for policy in &self.policies {
+            policy.validate()?;
+        }
         self.controller.validate().map_err(FleetError::Core)
     }
 }
@@ -127,6 +143,14 @@ mod tests {
             },
             FleetConfig {
                 scenarios: Vec::new(),
+                ..base.clone()
+            },
+            FleetConfig {
+                policies: Vec::new(),
+                ..base.clone()
+            },
+            FleetConfig {
+                policies: vec![PolicySpec::Reactive { cooldown: 0 }],
                 ..base.clone()
             },
             FleetConfig {

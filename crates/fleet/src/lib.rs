@@ -4,8 +4,12 @@
 //! At production scale the same mechanism runs on *many* hosts at once:
 //! each **cell** is one independent co-location experiment — a
 //! [`stayaway_sim::Harness`] closed loop driven by its own
-//! [`stayaway_core::Controller`] — and the fleet runtime executes N cells
-//! concurrently over a fixed worker pool.
+//! [`stayaway_core::ControlPolicy`] (the staged Stay-Away controller or
+//! any baseline, selected per cell via [`PolicySpec`]) — and the fleet
+//! runtime executes N cells concurrently over a fixed worker pool. A fleet
+//! can be homogeneous or round-robin several policies across its cells,
+//! running a Stay-Away cohort against a control group in one experiment;
+//! the rollup reports per-policy aggregates alongside the fleet totals.
 //!
 //! Three properties define the design:
 //!
@@ -45,16 +49,18 @@
 pub mod aggregate;
 pub mod cell;
 pub mod config;
+pub mod policy;
 pub mod registry;
 pub mod runner;
 pub mod seed;
 
 mod error;
 
-pub use aggregate::{CellSummary, FleetOutcome};
+pub use aggregate::{CellSummary, FleetOutcome, PolicyRollup};
 pub use cell::{CellOutcome, CellPlan};
 pub use config::FleetConfig;
 pub use error::FleetError;
+pub use policy::PolicySpec;
 pub use registry::{RegistryEntry, TemplateRegistry};
 pub use runner::Fleet;
 pub use seed::derive_cell_seed;

@@ -1,0 +1,242 @@
+//! Policy selection: which control plane a fleet cell (or a CLI run) uses.
+//!
+//! A [`PolicySpec`] is the declarative, clonable description of a control
+//! plane; [`PolicySpec::build`] instantiates it against a concrete host as
+//! a boxed [`ControlPolicy`]. Fleets round-robin a list of specs across
+//! their cells, so one fleet can run mixed-policy populations (e.g. a
+//! Stay-Away cohort against a reactive control group) in a single
+//! deterministic run.
+
+use crate::FleetError;
+use stayaway_baselines::{AlwaysThrottle, ReactivePolicy, StaticThresholdPolicy};
+use stayaway_core::{ControlPolicy, Controller, ControllerConfig, CoreError};
+use stayaway_sim::{HostSpec, NullPolicy};
+
+/// Default reactive cooldown (violation-free ticks before resume) used by
+/// [`PolicySpec::parse`] and [`PolicySpec::Reactive`]'s shorthand.
+pub const DEFAULT_REACTIVE_COOLDOWN: u64 = 10;
+
+/// Default static CPU-threshold fraction used by [`PolicySpec::parse`].
+pub const DEFAULT_STATIC_FRACTION: f64 = 0.5;
+
+/// Declarative choice of control plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySpec {
+    /// The staged Stay-Away controller (mapping + prediction + action).
+    StayAway,
+    /// Reactive phase-in/phase-out baseline: throttle after an observed
+    /// violation, resume after `cooldown` violation-free ticks.
+    Reactive {
+        /// Violation-free ticks before a resume (must be ≥ 1).
+        cooldown: u64,
+    },
+    /// Static profiling rule: throttle while sensitive CPU exceeds
+    /// `fraction` of the machine.
+    StaticThreshold {
+        /// CPU-usage fraction in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Batch applications never run (isolated-run QoS bound).
+    AlwaysThrottle,
+    /// No prevention at all (co-location without mitigation).
+    Null,
+}
+
+impl PolicySpec {
+    /// The canonical policy name, matching what the built policy reports
+    /// via [`stayaway_sim::Policy::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::StayAway => "stay-away",
+            PolicySpec::Reactive { .. } => "reactive",
+            PolicySpec::StaticThreshold { .. } => "static-threshold",
+            PolicySpec::AlwaysThrottle => "always-throttle",
+            PolicySpec::Null => "no-prevention",
+        }
+    }
+
+    /// Parses a CLI policy token. Accepted (with aliases):
+    /// `stayaway`/`stay-away`, `reactive`, `static`/`static-threshold`,
+    /// `always`/`always-throttle`, `null`/`none`/`no-prevention`.
+    /// Baseline parameters take their defaults
+    /// ([`DEFAULT_REACTIVE_COOLDOWN`], [`DEFAULT_STATIC_FRACTION`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for an unknown token.
+    pub fn parse(token: &str) -> Result<Self, FleetError> {
+        match token.trim().to_ascii_lowercase().as_str() {
+            "stayaway" | "stay-away" => Ok(PolicySpec::StayAway),
+            "reactive" => Ok(PolicySpec::Reactive {
+                cooldown: DEFAULT_REACTIVE_COOLDOWN,
+            }),
+            "static" | "static-threshold" => Ok(PolicySpec::StaticThreshold {
+                fraction: DEFAULT_STATIC_FRACTION,
+            }),
+            "always" | "always-throttle" => Ok(PolicySpec::AlwaysThrottle),
+            "null" | "none" | "no-prevention" => Ok(PolicySpec::Null),
+            other => Err(FleetError::InvalidConfig {
+                reason: format!(
+                    "unknown policy '{other}' (expected stayaway|reactive|static|always|null)"
+                ),
+            }),
+        }
+    }
+
+    /// Parses a comma-separated list of policy tokens (for mixed fleets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for an empty list or any
+    /// unknown token.
+    pub fn parse_list(tokens: &str) -> Result<Vec<Self>, FleetError> {
+        let specs: Vec<Self> = tokens
+            .split(',')
+            .filter(|t| !t.trim().is_empty())
+            .map(Self::parse)
+            .collect::<Result<_, _>>()?;
+        if specs.is_empty() {
+            return Err(FleetError::InvalidConfig {
+                reason: "policy list must not be empty".into(),
+            });
+        }
+        Ok(specs)
+    }
+
+    /// True when the policy can export/import state-map templates (§6);
+    /// fleets only schedule template-sharing waves across such cells.
+    pub fn supports_templates(&self) -> bool {
+        matches!(self, PolicySpec::StayAway)
+    }
+
+    /// Validates the spec's parameters (so fleet configuration errors
+    /// surface as errors, not as baseline constructor panics mid-run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] describing the problem.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        match self {
+            PolicySpec::Reactive { cooldown } if *cooldown == 0 => Err(FleetError::InvalidConfig {
+                reason: "reactive cooldown must be positive".into(),
+            }),
+            PolicySpec::StaticThreshold { fraction }
+                if !(fraction.is_finite() && *fraction > 0.0 && *fraction <= 1.0) =>
+            {
+                Err(FleetError::InvalidConfig {
+                    reason: format!("static threshold fraction must be in (0, 1], got {fraction}"),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Instantiates the control plane for a host. `config` is only
+    /// consulted by [`PolicySpec::StayAway`]; baselines derive what they
+    /// need (e.g. CPU capacity) from the host spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller construction failures.
+    pub fn build(
+        &self,
+        config: &ControllerConfig,
+        spec: &HostSpec,
+    ) -> Result<Box<dyn ControlPolicy>, CoreError> {
+        Ok(match self {
+            PolicySpec::StayAway => Box::new(Controller::for_host(config.clone(), spec)?),
+            PolicySpec::Reactive { cooldown } => Box::new(ReactivePolicy::new(*cooldown)),
+            PolicySpec::StaticThreshold { fraction } => {
+                Box::new(StaticThresholdPolicy::new(*fraction, spec.cpu_cores))
+            }
+            PolicySpec::AlwaysThrottle => Box::new(AlwaysThrottle::new()),
+            PolicySpec::Null => Box::new(NullPolicy::new()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_canonical_names_and_aliases() {
+        assert_eq!(
+            PolicySpec::parse("stay-away").unwrap(),
+            PolicySpec::StayAway
+        );
+        assert_eq!(PolicySpec::parse("STAYAWAY").unwrap(), PolicySpec::StayAway);
+        assert_eq!(
+            PolicySpec::parse("reactive").unwrap(),
+            PolicySpec::Reactive {
+                cooldown: DEFAULT_REACTIVE_COOLDOWN
+            }
+        );
+        assert_eq!(
+            PolicySpec::parse("static").unwrap(),
+            PolicySpec::StaticThreshold {
+                fraction: DEFAULT_STATIC_FRACTION
+            }
+        );
+        assert_eq!(
+            PolicySpec::parse("always").unwrap(),
+            PolicySpec::AlwaysThrottle
+        );
+        assert_eq!(PolicySpec::parse("none").unwrap(), PolicySpec::Null);
+        assert!(PolicySpec::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn parse_list_splits_on_commas() {
+        let specs = PolicySpec::parse_list("stayaway, reactive,null").unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].name(), "stay-away");
+        assert_eq!(specs[2].name(), "no-prevention");
+        assert!(PolicySpec::parse_list("").is_err());
+        assert!(PolicySpec::parse_list("stayaway,bogus").is_err());
+    }
+
+    #[test]
+    fn only_stay_away_supports_templates() {
+        assert!(PolicySpec::StayAway.supports_templates());
+        for spec in [
+            PolicySpec::Reactive { cooldown: 5 },
+            PolicySpec::StaticThreshold { fraction: 0.5 },
+            PolicySpec::AlwaysThrottle,
+            PolicySpec::Null,
+        ] {
+            assert!(!spec.supports_templates(), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        assert!(PolicySpec::Reactive { cooldown: 0 }.validate().is_err());
+        assert!(PolicySpec::StaticThreshold { fraction: 0.0 }
+            .validate()
+            .is_err());
+        assert!(PolicySpec::StaticThreshold { fraction: 1.5 }
+            .validate()
+            .is_err());
+        assert!(PolicySpec::StaticThreshold { fraction: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(PolicySpec::Reactive { cooldown: 1 }.validate().is_ok());
+    }
+
+    #[test]
+    fn build_produces_the_named_policy() {
+        let spec = HostSpec::default();
+        let config = ControllerConfig::default();
+        for policy_spec in [
+            PolicySpec::StayAway,
+            PolicySpec::Reactive { cooldown: 10 },
+            PolicySpec::StaticThreshold { fraction: 0.5 },
+            PolicySpec::AlwaysThrottle,
+            PolicySpec::Null,
+        ] {
+            let built = policy_spec.build(&config, &spec).unwrap();
+            assert_eq!(built.name(), policy_spec.name());
+        }
+    }
+}

@@ -73,13 +73,14 @@ impl Fleet {
         &self.config
     }
 
-    /// Builds the per-cell plans: scenario `i % mix` reseeded with the
-    /// derived cell seed.
+    /// Builds the per-cell plans: scenario `i % mix` and policy
+    /// `i % policies`, reseeded with the derived cell seed.
     fn plans(&self) -> Vec<CellPlan> {
         (0..self.config.cells)
             .map(|idx| {
                 let scenario = self.config.scenarios[idx % self.config.scenarios.len()].clone();
-                CellPlan::new(idx, self.config.fleet_seed, scenario)
+                let policy = self.config.policies[idx % self.config.policies.len()].clone();
+                CellPlan::new(idx, self.config.fleet_seed, scenario, policy)
             })
             .collect()
     }
@@ -95,8 +96,10 @@ impl Fleet {
         let plans = self.plans();
         let mut outcomes: Vec<CellOutcome>;
         if self.config.share_templates {
-            // Pioneers: the first cell of each sensitive workload that the
-            // registry cannot already serve.
+            // Pioneers: the first *template-supporting* cell of each
+            // sensitive workload that the registry cannot already serve.
+            // Cells whose policy has no template support (baselines) never
+            // pioneer and never import; they run in the follower wave.
             let mut served: BTreeSet<String> = plans
                 .iter()
                 .map(|p| p.sensitive_key())
@@ -106,7 +109,9 @@ impl Fleet {
             let mut pioneer_jobs = Vec::new();
             let mut follower_plans = Vec::new();
             for plan in plans {
-                if served.insert(plan.sensitive_key().to_string()) {
+                if plan.policy.supports_templates()
+                    && served.insert(plan.sensitive_key().to_string())
+                {
                     pioneer_jobs.push((plan, None));
                 } else {
                     follower_plans.push(plan);
@@ -116,21 +121,28 @@ impl Fleet {
             // Barrier: publish pioneer knowledge in cell-index order, then
             // freeze the registry for the follower wave.
             for outcome in &outcomes {
-                self.registry.publish(outcome.template.clone(), outcome.idx);
+                if let Some(template) = &outcome.template {
+                    self.registry.publish(template.clone(), outcome.idx);
+                }
             }
             let follower_jobs: Vec<(CellPlan, Option<Template>)> = follower_plans
                 .into_iter()
                 .map(|plan| {
-                    let import = self
-                        .registry
-                        .lookup(plan.sensitive_key())
-                        .map(|entry| entry.template);
+                    let import = if plan.policy.supports_templates() {
+                        self.registry
+                            .lookup(plan.sensitive_key())
+                            .map(|entry| entry.template)
+                    } else {
+                        None
+                    };
                     (plan, import)
                 })
                 .collect();
             let followers = self.run_wave(follower_jobs)?;
             for outcome in &followers {
-                self.registry.publish(outcome.template.clone(), outcome.idx);
+                if let Some(template) = &outcome.template {
+                    self.registry.publish(template.clone(), outcome.idx);
+                }
             }
             outcomes.extend(followers);
         } else {
@@ -199,6 +211,7 @@ impl Fleet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::PolicySpec;
 
     fn small_config(workers: usize, share: bool) -> FleetConfig {
         let mut config = FleetConfig::new(6, workers, 21);
@@ -261,5 +274,42 @@ mod tests {
         let mut config = small_config(1, false);
         config.cells = 0;
         assert!(Fleet::new(config).is_err());
+    }
+
+    #[test]
+    fn mixed_policy_fleet_is_deterministic_and_rolls_up_per_policy() {
+        let run = |workers| {
+            let mut config = small_config(workers, true);
+            config.policies = vec![PolicySpec::StayAway, PolicySpec::Reactive { cooldown: 10 }];
+            Fleet::new(config).unwrap().run().unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+        // Cells alternate policies; both appear in the per-cell summaries
+        // and the per-policy rollups cover every cell exactly once.
+        assert_eq!(a.per_cell[0].policy, "stay-away");
+        assert_eq!(a.per_cell[1].policy, "reactive");
+        assert_eq!(a.per_policy.len(), 2);
+        assert_eq!(a.per_policy.iter().map(|r| r.cells).sum::<usize>(), 6);
+        // Baselines never predict; only the stay-away rollup has checks.
+        let reactive = a
+            .per_policy
+            .iter()
+            .find(|r| r.policy == "reactive")
+            .unwrap();
+        assert_eq!(reactive.prediction_checks, 0);
+        assert_eq!(reactive.prediction_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn baseline_cells_never_pioneer_or_import() {
+        let mut config = small_config(2, true);
+        config.policies = vec![PolicySpec::Reactive { cooldown: 10 }];
+        let fleet = Fleet::new(config).unwrap();
+        let outcome = fleet.run().unwrap();
+        assert_eq!(fleet.registry().len(), 0);
+        assert_eq!(outcome.cells_imported, 0);
     }
 }

@@ -6,6 +6,15 @@
 //! to capacity) of the individual batch VMs' usage. The measurement vector
 //! is therefore always `2 × |metrics|` wide: the sensitive VM's metrics
 //! followed by the total host load (sensitive + logical batch VM).
+//!
+//! Not to be confused with `stayaway_fleet::aggregate`, which shares the
+//! name but not the job: this module folds container observations *within
+//! one tick on one host* to feed the sense stage, while the fleet module
+//! folds *finished cell outcomes* into fleet-wide rollups. They share no
+//! numeric helper except the hits-over-checks ratio, which lives in
+//! [`crate::events::hit_ratio`] (its single home) and is reused by both
+//! [`crate::ControllerStats::prediction_accuracy`] and the fleet's
+//! aggregation.
 
 use stayaway_sim::{AppClass, ContainerObs, Observation, ResourceKind, ResourceVector};
 

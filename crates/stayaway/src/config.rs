@@ -54,6 +54,10 @@ pub struct ControllerConfig {
     /// How the 2-D embedding is maintained: per-period SMACOF (the paper's
     /// pipeline) or the landmark-MDS incremental alternative §4 cites.
     pub embedding_strategy: EmbeddingStrategy,
+    /// Length of one control period in seconds (the paper samples per-VM
+    /// metrics once per second, §5). The simulator equates one tick with
+    /// one period; a deployment would use this to pace its sampling loop.
+    pub control_period_secs: f64,
     /// Seed of the controller's internal randomness (prediction sampling
     /// and optimistic resumes).
     pub seed: u64,
@@ -86,6 +90,7 @@ impl Default for ControllerConfig {
             per_mode_models: true,
             violation_detection: ViolationDetection::AppReported,
             embedding_strategy: EmbeddingStrategy::Smacof,
+            control_period_secs: 1.0,
             seed: 0,
             events_capacity: 4096,
         }
@@ -159,6 +164,14 @@ impl ControllerConfig {
                 reason: "events_capacity must be positive".into(),
             });
         }
+        if !(self.control_period_secs.is_finite() && self.control_period_secs > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "control_period_secs must be positive and finite, got {}",
+                    self.control_period_secs
+                ),
+            });
+        }
         if let ViolationDetection::IpcInferred { threshold } = self.violation_detection {
             if !(threshold.is_finite() && threshold > 0.0 && threshold <= 1.0) {
                 return Err(CoreError::InvalidConfig {
@@ -216,9 +229,28 @@ mod tests {
                 events_capacity: 0,
                 ..base.clone()
             },
+            ControllerConfig {
+                control_period_secs: 0.0,
+                ..base.clone()
+            },
+            ControllerConfig {
+                control_period_secs: f64::NAN,
+                ..base.clone()
+            },
+            ControllerConfig {
+                control_period_secs: f64::INFINITY,
+                ..base.clone()
+            },
         ];
         for c in cases {
             assert!(c.validate().is_err());
         }
+    }
+
+    #[test]
+    fn default_control_period_is_one_second() {
+        let c = ControllerConfig::default();
+        assert_eq!(c.control_period_secs, 1.0);
+        c.validate().unwrap();
     }
 }

@@ -155,6 +155,96 @@ impl<'a> IntoIterator for &'a EventLog {
     }
 }
 
+/// Invocation count and accumulated wall-time of one pipeline stage.
+///
+/// Wall-time is diagnostic only: two bit-identical runs disagree on
+/// nanoseconds, so equality compares invocation counts alone — the
+/// determinism suite can keep asserting `stats == stats` while perf PRs
+/// still see which stage burns the per-period budget.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StageClock {
+    /// Times the stage ran.
+    pub invocations: u64,
+    /// Accumulated wall-clock nanoseconds across those invocations.
+    pub nanos: u64,
+}
+
+impl StageClock {
+    /// Records one invocation taking `elapsed`.
+    pub fn record(&mut self, elapsed: std::time::Duration) {
+        self.invocations += 1;
+        self.nanos = self.nanos.saturating_add(elapsed.as_nanos() as u64);
+    }
+
+    /// Mean nanoseconds per invocation (0 when the stage never ran).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.nanos as f64 / self.invocations as f64
+        }
+    }
+}
+
+impl PartialEq for StageClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.invocations == other.invocations
+    }
+}
+
+/// Per-stage accounting of the staged control pipeline
+/// (Sense → Map → Predict → Act), surfaced via
+/// [`ControllerStats::stage_timing`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Observation → raw measurement vector (violation detection included).
+    pub sense: StageClock,
+    /// Dedup + incremental MDS + state-map upkeep.
+    pub map: StageClock,
+    /// Verdict verification, trajectory update and candidate sampling.
+    pub predict: StageClock,
+    /// Throttle/resume decisions and β adaptation.
+    pub act: StageClock,
+}
+
+impl StageTiming {
+    /// Records one control period's four stage spans.
+    pub fn record_period(
+        &mut self,
+        sense: std::time::Duration,
+        map: std::time::Duration,
+        predict: std::time::Duration,
+        act: std::time::Duration,
+    ) {
+        self.sense.record(sense);
+        self.map.record(map);
+        self.predict.record(predict);
+        self.act.record(act);
+    }
+
+    /// Total wall-clock nanoseconds across all four stages.
+    pub fn total_nanos(&self) -> u64 {
+        self.sense
+            .nanos
+            .saturating_add(self.map.nanos)
+            .saturating_add(self.predict.nanos)
+            .saturating_add(self.act.nanos)
+    }
+}
+
+/// Ratio of `hits` over `checks`, defined as 1.0 when nothing was checked.
+///
+/// The one fold helper genuinely shared between the controller's
+/// [`ControllerStats::prediction_accuracy`] and the fleet rollup's pooled
+/// accuracy — kept here (its single home) and re-used by `stayaway-fleet`.
+pub fn hit_ratio(hits: u64, checks: u64) -> f64 {
+    if checks == 0 {
+        1.0
+    } else {
+        hits as f64 / checks as f64
+    }
+}
+
 /// Aggregate controller statistics over a run.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ControllerStats {
@@ -181,17 +271,15 @@ pub struct ControllerStats {
     pub mapping_errors: u64,
     /// Events evicted from the bounded decision log (see [`EventLog`]).
     pub events_dropped: u64,
+    /// Per-stage tick counters and wall-time of the control pipeline.
+    pub stage_timing: StageTiming,
 }
 
 impl ControllerStats {
     /// Fraction of checked predictions that matched the actually reached
     /// state (the §3.2.3 accuracy measure). 1.0 when nothing was checked.
     pub fn prediction_accuracy(&self) -> f64 {
-        if self.prediction_checks == 0 {
-            1.0
-        } else {
-            self.prediction_hits as f64 / self.prediction_checks as f64
-        }
+        hit_ratio(self.prediction_hits, self.prediction_checks)
     }
 }
 
@@ -275,6 +363,38 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert_eq!(log.dropped(), 1);
         assert_eq!(log.iter().next().unwrap().tick(), 2);
+    }
+
+    #[test]
+    fn stage_clock_equality_ignores_wall_time() {
+        let mut a = StageClock::default();
+        let mut b = StageClock::default();
+        a.record(std::time::Duration::from_nanos(10));
+        b.record(std::time::Duration::from_nanos(9999));
+        assert_eq!(a, b, "same invocation count must compare equal");
+        b.record(std::time::Duration::from_nanos(1));
+        assert_ne!(a, b);
+        assert!(a.mean_nanos() > 0.0);
+        assert_eq!(StageClock::default().mean_nanos(), 0.0);
+    }
+
+    #[test]
+    fn stage_timing_records_all_four_stages() {
+        let mut t = StageTiming::default();
+        let d = std::time::Duration::from_nanos(5);
+        t.record_period(d, d, d, d);
+        t.record_period(d, d, d, d);
+        for clock in [t.sense, t.map, t.predict, t.act] {
+            assert_eq!(clock.invocations, 2);
+            assert_eq!(clock.nanos, 10);
+        }
+        assert_eq!(t.total_nanos(), 40);
+    }
+
+    #[test]
+    fn hit_ratio_handles_zero_checks() {
+        assert_eq!(hit_ratio(0, 0), 1.0);
+        assert_eq!(hit_ratio(3, 4), 0.75);
     }
 
     #[test]

@@ -1,22 +1,32 @@
 //! The Stay-Away controller — the paper's primary contribution.
 //!
-//! Every control period the controller executes the three-step mechanism of
-//! §3 against any substrate exposing the [`stayaway_sim::Policy`]
-//! interface:
+//! Every control period the controller routes one observation through the
+//! explicit [`stages`] pipeline (Sense → Map → Predict → Act), the §3
+//! mechanism made first-class:
 //!
-//! 1. **Mapping** ([`mapping`]): the per-VM resource-usage snapshot is
-//!    aggregated (batch VMs form one *logical VM*, §5), normalised into
-//!    `[0, 1]` per metric, deduplicated to a representative sample set
-//!    (§4), embedded into 2-D with warm-started SMACOF and
-//!    Procrustes-aligned to the previous period's map.
-//! 2. **Prediction** ([`stayaway_trajectory`]): the step is attributed to
-//!    the current execution mode's trajectory model; candidate future
-//!    states are drawn by inverse-transform sampling and tested against the
-//!    violation-ranges of the state map (§3.2).
-//! 3. **Action** ([`action`]): a predicted (or observed) violation pauses
-//!    the batch applications holding the majority resource share; the
-//!    β-learned phase-change detector and a randomised optimistic retry
-//!    decide when to resume (§3.3).
+//! 1. **Sense** ([`stages::sense`]): the per-VM resource-usage snapshot is
+//!    classified into an execution mode, assessed for QoS violations, and
+//!    aggregated into the raw measurement vector (batch VMs form one
+//!    *logical VM*, §5).
+//! 2. **Map** ([`stages::map`], backed by [`mapping`]): the vector is
+//!    normalised into `[0, 1]` per metric, deduplicated to a
+//!    representative sample set (§4), embedded into 2-D with warm-started
+//!    SMACOF and Procrustes-aligned to the previous period's map.
+//! 3. **Predict** ([`stages::predict`], backed by [`stayaway_trajectory`]):
+//!    the step is attributed to the current execution mode's trajectory
+//!    model; candidate future states are drawn by inverse-transform
+//!    sampling and tested against the violation-ranges of the state map
+//!    (§3.2).
+//! 4. **Act** ([`stages::act`], backed by [`action`]): a predicted (or
+//!    observed) violation pauses the batch applications holding the
+//!    majority resource share; the β-learned phase-change detector and a
+//!    randomised optimistic retry decide when to resume (§3.3).
+//!
+//! The [`Controller`] is a thin composer over these stages and implements
+//! [`ControlPolicy`] — the unified control-plane interface ([`policy`])
+//! that the bench runner, fleet cells and CLI program against, for the
+//! Stay-Away controller and baselines alike. Per-stage cost is recorded in
+//! [`events::StageTiming`] and surfaced via [`ControllerStats`].
 //!
 //! The state map doubles as a reusable [`stayaway_statespace::Template`]
 //! for future runs of the same sensitive application (§6).
@@ -52,6 +62,8 @@ pub mod config;
 pub mod controller;
 pub mod events;
 pub mod mapping;
+pub mod policy;
+pub mod stages;
 pub mod violation;
 
 mod error;
@@ -59,6 +71,9 @@ mod error;
 pub use config::ControllerConfig;
 pub use controller::Controller;
 pub use error::CoreError;
-pub use events::{ControllerEvent, ControllerStats, EventLog, ResumeReason};
+pub use events::{
+    hit_ratio, ControllerEvent, ControllerStats, EventLog, ResumeReason, StageClock, StageTiming,
+};
 pub use mapping::EmbeddingStrategy;
+pub use policy::ControlPolicy;
 pub use violation::{ViolationDetection, ViolationDetector};

@@ -1,0 +1,146 @@
+//! Stage 3 — Predict: trajectory models and violation forecasts (§3.2.3).
+//!
+//! Owns the per-mode (or pooled, under the ablation) trajectory models,
+//! the previous-state cursor driving step attribution, and the pending
+//! verdict used to measure prediction accuracy against the actually
+//! reached next state.
+
+use super::map::MapStage;
+use crate::CoreError;
+use rand::rngs::StdRng;
+use stayaway_statespace::{ExecutionMode, Point2};
+use stayaway_trajectory::{ModePredictor, Predictor, SingleModelPredictor, Step};
+
+/// Either of the two predictor designs, selected by
+/// [`crate::ControllerConfig::per_mode_models`].
+// One long-lived instance per controller: the size difference between the
+// variants is irrelevant, so no boxing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum AnyPredictor {
+    PerMode(ModePredictor),
+    Single(SingleModelPredictor),
+}
+
+impl AnyPredictor {
+    fn observe(&mut self, mode: ExecutionMode, step: Step) {
+        match self {
+            AnyPredictor::PerMode(p) => p.observe(mode, step),
+            AnyPredictor::Single(p) => p.observe(mode, step),
+        }
+    }
+
+    fn predict(
+        &self,
+        mode: ExecutionMode,
+        current: Point2,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Option<stayaway_trajectory::Prediction> {
+        match self {
+            AnyPredictor::PerMode(p) => p.predict(mode, current, n, rng),
+            AnyPredictor::Single(p) => p.predict(mode, current, n, rng),
+        }
+    }
+}
+
+/// One period's violation forecast.
+#[derive(Debug, Clone, Copy)]
+pub struct Forecast {
+    /// Majority of sampled candidates fell inside a violation-range.
+    pub predicted_violation: bool,
+    /// Candidates inside a violation-range.
+    pub votes: usize,
+    /// Total candidates drawn.
+    pub samples: usize,
+}
+
+/// The prediction stage: per-mode trajectory sampling over the state map.
+#[derive(Debug)]
+pub struct PredictStage {
+    predictor: AnyPredictor,
+    samples: usize,
+    prev: Option<(usize, ExecutionMode)>,
+    pending_verdict: Option<bool>,
+}
+
+impl PredictStage {
+    /// Creates the stage: one model per execution mode (the paper's
+    /// design) or a single pooled model (ablation), drawing `samples`
+    /// candidates per forecast.
+    pub fn new(per_mode_models: bool, samples: usize) -> Self {
+        let predictor = if per_mode_models {
+            AnyPredictor::PerMode(ModePredictor::new())
+        } else {
+            AnyPredictor::Single(SingleModelPredictor::new())
+        };
+        PredictStage {
+            predictor,
+            samples,
+            prev: None,
+            pending_verdict: None,
+        }
+    }
+
+    /// Checks the previous period's forecast against the state actually
+    /// reached. Returns `Some(hit)` when a verdict was pending.
+    pub fn verify(&mut self, map: &MapStage, rep: usize, point: Point2) -> Option<bool> {
+        let predicted_in_range = self.pending_verdict.take()?;
+        let actually_in_range = map.in_violation_range(point) || map.is_violation_state(rep);
+        Some(predicted_in_range == actually_in_range)
+    }
+
+    /// Attributes the step from the previous representative's current
+    /// position to `point` to `mode`'s trajectory model, and advances the
+    /// previous-state cursor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates position lookups.
+    pub fn track(
+        &mut self,
+        map: &MapStage,
+        rep: usize,
+        point: Point2,
+        mode: ExecutionMode,
+    ) -> Result<(), CoreError> {
+        if let Some((prev_rep, _)) = self.prev {
+            let step = Step::between(map.point_of(prev_rep)?, point);
+            self.predictor.observe(mode, step);
+        }
+        self.prev = Some((rep, mode));
+        Ok(())
+    }
+
+    /// Draws candidate future states from `mode`'s model and votes them
+    /// against the violation-ranges; records the verdict for next period's
+    /// accuracy check. `None` while the model has no samples yet.
+    pub fn forecast(
+        &mut self,
+        map: &MapStage,
+        mode: ExecutionMode,
+        point: Point2,
+        rng: &mut StdRng,
+    ) -> Option<Forecast> {
+        let prediction = self.predictor.predict(mode, point, self.samples, rng)?;
+        let votes = prediction.count_where(|c| map.in_violation_range(c));
+        let predicted_violation = 2 * votes > prediction.len();
+        self.pending_verdict = Some(predicted_violation);
+        Some(Forecast {
+            predicted_violation,
+            votes,
+            samples: prediction.len(),
+        })
+    }
+
+    /// Drops the pending verdict: a throttle consumed the prediction, so
+    /// its next state will not be observed under co-location.
+    pub fn cancel_verdict(&mut self) {
+        self.pending_verdict = None;
+    }
+
+    /// The representative the most recent observation mapped to.
+    pub fn current_state(&self) -> Option<usize> {
+        self.prev.map(|(rep, _)| rep)
+    }
+}

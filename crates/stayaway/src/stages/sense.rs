@@ -1,0 +1,85 @@
+//! Stage 1 — Sense: one per-VM observation becomes the controller's raw
+//! inputs (§3.1, §5).
+//!
+//! The stage classifies the execution mode from container activity,
+//! assesses the QoS-violation signal (application-reported or
+//! IPC-inferred), assembles the raw `⟨sensitive, total⟩` measurement
+//! vector with logical-VM aggregation, and remembers the logical batch
+//! VM's usage while it runs so the act stage can later estimate what a
+//! resume would add to the host load.
+
+use crate::aggregate::{
+    batch_usage_vector, measurement_vector, protected_active, throttleable_active,
+};
+use crate::violation::{ViolationDetection, ViolationDetector};
+use stayaway_sim::{Observation, ResourceKind};
+use stayaway_statespace::ExecutionMode;
+
+/// Everything one control period senses from the observation.
+#[derive(Debug, Clone)]
+pub struct Sensed {
+    /// The tick the observation describes.
+    pub tick: u64,
+    /// Execution mode derived from protected/throttleable activity.
+    pub mode: ExecutionMode,
+    /// Whether this tick counts as a QoS violation.
+    pub violated: bool,
+    /// Raw (unnormalised) measurement vector `⟨sensitive, total⟩` over the
+    /// configured metrics.
+    pub raw: Vec<f64>,
+}
+
+/// The sensing stage: observation → [`Sensed`].
+#[derive(Debug)]
+pub struct SenseStage {
+    metrics: Vec<ResourceKind>,
+    detector: ViolationDetector,
+    /// Raw metric usage of the logical batch VM when it last ran, used by
+    /// the act stage to estimate the co-located state a resume would
+    /// produce.
+    last_batch_usage: Option<Vec<f64>>,
+}
+
+impl SenseStage {
+    /// Creates the stage for the configured metrics and violation source.
+    pub fn new(metrics: &[ResourceKind], detection: ViolationDetection) -> Self {
+        SenseStage {
+            metrics: metrics.to_vec(),
+            detector: ViolationDetector::new(detection),
+            last_batch_usage: None,
+        }
+    }
+
+    /// Senses one observation. Also refreshes the remembered logical-batch
+    /// usage whenever throttleable containers are active (a pure function
+    /// of the observation, so recording it here — at the start of the
+    /// period — is equivalent to the historical mid-period update).
+    pub fn observe(&mut self, observation: &Observation) -> Sensed {
+        let mode = ExecutionMode::from_activity(
+            protected_active(observation),
+            throttleable_active(observation),
+        );
+        let violated = self.detector.assess(observation);
+        let raw = measurement_vector(observation, &self.metrics);
+        if throttleable_active(observation) {
+            self.last_batch_usage = Some(batch_usage_vector(observation, &self.metrics));
+        }
+        Sensed {
+            tick: observation.tick,
+            mode,
+            violated,
+            raw,
+        }
+    }
+
+    /// The logical batch VM's usage when it last ran, if ever.
+    pub fn last_batch_usage(&self) -> Option<&[f64]> {
+        self.last_batch_usage.as_deref()
+    }
+
+    /// Number of configured metrics (the sensitive half of
+    /// [`Sensed::raw`] spans indices `0..metrics_len`).
+    pub fn metrics_len(&self) -> usize {
+        self.metrics.len()
+    }
+}

@@ -1,0 +1,80 @@
+//! Golden-fixture equivalence for the staged controller pipeline.
+//!
+//! The fixture under `tests/fixtures/` was captured from the pre-refactor
+//! monolithic controller (one `period()` function). The staged pipeline
+//! (Sense → Map → Predict → Act) must reproduce the recorded event and
+//! stat streams **bit-for-bit** on the same scenario: identical events in
+//! identical order, identical counters, identical per-tick action counts,
+//! identical final β. Any divergence means the refactor changed behaviour.
+//!
+//! Regenerate (only when a behaviour change is intended and reviewed):
+//!
+//! ```text
+//! STAYAWAY_REGEN_GOLDEN=1 cargo test -p stayaway-core --test golden_fixture
+//! ```
+
+use serde_json::Value;
+use stayaway_core::{Controller, ControllerConfig};
+use stayaway_sim::scenario::Scenario;
+
+const FIXTURE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_controller.json"
+);
+
+/// Runs the default scenario under the default configuration and projects
+/// the observable controller behaviour into a canonical JSON document.
+///
+/// Only behaviourally meaningful, deterministic fields enter the
+/// projection: wall-clock stage timings are explicitly excluded, stat
+/// fields are listed one by one so adding a *new* counter cannot silently
+/// change the fixture.
+fn capture() -> Value {
+    let scenario = Scenario::vlc_with_cpubomb(7);
+    let ticks = 300u64;
+    let mut harness = scenario.build_harness().expect("scenario builds");
+    let mut ctl = Controller::for_host(ControllerConfig::default(), harness.host().spec())
+        .expect("default config is valid");
+    let outcome = harness.run(&mut ctl, ticks);
+    let stats = ctl.stats();
+    let actions: Vec<usize> = outcome.timeline.iter().map(|r| r.actions).collect();
+    serde_json::json!({
+        "scenario": scenario.name(),
+        "ticks": ticks,
+        "events": ctl.events().to_vec(),
+        "stats": serde_json::json!({
+            "periods": stats.periods,
+            "violations_observed": stats.violations_observed,
+            "violations_predicted": stats.violations_predicted,
+            "throttles": stats.throttles,
+            "resumes": stats.resumes,
+            "prediction_checks": stats.prediction_checks,
+            "prediction_hits": stats.prediction_hits,
+            "states": stats.states,
+            "violation_states": stats.violation_states,
+            "mapping_errors": stats.mapping_errors,
+            "events_dropped": stats.events_dropped,
+        }),
+        "beta": ctl.beta(),
+        "qos_violations": outcome.qos.violations,
+        "timeline_actions": actions,
+    })
+}
+
+#[test]
+fn staged_pipeline_matches_prerefactor_golden_fixture() {
+    let rendered = serde_json::to_string_pretty(&capture()).expect("projection serialises") + "\n";
+    if std::env::var("STAYAWAY_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(FIXTURE_PATH).parent().unwrap())
+            .expect("fixture dir");
+        std::fs::write(FIXTURE_PATH, &rendered).expect("fixture written");
+        eprintln!("golden fixture regenerated at {FIXTURE_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(FIXTURE_PATH)
+        .expect("golden fixture exists (regenerate with STAYAWAY_REGEN_GOLDEN=1)");
+    assert_eq!(
+        rendered, golden,
+        "staged pipeline diverged from the pre-refactor event/stat stream"
+    );
+}

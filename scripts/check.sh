@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, lints (warnings are errors), the release
-# build, the test suite (including the fleet determinism suite), and a
+# Full local gate: formatting, lints (warnings are errors), rustdoc
+# (warnings are errors), the release build, the test suite (including the
+# fleet determinism suite and the staged-controller golden fixture), and a
 # compile check of every criterion bench target. Run from anywhere
 # inside the repository.
 set -euo pipefail
@@ -8,7 +9,9 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 cargo build --release --workspace
 cargo test -q --workspace
 cargo test -q -p stayaway-fleet --test determinism
+cargo test -q -p stayaway-core --test golden_fixture
 cargo bench --workspace --no-run

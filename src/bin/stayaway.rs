@@ -13,9 +13,8 @@
 //! web-cpu, web-mem, web-mix} and batch ∈ {cpu-bomb, memory-bomb, soplex,
 //! twitter-analysis, vlc-transcode}.
 
-use stay_away::baselines::{AlwaysThrottle, NoPrevention, ReactivePolicy, StaticThresholdPolicy};
-use stay_away::core::{Controller, ControllerConfig};
-use stay_away::fleet::{Fleet, FleetConfig};
+use stay_away::core::{ControlPolicy, ControllerConfig, ControllerStats};
+use stay_away::fleet::{Fleet, FleetConfig, PolicySpec};
 use stay_away::sim::apps::WebWorkload;
 use stay_away::sim::scenario::{BatchKind, Scenario, SensitiveKind};
 use stay_away::sim::workload::{DiurnalParams, Trace};
@@ -36,7 +35,9 @@ commands:
 options:
   --scenario <sens>+<batch>  e.g. vlc+cpu-bomb, web-mem+twitter-analysis
                              (fleet default: a 4-scenario mix)
-  --policy <name>            stay-away | none | always | reactive | static
+  --policy <name>            stayaway | reactive | static | always | null
+                             (fleet: comma-separated list round-robined
+                             across cells, e.g. stayaway,reactive)
   --ticks <n>                simulation length (default 384)
   --seed <n>                 deterministic seed (default 7)
   --template <path>          template file for capture/reuse
@@ -163,10 +164,16 @@ fn parse_scenario(name: &str, seed: u64) -> Result<Scenario, String> {
         .build())
 }
 
-fn summarize(label: &str, scenario: &Scenario, out: &RunOutcome, json: bool) {
+fn summarize(
+    label: &str,
+    scenario: &Scenario,
+    out: &RunOutcome,
+    stats: Option<&ControllerStats>,
+    json: bool,
+) {
     let cap = scenario.host_spec().cpu_cores;
     if json {
-        let doc = serde_json::json!({
+        let mut doc = serde_json::json!({
             "scenario": scenario.name(),
             "policy": label,
             "ticks": out.timeline.len(),
@@ -176,6 +183,9 @@ fn summarize(label: &str, scenario: &Scenario, out: &RunOutcome, json: bool) {
             "gained_utilization": out.mean_gained_utilization(cap),
             "batch_work": out.batch_work,
         });
+        if let (Some(stats), serde_json::Value::Object(pairs)) = (stats, &mut doc) {
+            pairs.push(("controller".to_string(), serde_json::to_value(stats)));
+        }
         println!("{}", serde_json::to_string_pretty(&doc).expect("json"));
     } else {
         println!(
@@ -185,36 +195,46 @@ fn summarize(label: &str, scenario: &Scenario, out: &RunOutcome, json: bool) {
             100.0 * out.mean_gained_utilization(cap),
             out.batch_work,
         );
+        if let Some(stats) = stats {
+            println!(
+                "controller: {} states ({} violation), {} throttles, {} resumes, prediction accuracy {:.1}%",
+                stats.states,
+                stats.violation_states,
+                stats.throttles,
+                stats.resumes,
+                100.0 * stats.prediction_accuracy(),
+            );
+            let t = &stats.stage_timing;
+            println!(
+                "stages: sense {}x/{}µs, map {}x/{}µs, predict {}x/{}µs, act {}x/{}µs",
+                t.sense.invocations,
+                t.sense.nanos / 1_000,
+                t.map.invocations,
+                t.map.nanos / 1_000,
+                t.predict.invocations,
+                t.predict.nanos / 1_000,
+                t.act.invocations,
+                t.act.nanos / 1_000,
+            );
+        }
     }
 }
 
+/// Runs `scenario` under the named policy via the unified
+/// [`ControlPolicy`] surface; the post-run policy is returned for
+/// introspection (stats, template export).
 fn run_policy_by_name(
     scenario: &Scenario,
     policy: &str,
     ticks: u64,
-) -> Result<(RunOutcome, Option<Controller>), String> {
+) -> Result<(RunOutcome, Box<dyn ControlPolicy>), String> {
+    let spec = PolicySpec::parse(policy).map_err(|e| e.to_string())?;
     let mut harness = scenario.build_harness().map_err(|e| e.to_string())?;
-    match policy {
-        "stay-away" => {
-            let mut ctl = Controller::for_host(ControllerConfig::default(), harness.host().spec())
-                .map_err(|e| e.to_string())?;
-            let out = harness.run(&mut ctl, ticks);
-            Ok((out, Some(ctl)))
-        }
-        "none" => Ok((harness.run(&mut NoPrevention::new(), ticks), None)),
-        "always" => Ok((harness.run(&mut AlwaysThrottle::new(), ticks), None)),
-        "reactive" => Ok((harness.run(&mut ReactivePolicy::new(10), ticks), None)),
-        "static" => {
-            let cap = harness.host().spec().cpu_cores;
-            Ok((
-                harness.run(&mut StaticThresholdPolicy::new(0.5, cap), ticks),
-                None,
-            ))
-        }
-        other => Err(format!(
-            "unknown policy `{other}` (expected stay-away, none, always, reactive or static)"
-        )),
-    }
+    let mut policy = spec
+        .build(&ControllerConfig::default(), harness.host().spec())
+        .map_err(|e| e.to_string())?;
+    let out = harness.run(policy.as_mut(), ticks);
+    Ok((out, policy))
 }
 
 fn main() {
@@ -262,6 +282,19 @@ fn fleet_summary(outcome: &stay_away::fleet::FleetOutcome) {
         "templates: {} cells imported, {} proactive first throttles",
         outcome.cells_imported, outcome.proactive_first_throttles,
     );
+    if outcome.per_policy.len() > 1 {
+        for r in &outcome.per_policy {
+            println!(
+                "  {:<16} {} cells  satisfaction {:>5.1}%  gained util {:>5.1}%  {} throttles / {} resumes",
+                r.policy,
+                r.cells,
+                100.0 * r.satisfaction(),
+                100.0 * r.mean_gained_utilization,
+                r.throttles,
+                r.resumes,
+            );
+        }
+    }
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -274,25 +307,17 @@ fn run(argv: &[String]) -> Result<(), String> {
                 "batch applications:     {}",
                 BatchKind::ALL.map(|k| k.name()).join(", ")
             );
-            println!("policies:               stay-away, none, always, reactive, static");
+            println!("policies:               stayaway, reactive, static, always, null");
             Ok(())
         }
         "run" => {
             let scenario = parse_scenario(&scenario_name, args.seed)?;
-            let (out, ctl) = run_policy_by_name(&scenario, &args.policy, args.ticks)?;
-            summarize(&args.policy, &scenario, &out, args.json);
-            if let (Some(ctl), false) = (&ctl, args.json) {
-                let stats = ctl.stats();
-                println!(
-                    "controller: {} states ({} violation), {} throttles, {} resumes, β = {:.3}, prediction accuracy {:.1}%",
-                    stats.states,
-                    stats.violation_states,
-                    stats.throttles,
-                    stats.resumes,
-                    ctl.beta(),
-                    100.0 * stats.prediction_accuracy(),
-                );
-            }
+            let (out, policy) = run_policy_by_name(&scenario, &args.policy, args.ticks)?;
+            let stats = policy.stats();
+            // Baselines track nothing; only show controller internals when
+            // the policy actually counted its periods.
+            let stats = (stats.periods > 0).then_some(&stats);
+            summarize(policy.name(), &scenario, &out, stats, args.json);
             Ok(())
         }
         "compare" => {
@@ -303,21 +328,23 @@ fn run(argv: &[String]) -> Result<(), String> {
                 args.ticks,
                 args.seed
             );
-            for policy in ["none", "always", "reactive", "static", "stay-away"] {
-                let (out, _) = run_policy_by_name(&scenario, policy, args.ticks)?;
-                summarize(policy, &scenario, &out, args.json);
+            for policy in ["null", "always", "reactive", "static", "stayaway"] {
+                let (out, built) = run_policy_by_name(&scenario, policy, args.ticks)?;
+                summarize(built.name(), &scenario, &out, None, args.json);
             }
             Ok(())
         }
         "capture" => {
             let scenario = parse_scenario(&scenario_name, args.seed)?;
-            let (out, ctl) = run_policy_by_name(&scenario, "stay-away", args.ticks)?;
-            let ctl = ctl.expect("stay-away produces a controller");
+            let (out, policy) = run_policy_by_name(&scenario, "stay-away", args.ticks)?;
             let sens_name = scenario_name.split('+').next().unwrap_or("sensitive");
-            let template = ctl.export_template(sens_name).map_err(|e| e.to_string())?;
+            let template = policy
+                .export_template(sens_name)
+                .map_err(|e| e.to_string())?
+                .ok_or("the selected policy does not learn templates")?;
             let path = args.out.unwrap_or_else(|| "template.json".into());
             template.save_to_path(&path).map_err(|e| e.to_string())?;
-            summarize("stay-away", &scenario, &out, args.json);
+            summarize("stay-away", &scenario, &out, None, args.json);
             println!(
                 "template with {} states ({} violation) written to {path}",
                 template.len(),
@@ -330,16 +357,19 @@ fn run(argv: &[String]) -> Result<(), String> {
             let template = Template::load_from_path(&path).map_err(|e| e.to_string())?;
             let scenario = parse_scenario(&scenario_name, args.seed)?;
             let mut harness = scenario.build_harness().map_err(|e| e.to_string())?;
-            let mut ctl = Controller::for_host(ControllerConfig::default(), harness.host().spec())
+            let mut policy = PolicySpec::StayAway
+                .build(&ControllerConfig::default(), harness.host().spec())
                 .map_err(|e| e.to_string())?;
-            ctl.import_template(&template).map_err(|e| e.to_string())?;
-            let out = harness.run(&mut ctl, args.ticks);
+            policy
+                .import_template(&template)
+                .map_err(|e| e.to_string())?;
+            let out = harness.run(policy.as_mut(), args.ticks);
             println!(
                 "seeded with {} template states ({} violation) from {path}",
                 template.len(),
                 template.violation_count()
             );
-            summarize("stay-away+tpl", &scenario, &out, args.json);
+            summarize("stay-away+tpl", &scenario, &out, None, args.json);
             Ok(())
         }
         "fleet" => {
@@ -347,6 +377,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 Some(name) => vec![parse_scenario(name, args.seed)?],
                 None => FleetConfig::standard_mix(args.seed),
             };
+            let policies = PolicySpec::parse_list(&args.policy).map_err(|e| e.to_string())?;
             let config = FleetConfig {
                 cells: args.cells,
                 workers: args.workers,
@@ -354,6 +385,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 fleet_seed: args.seed,
                 share_templates: args.share_templates,
                 scenarios,
+                policies,
                 controller: ControllerConfig::default(),
             };
             let fleet = Fleet::new(config).map_err(|e| e.to_string())?;
@@ -446,10 +478,13 @@ mod tests {
     #[test]
     fn run_policy_by_name_covers_all_policies() {
         let scenario = parse_scenario("vlc+soplex", 1).unwrap();
-        for p in ["stay-away", "none", "always", "reactive", "static"] {
-            let (out, ctl) = run_policy_by_name(&scenario, p, 30).unwrap();
+        for p in ["stay-away", "none", "always", "reactive", "static", "null"] {
+            let (out, policy) = run_policy_by_name(&scenario, p, 30).unwrap();
             assert_eq!(out.timeline.len(), 30);
-            assert_eq!(ctl.is_some(), p == "stay-away");
+            // Only the controller counts its periods and learns templates.
+            let is_stayaway = p == "stay-away";
+            assert_eq!(policy.stats().periods > 0, is_stayaway);
+            assert_eq!(policy.supports_templates(), is_stayaway);
         }
         assert!(run_policy_by_name(&scenario, "bogus", 10).is_err());
     }
