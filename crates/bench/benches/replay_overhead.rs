@@ -1,0 +1,81 @@
+//! Telemetry plane — replay-vs-live overhead.
+//!
+//! A recorded trace must be a cheap substitute for the simulator: replay
+//! skips the contention physics and the observation-noise RNG, paying
+//! only JSONL decode. This target measures three full closed loops over
+//! the same scenario — live simulation, live simulation with a recording
+//! tee, and trace replay — so the tee's overhead and the replay speedup
+//! are both visible. The recorded controller run is also asserted
+//! bit-identical to the live one (the record→replay contract).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stayaway_bench::{run, stayaway};
+use stayaway_core::ControllerConfig;
+use stayaway_sim::scenario::Scenario;
+use stayaway_sim::SimSource;
+use stayaway_telemetry::{drive, RecordingSource, TraceSource};
+
+const TICKS: u64 = 256;
+
+fn scenario() -> Scenario {
+    Scenario::vlc_with_cpubomb(91)
+}
+
+/// Records one live run into an in-memory JSONL trace.
+fn record_trace() -> Vec<u8> {
+    let sc = scenario();
+    let harness = sc.build_harness().expect("harness");
+    let mut recorder = RecordingSource::new(SimSource::new(harness), Vec::new()).expect("recorder");
+    let mut controller = stayaway(&sc, ControllerConfig::default());
+    drive(&mut recorder, &mut controller, TICKS).expect("recorded run");
+    let (_, writer) = recorder.finish().expect("finish trace");
+    writer
+}
+
+fn bench_replay_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+
+    // Sanity: the recorded run reproduces the live run bit-for-bit.
+    let sc = scenario();
+    let live = run(&sc, stayaway(&sc, ControllerConfig::default()), TICKS);
+    let trace = record_trace();
+    let mut replay_source = TraceSource::new(trace.as_slice()).expect("trace header");
+    let mut replay_ctl = stayaway(&sc, ControllerConfig::default());
+    drive(&mut replay_source, &mut replay_ctl, TICKS).expect("replayed run");
+    assert_eq!(
+        live.policy.stats(),
+        replay_ctl.stats(),
+        "replay must reproduce the live controller"
+    );
+
+    group.bench_function("live_sim_loop", |b| {
+        b.iter(|| {
+            let sc = scenario();
+            let out = run(&sc, stayaway(&sc, ControllerConfig::default()), TICKS);
+            std::hint::black_box(out.outcome);
+        });
+    });
+
+    group.bench_function("recorded_sim_loop", |b| {
+        b.iter(|| {
+            let out = record_trace();
+            std::hint::black_box(out);
+        });
+    });
+
+    group.bench_function("trace_replay_loop", |b| {
+        b.iter(|| {
+            let sc = scenario();
+            let mut source = TraceSource::new(trace.as_slice()).expect("trace header");
+            let mut controller = stayaway(&sc, ControllerConfig::default());
+            let out = drive(&mut source, &mut controller, TICKS).expect("replayed run");
+            std::hint::black_box(out);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay_overhead);
+criterion_main!(benches);

@@ -9,7 +9,8 @@
 use serde_json::Value;
 use stayaway_core::{ControlPolicy, Controller, ControllerConfig, ControllerStats};
 use stayaway_sim::scenario::Scenario;
-use stayaway_sim::RunOutcome;
+use stayaway_sim::{RunOutcome, SimSource};
+use stayaway_telemetry::drive;
 
 /// The outcome of one policy-driven run, with the policy kept for
 /// inspection (state map, events, template export for the controller;
@@ -31,15 +32,18 @@ impl<P: ControlPolicy> PolicyRun<P> {
 }
 
 /// Runs a scenario under `policy` for `ticks` — the single runner every
-/// experiment target shares, for Stay-Away and baselines alike.
+/// experiment target shares, for Stay-Away and baselines alike. The
+/// closed loop goes through the telemetry plane (a [`SimSource`] driven
+/// by [`drive`]), which is bit-identical to driving the harness directly.
 ///
 /// # Panics
 ///
 /// Panics if the scenario cannot build a harness (misconfigured scenario —
 /// a programming error in the experiment definition).
 pub fn run<P: ControlPolicy>(scenario: &Scenario, mut policy: P, ticks: u64) -> PolicyRun<P> {
-    let mut harness = scenario.build_harness().expect("scenario builds a harness");
-    let outcome = harness.run(&mut policy, ticks);
+    let harness = scenario.build_harness().expect("scenario builds a harness");
+    let mut source = SimSource::new(harness);
+    let outcome = drive(&mut source, &mut policy, ticks).expect("the simulator source never fails");
     PolicyRun { outcome, policy }
 }
 

@@ -1,12 +1,15 @@
-//! One fleet cell: a harness + control-policy closed loop on "one host".
+//! One fleet cell: an observation source + control-policy closed loop on
+//! "one host".
 
 use crate::policy::PolicySpec;
 use crate::seed::derive_cell_seed;
+use crate::source::SourceSpec;
 use crate::FleetError;
 use stayaway_core::{ControllerConfig, ControllerEvent, ControllerStats};
 use stayaway_sim::scenario::Scenario;
 use stayaway_sim::RunOutcome;
 use stayaway_statespace::Template;
+use stayaway_telemetry::drive;
 
 /// The immutable plan for one cell, fixed before any worker starts.
 #[derive(Debug, Clone)]
@@ -19,17 +22,27 @@ pub struct CellPlan {
     pub scenario: Scenario,
     /// The control plane this cell runs.
     pub policy: PolicySpec,
+    /// The observation substrate this cell senses through.
+    pub source: SourceSpec,
 }
 
 impl CellPlan {
-    /// Builds the plan of cell `idx` under `fleet_seed`, running `policy`.
+    /// Builds the plan of cell `idx` under `fleet_seed`, running `policy`
+    /// against the simulator substrate.
     pub fn new(idx: usize, fleet_seed: u64, scenario: Scenario, policy: PolicySpec) -> Self {
         CellPlan {
             idx,
             seed: derive_cell_seed(fleet_seed, idx as u64),
             scenario,
             policy,
+            source: SourceSpec::Sim,
         }
+    }
+
+    /// Replaces the observation substrate (builder style).
+    pub fn with_source(mut self, source: SourceSpec) -> Self {
+        self.source = source;
+        self
     }
 
     /// The sensitive-workload key templates are registered under: the
@@ -51,6 +64,9 @@ pub struct CellOutcome {
     pub sensitive: String,
     /// Canonical name of the policy the cell ran.
     pub policy: String,
+    /// Canonical name of the observation substrate the cell sensed
+    /// through (`sim`, `trace` or `procfs`).
+    pub source: String,
     /// The cell's derived seed.
     pub seed: u64,
     /// Closed-loop run result.
@@ -73,33 +89,40 @@ pub struct CellOutcome {
     pub first_throttle_proactive: bool,
 }
 
-/// Runs one cell to completion: build the harness from the scenario
-/// prototype, inject the per-cell seed, instantiate the cell's control
-/// policy, optionally import a registry template, drive the closed loop,
+/// Runs one cell to completion: build the observation source from the
+/// cell's [`SourceSpec`] (the simulator substrate injects the per-cell
+/// seed), instantiate the cell's control policy against the source's host
+/// spec, optionally import a registry template, drive the closed loop,
 /// and export the learned template (when the policy supports one).
 ///
 /// # Errors
 ///
-/// Propagates harness construction, policy construction and template
-/// import/export failures.
+/// Propagates source construction, policy construction, telemetry and
+/// template import/export failures.
 pub fn run_cell(
     plan: &CellPlan,
     controller: &ControllerConfig,
     import: Option<&Template>,
     ticks: u64,
 ) -> Result<CellOutcome, FleetError> {
-    let mut harness = plan.scenario.build_harness()?;
-    harness.reseed(plan.seed);
+    let mut source = plan.source.build(&plan.scenario, plan.seed)?;
+    // Trace cells take the controller's host spec from the trace header
+    // (the capacities the recording was made against); cells without one
+    // fall back to the scenario prototype's host.
+    let host_spec = source
+        .meta()
+        .host
+        .unwrap_or_else(|| *plan.scenario.host_spec());
     let config = ControllerConfig {
         seed: plan.seed,
         ..controller.clone()
     };
-    let mut policy = plan.policy.build(&config, harness.host().spec())?;
+    let mut policy = plan.policy.build(&config, &host_spec)?;
     let mut imported_template = false;
     if let Some(template) = import {
         imported_template = policy.import_template(template)?;
     }
-    let run = harness.run(policy.as_mut(), ticks);
+    let run = drive(source.as_mut(), policy.as_mut(), ticks)?;
     let template = policy.export_template(plan.sensitive_key())?;
     let (first_throttle_tick, first_throttle_proactive) = policy
         .events()
@@ -117,9 +140,10 @@ pub fn run_cell(
         scenario: plan.scenario.name().to_string(),
         sensitive: plan.sensitive_key().to_string(),
         policy: plan.policy.name().to_string(),
+        source: plan.source.name().to_string(),
         seed: plan.seed,
         stats: policy.stats(),
-        cpu_capacity: plan.scenario.host_spec().cpu_cores,
+        cpu_capacity: host_spec.cpu_cores,
         imported_template,
         template,
         first_throttle_tick,

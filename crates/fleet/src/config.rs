@@ -1,6 +1,7 @@
 //! Fleet configuration: how many cells, how many workers, which scenarios.
 
 use crate::policy::PolicySpec;
+use crate::source::SourceSpec;
 use crate::FleetError;
 use stayaway_core::ControllerConfig;
 use stayaway_sim::apps::WebWorkload;
@@ -37,6 +38,12 @@ pub struct FleetConfig {
     /// list gives a homogeneous fleet; several entries run a mixed-policy
     /// population in one deterministic experiment.
     pub policies: Vec<PolicySpec>,
+    /// Observation substrates round-robined across cells (cell `i` senses
+    /// through `sources[i % sources.len()]`); must be non-empty. The
+    /// default single-entry `[SourceSpec::Sim]` list keeps every cell on
+    /// the simulator; mixing in trace-replay cells lets one fleet compare
+    /// live and recorded telemetry deterministically.
+    pub sources: Vec<SourceSpec>,
     /// Controller tunables shared by every Stay-Away cell (the per-cell
     /// seed overrides [`ControllerConfig::seed`]); ignored by baseline
     /// policies.
@@ -56,6 +63,7 @@ impl FleetConfig {
             share_templates: false,
             scenarios: Self::standard_mix(fleet_seed),
             policies: vec![PolicySpec::StayAway],
+            sources: vec![SourceSpec::Sim],
             controller: ControllerConfig::default(),
         }
     }
@@ -108,6 +116,14 @@ impl FleetConfig {
         for policy in &self.policies {
             policy.validate()?;
         }
+        if self.sources.is_empty() {
+            return Err(FleetError::InvalidConfig {
+                reason: "source mix must not be empty".into(),
+            });
+        }
+        for source in &self.sources {
+            source.validate()?;
+        }
         self.controller.validate().map_err(FleetError::Core)
     }
 }
@@ -147,6 +163,16 @@ mod tests {
             },
             FleetConfig {
                 policies: Vec::new(),
+                ..base.clone()
+            },
+            FleetConfig {
+                sources: Vec::new(),
+                ..base.clone()
+            },
+            FleetConfig {
+                sources: vec![SourceSpec::Trace {
+                    path: String::new(),
+                }],
                 ..base.clone()
             },
             FleetConfig {

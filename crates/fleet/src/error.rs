@@ -3,6 +3,7 @@
 use stayaway_core::CoreError;
 use stayaway_sim::SimError;
 use stayaway_statespace::StateSpaceError;
+use stayaway_telemetry::TelemetryError;
 
 /// Anything that can go wrong while planning or running a fleet.
 #[derive(Debug)]
@@ -16,6 +17,8 @@ pub enum FleetError {
     Sim(SimError),
     /// A cell's controller failed.
     Core(CoreError),
+    /// A cell's observation source failed.
+    Telemetry(TelemetryError),
     /// Template registry (de)serialisation failed.
     Registry(String),
     /// A worker thread died without reporting a result.
@@ -33,6 +36,7 @@ impl std::fmt::Display for FleetError {
             }
             FleetError::Sim(e) => write!(f, "cell simulator error: {e}"),
             FleetError::Core(e) => write!(f, "cell controller error: {e}"),
+            FleetError::Telemetry(e) => write!(f, "cell observation source error: {e}"),
             FleetError::Registry(reason) => write!(f, "template registry error: {reason}"),
             FleetError::WorkerPanicked { cell } => {
                 write!(f, "worker panicked while running cell {cell}")
@@ -46,6 +50,7 @@ impl std::error::Error for FleetError {
         match self {
             FleetError::Sim(e) => Some(e),
             FleetError::Core(e) => Some(e),
+            FleetError::Telemetry(e) => Some(e),
             _ => None,
         }
     }
@@ -60,6 +65,12 @@ impl From<SimError> for FleetError {
 impl From<CoreError> for FleetError {
     fn from(e: CoreError) -> Self {
         FleetError::Core(e)
+    }
+}
+
+impl From<TelemetryError> for FleetError {
+    fn from(e: TelemetryError) -> Self {
+        FleetError::Telemetry(e)
     }
 }
 

@@ -53,6 +53,7 @@ pub mod policy;
 pub mod registry;
 pub mod runner;
 pub mod seed;
+pub mod source;
 
 mod error;
 
@@ -64,3 +65,4 @@ pub use policy::PolicySpec;
 pub use registry::{RegistryEntry, TemplateRegistry};
 pub use runner::Fleet;
 pub use seed::derive_cell_seed;
+pub use source::SourceSpec;

@@ -73,14 +73,16 @@ impl Fleet {
         &self.config
     }
 
-    /// Builds the per-cell plans: scenario `i % mix` and policy
-    /// `i % policies`, reseeded with the derived cell seed.
+    /// Builds the per-cell plans: scenario `i % mix`, policy
+    /// `i % policies` and source `i % sources`, reseeded with the derived
+    /// cell seed.
     fn plans(&self) -> Vec<CellPlan> {
         (0..self.config.cells)
             .map(|idx| {
                 let scenario = self.config.scenarios[idx % self.config.scenarios.len()].clone();
                 let policy = self.config.policies[idx % self.config.policies.len()].clone();
-                CellPlan::new(idx, self.config.fleet_seed, scenario, policy)
+                let source = self.config.sources[idx % self.config.sources.len()].clone();
+                CellPlan::new(idx, self.config.fleet_seed, scenario, policy).with_source(source)
             })
             .collect()
     }

@@ -11,24 +11,7 @@
 use crate::resources::ResourceVector;
 use crate::workload::Trace;
 
-/// Whether a container hosts a latency-sensitive or a best-effort batch
-/// application (the paper's co-location constraint of §2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
-pub enum AppClass {
-    /// Latency-sensitive: QoS-protected, never throttled.
-    Sensitive,
-    /// Best-effort batch: may be throttled at any time.
-    Batch,
-}
-
-impl std::fmt::Display for AppClass {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            AppClass::Sensitive => f.write_str("sensitive"),
-            AppClass::Batch => f.write_str("batch"),
-        }
-    }
-}
+pub use stayaway_telemetry::AppClass;
 
 /// An application that can run inside a simulated container.
 pub trait Application: std::fmt::Debug + Send {

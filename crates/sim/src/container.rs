@@ -1,30 +1,8 @@
 //! Simulated containers (the LXC analogue).
 
 use crate::app::{AppClass, Application};
-use serde::{Deserialize, Serialize};
-use std::fmt;
 
-/// Opaque identifier of a container within one host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct ContainerId(usize);
-
-impl ContainerId {
-    /// Creates an id from a raw index (host-internal).
-    pub(crate) fn new(raw: usize) -> Self {
-        ContainerId(raw)
-    }
-
-    /// The raw index.
-    pub fn raw(&self) -> usize {
-        self.0
-    }
-}
-
-impl fmt::Display for ContainerId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "c{}", self.0)
-    }
-}
+pub use stayaway_telemetry::ContainerId;
 
 /// A container: one application plus its scheduling state.
 #[derive(Debug)]
@@ -159,7 +137,12 @@ mod tests {
                 5.0,
             ))
             .build();
-        Container::new(ContainerId::new(0), AppClass::Batch, Box::new(app), start)
+        Container::new(
+            ContainerId::from_raw(0),
+            AppClass::Batch,
+            Box::new(app),
+            start,
+        )
     }
 
     #[test]
@@ -200,7 +183,7 @@ mod tests {
 
     #[test]
     fn id_display() {
-        assert_eq!(ContainerId::new(3).to_string(), "c3");
-        assert_eq!(ContainerId::new(3).raw(), 3);
+        assert_eq!(ContainerId::from_raw(3).to_string(), "c3");
+        assert_eq!(ContainerId::from_raw(3).raw(), 3);
     }
 }

@@ -23,6 +23,8 @@ pub enum SimError {
     Trace(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// A telemetry-plane failure (invalid host spec etc.).
+    Telemetry(stayaway_telemetry::TelemetryError),
 }
 
 impl fmt::Display for SimError {
@@ -33,6 +35,7 @@ impl fmt::Display for SimError {
             SimError::ActionRejected { reason } => write!(f, "action rejected: {reason}"),
             SimError::Trace(msg) => write!(f, "trace error: {msg}"),
             SimError::Io(e) => write!(f, "i/o error: {e}"),
+            SimError::Telemetry(e) => write!(f, "telemetry error: {e}"),
         }
     }
 }
@@ -41,6 +44,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Io(e) => Some(e),
+            SimError::Telemetry(e) => Some(e),
             _ => None,
         }
     }
@@ -49,6 +53,12 @@ impl std::error::Error for SimError {
 impl From<std::io::Error> for SimError {
     fn from(e: std::io::Error) -> Self {
         SimError::Io(e)
+    }
+}
+
+impl From<stayaway_telemetry::TelemetryError> for SimError {
+    fn from(e: stayaway_telemetry::TelemetryError) -> Self {
+        SimError::Telemetry(e)
     }
 }
 

@@ -10,80 +10,7 @@ use crate::SimError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// One tick of a recorded run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TickRecord {
-    /// Tick index.
-    pub tick: u64,
-    /// Normalised QoS value of the sensitive application (1.0 when idle).
-    pub qos_value: f64,
-    /// True when this tick violated the QoS requirement.
-    pub violated: bool,
-    /// True when the sensitive application was active.
-    pub sensitive_active: bool,
-    /// Number of active batch containers.
-    pub batch_active: usize,
-    /// Number of paused batch containers.
-    pub batch_paused: usize,
-    /// CPU cores granted to sensitive containers.
-    pub sensitive_cpu: f64,
-    /// CPU cores granted to batch containers.
-    pub batch_cpu: f64,
-    /// Machine CPU utilisation in `[0, 1]`.
-    pub utilization: f64,
-    /// Number of actuations the policy issued this tick.
-    pub actions: usize,
-}
-
-/// The outcome of a complete run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RunOutcome {
-    /// Name of the policy that drove the run.
-    pub policy: String,
-    /// Aggregated QoS statistics.
-    pub qos: QosSummary,
-    /// Tick-by-tick records.
-    pub timeline: Vec<TickRecord>,
-    /// Total nominal batch work completed.
-    pub batch_work: f64,
-    /// Actions rejected by the host (e.g. pausing a sensitive container).
-    pub rejected_actions: u64,
-}
-
-impl RunOutcome {
-    /// Mean machine CPU utilisation over the run.
-    pub fn mean_utilization(&self) -> f64 {
-        if self.timeline.is_empty() {
-            return 0.0;
-        }
-        self.timeline.iter().map(|r| r.utilization).sum::<f64>() / self.timeline.len() as f64
-    }
-
-    /// Mean *gained* utilisation: the CPU share consumed by batch work,
-    /// which is exactly the utilisation gained over running the sensitive
-    /// application alone (Figures 10–12).
-    pub fn mean_gained_utilization(&self, cpu_capacity: f64) -> f64 {
-        if self.timeline.is_empty() || cpu_capacity <= 0.0 {
-            return 0.0;
-        }
-        self.timeline.iter().map(|r| r.batch_cpu).sum::<f64>()
-            / (self.timeline.len() as f64 * cpu_capacity)
-    }
-
-    /// The per-tick gained-utilisation series.
-    pub fn gained_utilization_series(&self, cpu_capacity: f64) -> Vec<f64> {
-        self.timeline
-            .iter()
-            .map(|r| {
-                if cpu_capacity > 0.0 {
-                    r.batch_cpu / cpu_capacity
-                } else {
-                    0.0
-                }
-            })
-            .collect()
-    }
-}
+pub use stayaway_telemetry::{RunOutcome, TickRecord};
 
 /// Closed-loop experiment driver.
 #[derive(Debug)]
@@ -93,6 +20,10 @@ pub struct Harness {
     sensitive: Option<ContainerId>,
     noise_sd: f64,
     rng: StdRng,
+    /// Physics report of the most recent tick, kept so the accounting
+    /// record can be built after the policy acted (see
+    /// [`Harness::record_for_last`]).
+    last_report: Option<HostTick>,
 }
 
 impl Harness {
@@ -120,6 +51,7 @@ impl Harness {
             sensitive,
             noise_sd,
             rng: StdRng::seed_from_u64(seed ^ 0x5f3759df),
+            last_report: None,
         })
     }
 
@@ -235,15 +167,22 @@ impl Harness {
         }
     }
 
-    /// Runs one closed-loop tick: advance the host, observe, let the policy
-    /// act, and apply the actions (they take effect from the next tick).
-    pub fn step_with(&mut self, policy: &mut dyn Policy) -> (TickRecord, u64) {
+    /// Advances the host one tick and returns the (noisy) observation of
+    /// it — the "sense" half of a closed-loop step. The physics report is
+    /// retained for [`Harness::record_for_last`].
+    pub fn tick_observation(&mut self) -> Observation {
         let report = self.host.step();
-        let (qos_value, violated, sensitive_active) = self.qos_of(&report);
         let obs = self.observation_from(&report);
-        let actions = policy.decide(&obs);
+        self.last_report = Some(report);
+        obs
+    }
+
+    /// Applies policy actions to the host (they take effect from the next
+    /// tick), returning how many were rejected — the "act" half of a
+    /// closed-loop step.
+    pub fn apply(&mut self, actions: &[Action]) -> u64 {
         let mut rejected = 0;
-        for a in &actions {
+        for a in actions {
             let result = match a {
                 Action::Pause(id) => self.host.pause(*id),
                 Action::Resume(id) => self.host.resume(*id),
@@ -252,7 +191,16 @@ impl Harness {
                 rejected += 1;
             }
         }
-        let record = TickRecord {
+        rejected
+    }
+
+    /// Builds the ground-truth accounting record for the most recent
+    /// [`Harness::tick_observation`] tick (noiseless physics, unlike the
+    /// observation). `None` before the first tick.
+    pub fn record_for_last(&self, actions: usize) -> Option<TickRecord> {
+        let report = self.last_report.as_ref()?;
+        let (qos_value, violated, sensitive_active) = self.qos_of(report);
+        Some(TickRecord {
             tick: report.tick,
             qos_value,
             violated,
@@ -270,8 +218,28 @@ impl Harness {
             sensitive_cpu: report.cpu_usage_of(AppClass::Sensitive),
             batch_cpu: report.cpu_usage_of(AppClass::Batch),
             utilization: report.cpu_utilization(self.host.spec()),
-            actions: actions.len(),
-        };
+            actions,
+        })
+    }
+
+    /// Total nominal batch work completed so far.
+    pub fn batch_work(&self) -> f64 {
+        self.host
+            .containers()
+            .filter(|c| c.class() == AppClass::Batch)
+            .map(|c| c.app().work_done())
+            .sum()
+    }
+
+    /// Runs one closed-loop tick: advance the host, observe, let the policy
+    /// act, and apply the actions (they take effect from the next tick).
+    pub fn step_with(&mut self, policy: &mut dyn Policy) -> (TickRecord, u64) {
+        let obs = self.tick_observation();
+        let actions = policy.decide(&obs);
+        let rejected = self.apply(&actions);
+        let record = self
+            .record_for_last(actions.len())
+            .expect("tick_observation just ran");
         (record, rejected)
     }
 
@@ -288,17 +256,11 @@ impl Harness {
             rejected_actions += rejected;
             timeline.push(record);
         }
-        let batch_work = self
-            .host
-            .containers()
-            .filter(|c| c.class() == AppClass::Batch)
-            .map(|c| c.app().work_done())
-            .sum();
         RunOutcome {
             policy: policy.name().to_string(),
             qos,
             timeline,
-            batch_work,
+            batch_work: self.batch_work(),
             rejected_actions,
         }
     }

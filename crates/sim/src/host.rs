@@ -6,81 +6,7 @@ use crate::contention::{allocate, Allocation, ContentionParams};
 use crate::resources::{ResourceKind, ResourceVector};
 use crate::SimError;
 
-/// Physical capacities of the host.
-///
-/// Defaults approximate the paper's testbed: a quad-core 3.2 GHz i5 with a
-/// 4 MB shared L3, 8 GB of RAM and commodity disk/NIC.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HostSpec {
-    /// CPU capacity in cores.
-    pub cpu_cores: f64,
-    /// RAM in MB.
-    pub ram_mb: f64,
-    /// Memory bandwidth in MB/s.
-    pub membw_mbps: f64,
-    /// Disk throughput in MB/s.
-    pub disk_mbps: f64,
-    /// Network throughput in MB/s.
-    pub net_mbps: f64,
-    /// Shared last-level cache in MB.
-    pub llc_mb: f64,
-}
-
-impl Default for HostSpec {
-    fn default() -> Self {
-        HostSpec {
-            cpu_cores: 4.0,
-            ram_mb: 8192.0,
-            membw_mbps: 10_000.0,
-            disk_mbps: 200.0,
-            net_mbps: 1_000.0,
-            llc_mb: 4.0,
-        }
-    }
-}
-
-impl HostSpec {
-    /// Capacity of one resource kind.
-    pub fn capacity(&self, kind: ResourceKind) -> f64 {
-        match kind {
-            ResourceKind::Cpu => self.cpu_cores,
-            ResourceKind::Memory => self.ram_mb,
-            ResourceKind::MemBandwidth => self.membw_mbps,
-            ResourceKind::DiskIo => self.disk_mbps,
-            ResourceKind::Network => self.net_mbps,
-            ResourceKind::Cache => self.llc_mb,
-        }
-    }
-
-    /// Capacities as a [`ResourceVector`].
-    pub fn capacities(&self) -> ResourceVector {
-        ResourceVector::new(
-            self.cpu_cores,
-            self.ram_mb,
-            self.membw_mbps,
-            self.disk_mbps,
-            self.net_mbps,
-            self.llc_mb,
-        )
-    }
-
-    /// Validates that all capacities are positive and finite.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::InvalidConfig`] otherwise.
-    pub fn validate(&self) -> Result<(), SimError> {
-        for kind in ResourceKind::ALL {
-            let c = self.capacity(kind);
-            if !c.is_finite() || c <= 0.0 {
-                return Err(SimError::InvalidConfig {
-                    reason: format!("capacity of {kind} must be positive, got {c}"),
-                });
-            }
-        }
-        Ok(())
-    }
-}
+pub use stayaway_telemetry::HostSpec;
 
 /// Per-container outcome of one tick.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,7 +124,7 @@ impl Host {
         start_tick: u64,
         priority: u8,
     ) -> ContainerId {
-        let id = ContainerId::new(self.containers.len());
+        let id = ContainerId::from_raw(self.containers.len());
         self.containers.push(Container::with_priority(
             id, class, app, start_tick, priority,
         ));
@@ -396,7 +322,7 @@ mod tests {
     #[test]
     fn unknown_container_errors() {
         let mut host = Host::new(HostSpec::default()).unwrap();
-        let ghost = ContainerId::new(7);
+        let ghost = ContainerId::from_raw(7);
         assert!(host.pause(ghost).is_err());
         assert!(host.resume(ghost).is_err());
         assert!(host.container(ghost).is_err());

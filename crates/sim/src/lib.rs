@@ -37,6 +37,7 @@ pub mod policy;
 pub mod qos;
 pub mod resources;
 pub mod scenario;
+pub mod source;
 pub mod workload;
 
 mod error;
@@ -50,4 +51,5 @@ pub use policy::{Action, ContainerObs, NullPolicy, Observation, Policy};
 pub use qos::{QosSpec, QosSummary};
 pub use resources::{ResourceKind, ResourceVector};
 pub use scenario::Scenario;
+pub use source::SimSource;
 pub use workload::Trace;

@@ -10,6 +10,8 @@
 use crate::SimError;
 use serde::{Deserialize, Serialize};
 
+pub use stayaway_telemetry::QosSummary;
+
 /// QoS requirement of a sensitive application.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QosSpec {
@@ -52,59 +54,6 @@ impl Default for QosSpec {
     }
 }
 
-/// Aggregated QoS statistics over a run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct QosSummary {
-    /// Ticks during which the sensitive application was active.
-    pub active_ticks: u64,
-    /// Ticks flagged as violations.
-    pub violations: u64,
-    /// Sum of QoS values over active ticks (for the mean).
-    pub qos_sum: f64,
-    /// Lowest QoS value observed while active.
-    pub worst: f64,
-}
-
-impl QosSummary {
-    /// Creates an empty summary.
-    pub fn new() -> Self {
-        QosSummary {
-            active_ticks: 0,
-            violations: 0,
-            qos_sum: 0.0,
-            worst: 1.0,
-        }
-    }
-
-    /// Records one active tick.
-    pub fn record(&mut self, qos_value: f64, violated: bool) {
-        self.active_ticks += 1;
-        if violated {
-            self.violations += 1;
-        }
-        self.qos_sum += qos_value;
-        self.worst = self.worst.min(qos_value);
-    }
-
-    /// Fraction of active ticks that met the QoS requirement.
-    pub fn satisfaction(&self) -> f64 {
-        if self.active_ticks == 0 {
-            1.0
-        } else {
-            1.0 - self.violations as f64 / self.active_ticks as f64
-        }
-    }
-
-    /// Mean QoS value over active ticks.
-    pub fn mean_qos(&self) -> f64 {
-        if self.active_ticks == 0 {
-            1.0
-        } else {
-            self.qos_sum / self.active_ticks as f64
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,25 +73,5 @@ mod tests {
         assert!(q.is_violation(0.89));
         assert!(!q.is_violation(0.9));
         assert!(!q.is_violation(1.0));
-    }
-
-    #[test]
-    fn summary_accumulates() {
-        let mut s = QosSummary::new();
-        s.record(1.0, false);
-        s.record(0.5, true);
-        s.record(0.8, true);
-        assert_eq!(s.active_ticks, 3);
-        assert_eq!(s.violations, 2);
-        assert!((s.satisfaction() - 1.0 / 3.0).abs() < 1e-12);
-        assert!((s.mean_qos() - 2.3 / 3.0).abs() < 1e-12);
-        assert_eq!(s.worst, 0.5);
-    }
-
-    #[test]
-    fn empty_summary_is_perfect() {
-        let s = QosSummary::new();
-        assert_eq!(s.satisfaction(), 1.0);
-        assert_eq!(s.mean_qos(), 1.0);
     }
 }

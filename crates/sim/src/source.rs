@@ -1,0 +1,155 @@
+//! The simulator-backed observation source.
+
+use crate::harness::Harness;
+use stayaway_telemetry::{
+    Action, Observation, ObservationSource, ResourceKind, SourceKind, SourceMeta, TelemetryError,
+    TickRecord,
+};
+
+/// Adapts a [`Harness`] to the telemetry plane's
+/// [`ObservationSource`] interface.
+///
+/// The adapter is bit-identical to driving the harness directly: the host
+/// steps, observation-noise draws and action application happen in exactly
+/// the order of [`Harness::step_with`], and accounting records come from
+/// the harness's noiseless physics (not from the noisy observation).
+/// `stayaway_telemetry::drive` over a `SimSource` therefore reproduces
+/// [`Harness::run`] tick for tick.
+#[derive(Debug)]
+pub struct SimSource {
+    harness: Harness,
+}
+
+impl SimSource {
+    /// Wraps a harness.
+    pub fn new(harness: Harness) -> Self {
+        SimSource { harness }
+    }
+
+    /// Shared access to the wrapped harness.
+    pub fn harness(&self) -> &Harness {
+        &self.harness
+    }
+
+    /// Mutable access to the wrapped harness (reseeding, host setup).
+    pub fn harness_mut(&mut self) -> &mut Harness {
+        &mut self.harness
+    }
+
+    /// Unwraps the harness.
+    pub fn into_harness(self) -> Harness {
+        self.harness
+    }
+}
+
+impl From<Harness> for SimSource {
+    fn from(harness: Harness) -> Self {
+        SimSource::new(harness)
+    }
+}
+
+impl ObservationSource for SimSource {
+    fn meta(&self) -> SourceMeta {
+        SourceMeta {
+            kind: SourceKind::Sim,
+            metrics: ResourceKind::ALL.to_vec(),
+            tick_period_secs: 1.0,
+            host: Some(*self.harness.host().spec()),
+        }
+    }
+
+    fn next_observation(&mut self) -> Result<Option<Observation>, TelemetryError> {
+        Ok(Some(self.harness.tick_observation()))
+    }
+
+    fn apply(&mut self, actions: &[Action]) -> Result<u64, TelemetryError> {
+        Ok(self.harness.apply(actions))
+    }
+
+    fn record_for(&self, observation: &Observation, actions: &[Action]) -> TickRecord {
+        self.harness
+            .record_for_last(actions.len())
+            .unwrap_or_else(|| {
+                stayaway_telemetry::derive_record(
+                    observation,
+                    actions.len(),
+                    Some(self.harness.host().spec()),
+                )
+            })
+    }
+
+    fn batch_work(&self) -> f64 {
+        self.harness.batch_work()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppClass, Application, Phase, PhasedApp};
+    use crate::host::{Host, HostSpec};
+    use crate::policy::NullPolicy;
+    use crate::qos::QosSpec;
+    use crate::resources::ResourceVector;
+    use stayaway_telemetry::drive;
+
+    fn cpu_app(name: &str, cores: f64, work: f64) -> Box<dyn Application> {
+        Box::new(
+            PhasedApp::builder(name)
+                .phase(Phase::steady(
+                    ResourceVector::zero().with(ResourceKind::Cpu, cores),
+                    work,
+                ))
+                .build(),
+        )
+    }
+
+    fn harness(seed: u64) -> Harness {
+        let mut host = Host::new(HostSpec::default()).unwrap();
+        host.add_container(AppClass::Sensitive, cpu_app("svc", 3.0, 1e9), 0);
+        host.add_container(AppClass::Batch, cpu_app("batch", 3.0, 1e9), 0);
+        Harness::new(host, QosSpec::new(0.95).unwrap(), 0.02, seed).unwrap()
+    }
+
+    #[test]
+    fn drive_over_sim_source_matches_harness_run() {
+        let direct = harness(7).run(&mut NullPolicy::new(), 40);
+        let mut source = SimSource::new(harness(7));
+        let driven = drive(&mut source, &mut NullPolicy::new(), 40).unwrap();
+        assert_eq!(driven, direct);
+    }
+
+    #[test]
+    fn meta_reports_the_sim_substrate() {
+        let source = SimSource::new(harness(1));
+        let meta = source.meta();
+        assert_eq!(meta.kind, SourceKind::Sim);
+        assert_eq!(meta.metrics.len(), ResourceKind::ALL.len());
+        assert_eq!(meta.host, Some(*source.harness().host().spec()));
+    }
+
+    /// A policy that pauses every batch container immediately: exercises
+    /// the actuation path through the source.
+    struct PauseAll;
+    impl stayaway_telemetry::Policy for PauseAll {
+        fn name(&self) -> &str {
+            "pause-all"
+        }
+        fn decide(&mut self, obs: &Observation) -> Vec<Action> {
+            obs.batch()
+                .filter(|c| !c.paused)
+                .map(|c| Action::Pause(c.id))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn actions_actuate_the_host_through_the_source() {
+        let mut source = SimSource::new(harness(3));
+        let out = drive(&mut source, &mut PauseAll, 20).unwrap();
+        assert_eq!(out.qos.violations, 1); // only tick 0, before the pause lands
+        assert_eq!(out.timeline.last().unwrap().batch_paused, 1);
+        let direct = harness(3).run(&mut PauseAll, 20);
+        assert_eq!(out, direct);
+    }
+}

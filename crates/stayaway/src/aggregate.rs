@@ -16,7 +16,7 @@
 //! [`crate::ControllerStats::prediction_accuracy`] and the fleet's
 //! aggregation.
 
-use stayaway_sim::{AppClass, ContainerObs, Observation, ResourceKind, ResourceVector};
+use stayaway_telemetry::{AppClass, ContainerObs, Observation, ResourceKind, ResourceVector};
 
 /// True when the container belongs to the *protected* set: sensitive
 /// containers of the top (numerically lowest) priority among unfinished
@@ -116,8 +116,8 @@ pub fn majority_share_batch(
     observation: &Observation,
     metrics: &[ResourceKind],
     capacities: &ResourceVector,
-) -> Vec<stayaway_sim::ContainerId> {
-    let mut weights: Vec<(stayaway_sim::ContainerId, f64)> = throttleable(observation)
+) -> Vec<stayaway_telemetry::ContainerId> {
+    let mut weights: Vec<(stayaway_telemetry::ContainerId, f64)> = throttleable(observation)
         .filter(|c| c.active)
         .map(|c| {
             let w: f64 = metrics

@@ -3,7 +3,7 @@
 use crate::mapping::EmbeddingStrategy;
 use crate::violation::ViolationDetection;
 use crate::CoreError;
-use stayaway_sim::ResourceKind;
+use stayaway_telemetry::ResourceKind;
 
 /// Tunables of the Stay-Away controller; defaults follow the paper where it
 /// states a value (β₀ = 0.01, 5 prediction samples) and sensible choices

@@ -7,16 +7,17 @@ use crate::stages::{ActStage, MapStage, PredictStage, ResumeDecision, SenseStage
 use crate::CoreError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use stayaway_sim::{Action, HostSpec, Observation, Policy};
 use stayaway_statespace::{ExecutionMode, Point2, StateMap, Template};
+use stayaway_telemetry::{Action, HostSpec, Observation, Policy};
 use std::time::{Duration, Instant};
 
 /// The Stay-Away middleware for one host.
 ///
-/// Implements [`Policy`], so it plugs directly into the simulator's
-/// closed-loop [`stayaway_sim::Harness`]; against real infrastructure the
-/// same observation/action contract would be backed by cgroups and
-/// SIGSTOP/SIGCONT.
+/// Implements [`Policy`], so it plugs into any
+/// [`stayaway_telemetry::ObservationSource`] substrate — the simulator
+/// harness, a recorded trace, or live procfs sampling; against real
+/// infrastructure the same observation/action contract would be backed by
+/// cgroups and SIGSTOP/SIGCONT.
 ///
 /// The controller itself owns no mechanism: each period it routes data
 /// through the four [`crate::stages`] in the paper's §3 order, translates
@@ -147,11 +148,12 @@ impl Controller {
         // ---- Sense ------------------------------------------------------
         let span = Instant::now();
         let sensed = self.sense.observe(obs);
+        self.stats.samples_rejected += sensed.rejected;
         let sense_span = span.elapsed();
 
         // ---- Map --------------------------------------------------------
         let span = Instant::now();
-        let mapped = self.map.ingest(&sensed.raw, sensed.mode, tick)?;
+        let mapped = self.map.ingest(&sensed)?;
         let mut map_span = span.elapsed();
         let mut predict_span = Duration::ZERO;
         let mut act_span = Duration::ZERO;
@@ -193,7 +195,7 @@ impl Controller {
         // ---- Trajectory update -------------------------------------------
         let span = Instant::now();
         self.predict
-            .track(&self.map, mapped.rep, mapped.point, sensed.mode)?;
+            .track(&self.map, mapped.rep, mapped.point, &sensed)?;
         predict_span += span.elapsed();
 
         // ---- Act ---------------------------------------------------------
@@ -205,11 +207,9 @@ impl Controller {
             let span = Instant::now();
             let decision = self.act.maybe_resume(
                 &self.map,
-                sensed.mode,
+                &sensed,
                 mapped.point,
-                &sensed.raw,
                 self.sense.last_batch_usage(),
-                tick,
                 &mut self.rng,
             );
             act_span += span.elapsed();
@@ -229,7 +229,7 @@ impl Controller {
                 let span = Instant::now();
                 let forecast =
                     self.predict
-                        .forecast(&self.map, sensed.mode, mapped.point, &mut self.rng);
+                        .forecast(&self.map, &sensed, mapped.point, &mut self.rng);
                 predict_span += span.elapsed();
                 if let Some(forecast) = forecast {
                     predicted_violation = forecast.predicted_violation;

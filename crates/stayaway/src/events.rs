@@ -269,6 +269,9 @@ pub struct ControllerStats {
     pub violation_states: usize,
     /// Control periods skipped because the mapping pipeline errored.
     pub mapping_errors: u64,
+    /// Raw metric samples rejected by the sense stage — non-finite or
+    /// negative readings sanitised to zero before embedding.
+    pub samples_rejected: u64,
     /// Events evicted from the bounded decision log (see [`EventLog`]).
     pub events_dropped: u64,
     /// Per-stage tick counters and wall-time of the control pipeline.

@@ -8,8 +8,8 @@ use stayaway_mds::normalize::{MetricBounds, Normalizer};
 use stayaway_mds::procrustes::align_to_previous;
 use stayaway_mds::smacof::{warm_start_with_new_points, Smacof};
 use stayaway_mds::Embedding;
-use stayaway_sim::{HostSpec, ResourceKind};
 use stayaway_statespace::Point2;
+use stayaway_telemetry::{HostSpec, ResourceKind};
 
 /// How the 2-D embedding is maintained as representatives accumulate.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

@@ -15,8 +15,8 @@
 
 use crate::events::{ControllerStats, EventLog};
 use crate::{Controller, CoreError};
-use stayaway_sim::{NullPolicy, Policy};
 use stayaway_statespace::Template;
+use stayaway_telemetry::{NullPolicy, Policy};
 
 /// A [`Policy`] with the introspection hooks of a full control plane.
 ///

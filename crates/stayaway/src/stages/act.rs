@@ -6,13 +6,14 @@
 //! against the map stage's learned violation geography.
 
 use super::map::MapStage;
+use super::sense::Sensed;
 use crate::action::ThrottleManager;
 use crate::aggregate::majority_share_batch;
 use crate::config::ControllerConfig;
 use crate::events::ResumeReason;
 use rand::rngs::StdRng;
-use stayaway_sim::{Action, ContainerId, Observation, ResourceKind, ResourceVector};
 use stayaway_statespace::{ExecutionMode, Point2};
+use stayaway_telemetry::{Action, ContainerId, Observation, ResourceKind, ResourceVector};
 
 /// Outcome of one throttled-period resume evaluation.
 #[derive(Debug)]
@@ -91,18 +92,12 @@ impl ActStage {
     /// falls in a known violation-range; optimistic probes are never
     /// vetoed — they are the anti-starvation escape hatch and must stay
     /// able to push a frozen batch application through a bad phase.
-    // The argument list is the stage boundary itself: everything the act
-    // stage consumes from sense (mode, raw, batch usage), map (map,
-    // point) and the composer (tick, rng) in one call.
-    #[allow(clippy::too_many_arguments)]
     pub fn maybe_resume(
         &mut self,
         map: &MapStage,
-        mode: ExecutionMode,
+        sensed: &Sensed,
         point: Point2,
-        raw: &[f64],
         batch_usage: Option<&[f64]>,
-        tick: u64,
         rng: &mut StdRng,
     ) -> ResumeDecision {
         // Drift is measured from the first isolated state after the
@@ -110,7 +105,7 @@ impl ActStage {
         // phase and workload, its states "map to the same vicinity" of
         // that anchor; a growing distance indicates the phase or workload
         // has moved away from the contended regime.
-        let drift = if mode == ExecutionMode::SensitiveOnly {
+        let drift = if sensed.mode == ExecutionMode::SensitiveOnly {
             match self.throttle_anchor {
                 None => {
                     self.throttle_anchor = Some(point);
@@ -126,11 +121,11 @@ impl ActStage {
         };
         let k = self.metrics.len();
         if reason == ResumeReason::PhaseChange
-            && self.resume_would_violate(map, &raw[..k], batch_usage)
+            && self.resume_would_violate(map, &sensed.raw[..k], batch_usage)
         {
             return ResumeDecision::Vetoed;
         }
-        self.throttle.commit_resume(tick, reason);
+        self.throttle.commit_resume(sensed.tick, reason);
         self.throttle_anchor = None;
         let actions = if self.actions_enabled {
             self.paused_by_us.drain(..).map(Action::Resume).collect()

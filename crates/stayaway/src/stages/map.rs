@@ -5,11 +5,12 @@
 //! consult this stage read-only: prediction tests candidate points against
 //! violation-ranges, action estimates whether a resume would land in one.
 
+use super::sense::Sensed;
 use crate::config::ControllerConfig;
 use crate::mapping::MappingEngine;
 use crate::CoreError;
-use stayaway_sim::HostSpec;
 use stayaway_statespace::{ExecutionMode, Point2, StateKind, StateMap, Template};
+use stayaway_telemetry::HostSpec;
 
 /// Where one observation landed in the state map.
 #[derive(Debug, Clone, Copy)]
@@ -56,21 +57,18 @@ impl MapStage {
         })
     }
 
-    /// Maps one raw measurement vector: dedup/embed, record the visit, and
-    /// refresh positions when a new representative shifted the embedding.
-    /// Returns the representative with its **post-refresh** position.
+    /// Maps one sensed period: dedup/embed the raw measurement vector,
+    /// record the visit, and refresh positions when a new representative
+    /// shifted the embedding. Returns the representative with its
+    /// **post-refresh** position.
     ///
     /// # Errors
     ///
     /// Propagates mapping-pipeline failures.
-    pub fn ingest(
-        &mut self,
-        raw: &[f64],
-        mode: ExecutionMode,
-        tick: u64,
-    ) -> Result<MappedState, CoreError> {
-        let mapped = self.mapping.observe(raw)?;
-        self.map.visit(mapped.rep, mapped.point, mode, tick)?;
+    pub fn ingest(&mut self, sensed: &Sensed) -> Result<MappedState, CoreError> {
+        let mapped = self.mapping.observe(&sensed.raw)?;
+        self.map
+            .visit(mapped.rep, mapped.point, sensed.mode, sensed.tick)?;
         if mapped.is_new {
             self.refresh_positions()?;
         }

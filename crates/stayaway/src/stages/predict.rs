@@ -6,6 +6,7 @@
 //! reached next state.
 
 use super::map::MapStage;
+use super::sense::Sensed;
 use crate::CoreError;
 use rand::rngs::StdRng;
 use stayaway_statespace::{ExecutionMode, Point2};
@@ -91,8 +92,8 @@ impl PredictStage {
     }
 
     /// Attributes the step from the previous representative's current
-    /// position to `point` to `mode`'s trajectory model, and advances the
-    /// previous-state cursor.
+    /// position to `point` to the sensed mode's trajectory model, and
+    /// advances the previous-state cursor.
     ///
     /// # Errors
     ///
@@ -102,27 +103,29 @@ impl PredictStage {
         map: &MapStage,
         rep: usize,
         point: Point2,
-        mode: ExecutionMode,
+        sensed: &Sensed,
     ) -> Result<(), CoreError> {
         if let Some((prev_rep, _)) = self.prev {
             let step = Step::between(map.point_of(prev_rep)?, point);
-            self.predictor.observe(mode, step);
+            self.predictor.observe(sensed.mode, step);
         }
-        self.prev = Some((rep, mode));
+        self.prev = Some((rep, sensed.mode));
         Ok(())
     }
 
-    /// Draws candidate future states from `mode`'s model and votes them
-    /// against the violation-ranges; records the verdict for next period's
-    /// accuracy check. `None` while the model has no samples yet.
+    /// Draws candidate future states from the sensed mode's model and votes
+    /// them against the violation-ranges; records the verdict for next
+    /// period's accuracy check. `None` while the model has no samples yet.
     pub fn forecast(
         &mut self,
         map: &MapStage,
-        mode: ExecutionMode,
+        sensed: &Sensed,
         point: Point2,
         rng: &mut StdRng,
     ) -> Option<Forecast> {
-        let prediction = self.predictor.predict(mode, point, self.samples, rng)?;
+        let prediction = self
+            .predictor
+            .predict(sensed.mode, point, self.samples, rng)?;
         let votes = prediction.count_where(|c| map.in_violation_range(c));
         let predicted_violation = 2 * votes > prediction.len();
         self.pending_verdict = Some(predicted_violation);

@@ -12,8 +12,8 @@ use crate::aggregate::{
     batch_usage_vector, measurement_vector, protected_active, throttleable_active,
 };
 use crate::violation::{ViolationDetection, ViolationDetector};
-use stayaway_sim::{Observation, ResourceKind};
 use stayaway_statespace::ExecutionMode;
+use stayaway_telemetry::{Observation, ResourceKind};
 
 /// Everything one control period senses from the observation.
 #[derive(Debug, Clone)]
@@ -27,6 +27,9 @@ pub struct Sensed {
     /// Raw (unnormalised) measurement vector `⟨sensitive, total⟩` over the
     /// configured metrics.
     pub raw: Vec<f64>,
+    /// Raw metric values rejected this period — non-finite or negative
+    /// readings sanitised to zero before they could poison the embedding.
+    pub rejected: u64,
 }
 
 /// The sensing stage: observation → [`Sensed`].
@@ -54,21 +57,31 @@ impl SenseStage {
     /// usage whenever throttleable containers are active (a pure function
     /// of the observation, so recording it here — at the start of the
     /// period — is equivalent to the historical mid-period update).
+    ///
+    /// Raw metric values are sanitised on the way in: non-finite or
+    /// negative readings (possible from procfs counter wraps, clock skew
+    /// in recorded traces, or hand-edited trace files) are replaced with
+    /// zero and counted in [`Sensed::rejected`] rather than silently
+    /// poisoning the embedding downstream.
     pub fn observe(&mut self, observation: &Observation) -> Sensed {
         let mode = ExecutionMode::from_activity(
             protected_active(observation),
             throttleable_active(observation),
         );
         let violated = self.detector.assess(observation);
-        let raw = measurement_vector(observation, &self.metrics);
+        let mut raw = measurement_vector(observation, &self.metrics);
+        let mut rejected = sanitize(&mut raw);
         if throttleable_active(observation) {
-            self.last_batch_usage = Some(batch_usage_vector(observation, &self.metrics));
+            let mut batch = batch_usage_vector(observation, &self.metrics);
+            rejected += sanitize(&mut batch);
+            self.last_batch_usage = Some(batch);
         }
         Sensed {
             tick: observation.tick,
             mode,
             violated,
             raw,
+            rejected,
         }
     }
 
@@ -81,5 +94,76 @@ impl SenseStage {
     /// [`Sensed::raw`] spans indices `0..metrics_len`).
     pub fn metrics_len(&self) -> usize {
         self.metrics.len()
+    }
+}
+
+/// Replaces non-finite or negative values with zero; returns how many
+/// values were rejected.
+fn sanitize(values: &mut [f64]) -> u64 {
+    let mut rejected = 0;
+    for v in values.iter_mut() {
+        if !v.is_finite() || *v < 0.0 {
+            *v = 0.0;
+            rejected += 1;
+        }
+    }
+    rejected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::violation::ViolationDetection;
+    use stayaway_telemetry::{AppClass, ContainerId, ContainerObs, ResourceVector};
+
+    fn obs_with_usage(cpu_sensitive: f64, cpu_batch: f64) -> Observation {
+        let container = |id: usize, class, cpu| ContainerObs {
+            id: ContainerId::from_raw(id),
+            name: format!("c{id}"),
+            class,
+            active: true,
+            paused: false,
+            finished: false,
+            usage: ResourceVector::zero().with(ResourceKind::Cpu, cpu),
+            ipc: 1.0,
+            priority: 0,
+        };
+        Observation {
+            tick: 0,
+            containers: vec![
+                container(0, AppClass::Sensitive, cpu_sensitive),
+                container(1, AppClass::Batch, cpu_batch),
+            ],
+            qos_violation: false,
+            qos_value: 1.0,
+        }
+    }
+
+    #[test]
+    fn clean_observations_reject_nothing() {
+        let mut stage = SenseStage::new(&[ResourceKind::Cpu], ViolationDetection::AppReported);
+        let sensed = stage.observe(&obs_with_usage(1.5, 2.0));
+        assert_eq!(sensed.rejected, 0);
+        assert_eq!(sensed.raw, vec![1.5, 3.5]);
+    }
+
+    #[test]
+    fn non_finite_and_negative_values_are_zeroed_and_counted() {
+        let mut stage = SenseStage::new(&[ResourceKind::Cpu], ViolationDetection::AppReported);
+        // NaN in the sensitive reading propagates into both halves of the
+        // measurement vector and into the remembered batch usage.
+        let sensed = stage.observe(&obs_with_usage(f64::NAN, -2.0));
+        assert!(sensed.raw.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(sensed.rejected > 0);
+        let batch = stage.last_batch_usage().unwrap();
+        assert!(batch.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn infinity_is_rejected() {
+        let mut stage = SenseStage::new(&[ResourceKind::Cpu], ViolationDetection::AppReported);
+        let sensed = stage.observe(&obs_with_usage(f64::INFINITY, 1.0));
+        assert!(sensed.raw.iter().all(|v| v.is_finite()));
+        assert!(sensed.rejected > 0);
     }
 }

@@ -9,7 +9,7 @@
 //! application cannot be instrumented.
 
 use serde::{Deserialize, Serialize};
-use stayaway_sim::Observation;
+use stayaway_telemetry::Observation;
 
 /// How the controller learns that the sensitive application's QoS is
 /// violated.

@@ -1,0 +1,123 @@
+//! Host capacity description.
+
+use crate::resources::{ResourceKind, ResourceVector};
+use crate::TelemetryError;
+use serde::{Deserialize, Serialize};
+
+/// Physical capacities of the observed host.
+///
+/// Defaults approximate the paper's testbed: a quad-core 3.2 GHz i5 with a
+/// 4 MB shared L3, 8 GB of RAM and commodity disk/NIC. Controllers use the
+/// capacities to normalise raw usage samples; sources advertise them in
+/// their metadata (and traces persist them in the header) so a replay
+/// normalises exactly like the live run did.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// CPU capacity in cores.
+    pub cpu_cores: f64,
+    /// RAM in MB.
+    pub ram_mb: f64,
+    /// Memory bandwidth in MB/s.
+    pub membw_mbps: f64,
+    /// Disk throughput in MB/s.
+    pub disk_mbps: f64,
+    /// Network throughput in MB/s.
+    pub net_mbps: f64,
+    /// Shared last-level cache in MB.
+    pub llc_mb: f64,
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        HostSpec {
+            cpu_cores: 4.0,
+            ram_mb: 8192.0,
+            membw_mbps: 10_000.0,
+            disk_mbps: 200.0,
+            net_mbps: 1_000.0,
+            llc_mb: 4.0,
+        }
+    }
+}
+
+impl HostSpec {
+    /// Capacity of one resource kind.
+    pub fn capacity(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            ResourceKind::Cpu => self.cpu_cores,
+            ResourceKind::Memory => self.ram_mb,
+            ResourceKind::MemBandwidth => self.membw_mbps,
+            ResourceKind::DiskIo => self.disk_mbps,
+            ResourceKind::Network => self.net_mbps,
+            ResourceKind::Cache => self.llc_mb,
+        }
+    }
+
+    /// Capacities as a [`ResourceVector`].
+    pub fn capacities(&self) -> ResourceVector {
+        ResourceVector::new(
+            self.cpu_cores,
+            self.ram_mb,
+            self.membw_mbps,
+            self.disk_mbps,
+            self.net_mbps,
+            self.llc_mb,
+        )
+    }
+
+    /// Validates that all capacities are positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::InvalidConfig`] otherwise.
+    pub fn validate(&self) -> Result<(), TelemetryError> {
+        for kind in ResourceKind::ALL {
+            let c = self.capacity(kind);
+            if !c.is_finite() || c <= 0.0 {
+                return Err(TelemetryError::InvalidConfig {
+                    reason: format!("capacity of {kind} must be positive, got {c}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_valid() {
+        assert!(HostSpec::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_capacities_rejected() {
+        let mut spec = HostSpec {
+            ram_mb: 0.0,
+            ..Default::default()
+        };
+        assert!(spec.validate().is_err());
+        spec.ram_mb = f64::NAN;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn capacities_match_fields() {
+        let spec = HostSpec::default();
+        assert_eq!(
+            spec.capacities().get(ResourceKind::Cpu),
+            spec.capacity(ResourceKind::Cpu)
+        );
+        assert_eq!(spec.capacities().get(ResourceKind::Memory), spec.ram_mb);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = HostSpec::default();
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: HostSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+}

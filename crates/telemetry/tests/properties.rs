@@ -1,0 +1,258 @@
+//! Property tests for the trace codec and the procfs line parsers.
+//!
+//! The codec invariants: a written trace always reads back (round-trip
+//! within 1e-12 on every float, exactly on every discrete field), and any
+//! corruption — garbled lines, truncation, a future format version —
+//! surfaces as a *typed* [`TelemetryError`] carrying the offending line
+//! number, never a panic or a silently wrong observation. The procfs
+//! parsers are pure functions over text, so they are fuzzed directly.
+
+use proptest::prelude::*;
+use stayaway_telemetry::procfs::{
+    parse_cpu_stat, parse_memory_current, parse_pid_io, parse_proc_stat,
+};
+use stayaway_telemetry::{
+    AppClass, ContainerId, ContainerObs, HostSpec, Observation, ObservationSource, ResourceKind,
+    ResourceVector, SourceKind, SourceMeta, TelemetryError, TraceHeader, TraceSource, TraceWriter,
+    TRACE_VERSION,
+};
+
+fn meta() -> SourceMeta {
+    SourceMeta {
+        kind: SourceKind::Sim,
+        metrics: ResourceKind::ALL.to_vec(),
+        tick_period_secs: 1.0,
+        host: Some(HostSpec::default()),
+    }
+}
+
+/// Builds one observation from flat fuzz inputs.
+fn observation(tick: u64, containers: &[(f64, f64, u8)], qos: f64) -> Observation {
+    Observation {
+        tick,
+        containers: containers
+            .iter()
+            .enumerate()
+            .map(|(i, &(cpu, ipc, flags))| {
+                let mut usage = ResourceVector::zero();
+                for (k, kind) in ResourceKind::ALL.into_iter().enumerate() {
+                    usage.set(kind, cpu * (k as f64 + 0.25));
+                }
+                ContainerObs {
+                    id: ContainerId::from_raw(i),
+                    name: format!("app-{i}"),
+                    class: if flags & 1 == 0 {
+                        AppClass::Sensitive
+                    } else {
+                        AppClass::Batch
+                    },
+                    active: flags & 2 != 0,
+                    paused: flags & 4 != 0,
+                    finished: flags & 8 != 0,
+                    usage,
+                    ipc,
+                    priority: flags >> 4,
+                }
+            })
+            .collect(),
+        qos_violation: qos < 0.8,
+        qos_value: qos,
+    }
+}
+
+/// Records `observations` into an in-memory JSONL trace.
+fn record(observations: &[Observation]) -> Vec<u8> {
+    let mut writer = TraceWriter::new(Vec::new(), &meta()).expect("header");
+    for o in observations {
+        writer.record(o).expect("finite observation encodes");
+    }
+    writer.finish().expect("flush")
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Write→read round-trips every field: discrete fields exactly, floats
+    /// within 1e-12.
+    #[test]
+    fn trace_round_trips(
+        ticks in prop::collection::vec(
+            (0u64..1_000_000, prop::collection::vec(
+                (0.0f64..5000.0, 0.0f64..4.0, 0u8..=255), 0..4), 0.0f64..1.0),
+            0..12),
+    ) {
+        let observations: Vec<Observation> = ticks
+            .iter()
+            .map(|(tick, containers, qos)| observation(*tick, containers, *qos))
+            .collect();
+        let bytes = record(&observations);
+        let mut source = TraceSource::new(bytes.as_slice()).expect("valid trace");
+        prop_assert_eq!(source.header().version, TRACE_VERSION);
+        for expected in &observations {
+            let got = source.next_observation().expect("decodes").expect("present");
+            prop_assert_eq!(got.tick, expected.tick);
+            prop_assert_eq!(got.qos_violation, expected.qos_violation);
+            prop_assert!(close(got.qos_value, expected.qos_value));
+            prop_assert_eq!(got.containers.len(), expected.containers.len());
+            for (g, e) in got.containers.iter().zip(&expected.containers) {
+                prop_assert_eq!(g.id, e.id);
+                prop_assert_eq!(&g.name, &e.name);
+                prop_assert_eq!(g.class, e.class);
+                prop_assert_eq!((g.active, g.paused, g.finished), (e.active, e.paused, e.finished));
+                prop_assert_eq!(g.priority, e.priority);
+                prop_assert!(close(g.ipc, e.ipc));
+                for kind in ResourceKind::ALL {
+                    prop_assert!(close(g.usage.get(kind), e.usage.get(kind)));
+                }
+            }
+        }
+        prop_assert!(source.next_observation().expect("clean end").is_none());
+    }
+
+    /// Replacing one observation line with garbage yields a Codec error
+    /// naming exactly that line — earlier lines still decode, and nothing
+    /// panics.
+    #[test]
+    fn corrupt_line_reports_its_line_number(
+        n in 1usize..8,
+        victim in 0usize..8,
+        garbage in prop::collection::vec(32u8..127, 1..40),
+    ) {
+        let victim = victim % n;
+        let observations: Vec<Observation> =
+            (0..n as u64).map(|t| observation(t, &[(1.0, 1.0, 3)], 0.9)).collect();
+        let bytes = record(&observations);
+        let text = String::from_utf8(bytes).expect("traces are utf-8");
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut garbled = String::from_utf8_lossy(&garbage).into_owned();
+        // Keep the corruption undecodable rather than accidentally valid JSON.
+        garbled.insert(0, '{');
+        lines[victim + 1] = garbled;
+        let corrupted = lines.join("\n");
+
+        let mut source = TraceSource::new(corrupted.as_bytes()).expect("header is intact");
+        for t in 0..victim {
+            let o = source.next_observation().expect("pre-corruption decodes");
+            prop_assert_eq!(o.expect("present").tick, t as u64);
+        }
+        match source.next_observation() {
+            Err(TelemetryError::Codec { line, .. }) => {
+                // Header is line 1, observation k is line k+2.
+                prop_assert_eq!(line, victim as u64 + 2);
+            }
+            other => prop_assert!(false, "expected Codec error, got {:?}", other),
+        }
+    }
+
+    /// A trace cut at an arbitrary byte offset never panics: it either
+    /// ends cleanly (cut on a line boundary) or fails with a typed Codec
+    /// error at the cut line. A cut inside the header is MissingHeader.
+    #[test]
+    fn truncation_is_typed(n in 1usize..6, cut_back in 1usize..200) {
+        let observations: Vec<Observation> =
+            (0..n as u64).map(|t| observation(t, &[(1.0, 1.0, 3)], 0.9)).collect();
+        let mut bytes = record(&observations);
+        let cut = bytes.len().saturating_sub(cut_back % bytes.len().max(1));
+        bytes.truncate(cut);
+        match TraceSource::new(bytes.as_slice()) {
+            Ok(mut source) => {
+                let mut consumed = 0u64;
+                loop {
+                    match source.next_observation() {
+                        Ok(Some(o)) => {
+                            prop_assert_eq!(o.tick, consumed);
+                            consumed += 1;
+                        }
+                        Ok(None) => break, // clean boundary cut
+                        Err(TelemetryError::Codec { line, .. }) => {
+                            prop_assert_eq!(line, consumed + 2);
+                            break;
+                        }
+                        Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+                    }
+                }
+                prop_assert!(consumed <= n as u64);
+            }
+            Err(TelemetryError::MissingHeader { .. }) => {
+                // The cut landed inside the header line.
+            }
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+    }
+
+    /// Any header version newer than this build rejects as
+    /// UnsupportedVersion (and version 0 is never accepted).
+    #[test]
+    fn version_mismatch_is_typed(version in prop::collection::vec(0u32..1000, 1..2)) {
+        let version = version[0];
+        let mut header = TraceHeader::for_meta(&meta());
+        header.version = version;
+        let line = serde_json::to_string(&header).expect("encodes");
+        let text = format!("{line}\n");
+        let result = TraceSource::new(text.as_bytes());
+        if (1..=TRACE_VERSION).contains(&version) {
+            prop_assert!(result.is_ok());
+        } else {
+            match result {
+                Err(TelemetryError::UnsupportedVersion { found, supported }) => {
+                    prop_assert_eq!(found, version);
+                    prop_assert_eq!(supported, TRACE_VERSION);
+                }
+                other => prop_assert!(false, "expected UnsupportedVersion, got {:?}",
+                    other.map(|_| ())),
+            }
+        }
+    }
+
+    /// The procfs line parsers accept arbitrary text without panicking:
+    /// every outcome is Ok or a typed Codec error with a plausible line
+    /// number.
+    #[test]
+    fn procfs_parsers_never_panic(raw in prop::collection::vec(9u8..127, 0..400)) {
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        let lines = text.lines().count() as u64;
+        for result in [
+            parse_proc_stat(&text).map(|_| ()),
+            parse_pid_io(&text).map(|_| ()),
+            parse_cpu_stat(&text).map(|_| ()),
+            parse_memory_current(&text).map(|_| ()),
+        ] {
+            if let Err(e) = result {
+                match e {
+                    TelemetryError::Codec { line, .. } => {
+                        prop_assert!(line <= lines.max(1));
+                    }
+                    other => prop_assert!(false, "unexpected error {:?}", other),
+                }
+            }
+        }
+    }
+
+    /// On well-formed /proc/stat-shaped input the parser recovers the
+    /// aggregate and core count exactly.
+    #[test]
+    fn proc_stat_recovers_counters(
+        jiffies in prop::collection::vec(0u64..1_000_000, 8),
+        cores in 1usize..9,
+    ) {
+        let mut text = format!(
+            "cpu  {} {} {} {} {} {} {} {} 0 0\n",
+            jiffies[0], jiffies[1], jiffies[2], jiffies[3],
+            jiffies[4], jiffies[5], jiffies[6], jiffies[7],
+        );
+        for c in 0..cores {
+            text.push_str(&format!("cpu{c} 1 0 1 1 0 0 0 0 0 0\n"));
+        }
+        text.push_str("intr 42\nctxt 7\n");
+        let parsed = parse_proc_stat(&text).expect("well-formed");
+        let busy = jiffies[0] + jiffies[1] + jiffies[2] + jiffies[5] + jiffies[6] + jiffies[7];
+        let idle = jiffies[3] + jiffies[4];
+        prop_assert_eq!(parsed.busy_jiffies, busy);
+        prop_assert_eq!(parsed.idle_jiffies, idle);
+        prop_assert_eq!(parsed.cores, cores);
+    }
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints (warnings are errors), rustdoc
 # (warnings are errors), the release build, the test suite (including the
-# fleet determinism suite and the staged-controller golden fixture), and a
-# compile check of every criterion bench target. Run from anywhere
-# inside the repository.
+# fleet determinism suite, the staged-controller golden fixture and the
+# telemetry record→replay determinism suite), a replay smoke run over the
+# committed fixture trace, and a compile check of every criterion bench
+# target. Run from anywhere inside the repository.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,4 +15,9 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo test -q -p stayaway-fleet --test determinism
 cargo test -q -p stayaway-core --test golden_fixture
+cargo test -q --test record_replay
+# Replay smoke: the committed fixture trace must stay readable by the
+# current trace codec, end to end through the CLI.
+cargo run -q --release --bin stayaway -- \
+    replay --trace tests/fixtures/smoke_trace.jsonl
 cargo bench --workspace --no-run

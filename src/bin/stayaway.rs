@@ -3,9 +3,12 @@
 //! ```text
 //! stayaway list
 //! stayaway run --scenario vlc+cpu-bomb --policy stay-away --ticks 384 --seed 7
+//! stayaway run --source trace:trace.jsonl
 //! stayaway compare --scenario web-mem+twitter-analysis --ticks 300
 //! stayaway capture --scenario vlc+cpu-bomb --out template.json
 //! stayaway reuse --scenario vlc+soplex --template template.json
+//! stayaway record --scenario vlc+cpu-bomb --out trace.jsonl
+//! stayaway replay --trace trace.jsonl
 //! stayaway fleet --cells 64 --workers 4 --seed 7 --share-templates --json
 //! ```
 //!
@@ -14,12 +17,13 @@
 //! twitter-analysis, vlc-transcode}.
 
 use stay_away::core::{ControlPolicy, ControllerConfig, ControllerStats};
-use stay_away::fleet::{Fleet, FleetConfig, PolicySpec};
+use stay_away::fleet::{Fleet, FleetConfig, PolicySpec, SourceSpec};
 use stay_away::sim::apps::WebWorkload;
 use stay_away::sim::scenario::{BatchKind, Scenario, SensitiveKind};
 use stay_away::sim::workload::{DiurnalParams, Trace};
-use stay_away::sim::RunOutcome;
+use stay_away::sim::{RunOutcome, SimSource};
 use stay_away::statespace::Template;
+use stay_away::telemetry::{drive, RecordingSource, TraceSource};
 
 const USAGE: &str = "\
 usage: stayaway <command> [options]
@@ -30,6 +34,9 @@ commands:
   compare                    run one scenario under every policy
   capture                    run stay-away and export the learned template
   reuse                      run stay-away seeded from a template
+  record                     run one scenario and record the observation
+                             stream to a JSONL trace file
+  replay                     drive a policy from a recorded trace
   fleet                      run many co-location cells over a worker pool
 
 options:
@@ -38,10 +45,16 @@ options:
   --policy <name>            stayaway | reactive | static | always | null
                              (fleet: comma-separated list round-robined
                              across cells, e.g. stayaway,reactive)
+  --source <spec>            observation substrate for run/compare/fleet:
+                             sim | trace:<path> | procfs (default sim;
+                             fleet: comma-separated list round-robined
+                             across cells)
+  --trace <path>             recorded trace file for replay
   --ticks <n>                simulation length (default 384)
   --seed <n>                 deterministic seed (default 7)
   --template <path>          template file for capture/reuse
-  --out <path>               output path for capture
+  --out <path>               output path for capture (template.json) and
+                             record (trace.jsonl)
   --cells <n>                fleet: number of co-location cells (default 8)
   --workers <n>              fleet: worker threads (default 1; results are
                              identical for any value)
@@ -56,6 +69,8 @@ struct Args {
     /// default to vlc+cpu-bomb, the fleet to its standard scenario mix.
     scenario: Option<String>,
     policy: String,
+    source: String,
+    trace: Option<String>,
     ticks: u64,
     seed: u64,
     template: Option<String>,
@@ -74,6 +89,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         command: argv.first().cloned().ok_or("missing command")?,
         scenario: None,
         policy: "stay-away".into(),
+        source: "sim".into(),
+        trace: None,
         ticks: 384,
         seed: 7,
         template: None,
@@ -93,6 +110,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match flag.as_str() {
             "--scenario" => args.scenario = Some(value("--scenario")?),
             "--policy" => args.policy = value("--policy")?,
+            "--source" => args.source = value("--source")?,
+            "--trace" => args.trace = Some(value("--trace")?),
             "--ticks" => {
                 args.ticks = value("--ticks")?
                     .parse()
@@ -166,15 +185,16 @@ fn parse_scenario(name: &str, seed: u64) -> Result<Scenario, String> {
 
 fn summarize(
     label: &str,
-    scenario: &Scenario,
+    scenario_name: &str,
+    cpu_capacity: f64,
     out: &RunOutcome,
     stats: Option<&ControllerStats>,
     json: bool,
 ) {
-    let cap = scenario.host_spec().cpu_cores;
+    let cap = cpu_capacity;
     if json {
         let mut doc = serde_json::json!({
-            "scenario": scenario.name(),
+            "scenario": scenario_name,
             "policy": label,
             "ticks": out.timeline.len(),
             "violations": out.qos.violations,
@@ -220,21 +240,27 @@ fn summarize(
     }
 }
 
-/// Runs `scenario` under the named policy via the unified
-/// [`ControlPolicy`] surface; the post-run policy is returned for
-/// introspection (stats, template export).
+/// Runs the named policy against the selected observation substrate via
+/// the unified [`ControlPolicy`] surface; returns the outcome, the
+/// post-run policy (for introspection: stats, template export) and the
+/// CPU capacity of the sensed host (for utilisation summaries).
 fn run_policy_by_name(
     scenario: &Scenario,
     policy: &str,
+    source_spec: &SourceSpec,
+    seed: u64,
     ticks: u64,
-) -> Result<(RunOutcome, Box<dyn ControlPolicy>), String> {
+) -> Result<(RunOutcome, Box<dyn ControlPolicy>, f64), String> {
     let spec = PolicySpec::parse(policy).map_err(|e| e.to_string())?;
-    let mut harness = scenario.build_harness().map_err(|e| e.to_string())?;
-    let mut policy = spec
-        .build(&ControllerConfig::default(), harness.host().spec())
+    let mut source = source_spec
+        .build(scenario, seed)
         .map_err(|e| e.to_string())?;
-    let out = harness.run(policy.as_mut(), ticks);
-    Ok((out, policy))
+    let host_spec = source.meta().host.unwrap_or_else(|| *scenario.host_spec());
+    let mut policy = spec
+        .build(&ControllerConfig::default(), &host_spec)
+        .map_err(|e| e.to_string())?;
+    let out = drive(source.as_mut(), policy.as_mut(), ticks).map_err(|e| e.to_string())?;
+    Ok((out, policy, host_spec.cpu_cores))
 }
 
 fn main() {
@@ -312,31 +338,42 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         "run" => {
             let scenario = parse_scenario(&scenario_name, args.seed)?;
-            let (out, policy) = run_policy_by_name(&scenario, &args.policy, args.ticks)?;
+            let source = SourceSpec::parse(&args.source).map_err(|e| e.to_string())?;
+            let (out, policy, cap) =
+                run_policy_by_name(&scenario, &args.policy, &source, args.seed, args.ticks)?;
             let stats = policy.stats();
             // Baselines track nothing; only show controller internals when
             // the policy actually counted its periods.
             let stats = (stats.periods > 0).then_some(&stats);
-            summarize(policy.name(), &scenario, &out, stats, args.json);
+            summarize(policy.name(), scenario.name(), cap, &out, stats, args.json);
             Ok(())
         }
         "compare" => {
             let scenario = parse_scenario(&scenario_name, args.seed)?;
+            let source = SourceSpec::parse(&args.source).map_err(|e| e.to_string())?;
             println!(
-                "scenario: {} ({} ticks, seed {})\n",
+                "scenario: {} ({} ticks, seed {}, source {})\n",
                 scenario.name(),
                 args.ticks,
-                args.seed
+                args.seed,
+                source.name(),
             );
             for policy in ["null", "always", "reactive", "static", "stayaway"] {
-                let (out, built) = run_policy_by_name(&scenario, policy, args.ticks)?;
-                summarize(built.name(), &scenario, &out, None, args.json);
+                let (out, built, cap) =
+                    run_policy_by_name(&scenario, policy, &source, args.seed, args.ticks)?;
+                summarize(built.name(), scenario.name(), cap, &out, None, args.json);
             }
             Ok(())
         }
         "capture" => {
             let scenario = parse_scenario(&scenario_name, args.seed)?;
-            let (out, policy) = run_policy_by_name(&scenario, "stay-away", args.ticks)?;
+            let (out, policy, cap) = run_policy_by_name(
+                &scenario,
+                "stay-away",
+                &SourceSpec::Sim,
+                args.seed,
+                args.ticks,
+            )?;
             let sens_name = scenario_name.split('+').next().unwrap_or("sensitive");
             let template = policy
                 .export_template(sens_name)
@@ -344,7 +381,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 .ok_or("the selected policy does not learn templates")?;
             let path = args.out.unwrap_or_else(|| "template.json".into());
             template.save_to_path(&path).map_err(|e| e.to_string())?;
-            summarize("stay-away", &scenario, &out, None, args.json);
+            summarize("stay-away", scenario.name(), cap, &out, None, args.json);
             println!(
                 "template with {} states ({} violation) written to {path}",
                 template.len(),
@@ -369,7 +406,72 @@ fn run(argv: &[String]) -> Result<(), String> {
                 template.len(),
                 template.violation_count()
             );
-            summarize("stay-away+tpl", &scenario, &out, None, args.json);
+            summarize(
+                "stay-away+tpl",
+                scenario.name(),
+                scenario.host_spec().cpu_cores,
+                &out,
+                None,
+                args.json,
+            );
+            Ok(())
+        }
+        "record" => {
+            let scenario = parse_scenario(&scenario_name, args.seed)?;
+            let spec = PolicySpec::parse(&args.policy).map_err(|e| e.to_string())?;
+            let harness = scenario.build_harness().map_err(|e| e.to_string())?;
+            let host_spec = *harness.host().spec();
+            let mut policy = spec
+                .build(&ControllerConfig::default(), &host_spec)
+                .map_err(|e| e.to_string())?;
+            let path = args.out.unwrap_or_else(|| "trace.jsonl".into());
+            let file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+            let mut recorder =
+                RecordingSource::new(SimSource::new(harness), std::io::BufWriter::new(file))
+                    .map_err(|e| e.to_string())?;
+            let out =
+                drive(&mut recorder, policy.as_mut(), args.ticks).map_err(|e| e.to_string())?;
+            recorder.finish().map_err(|e| e.to_string())?;
+            summarize(
+                policy.name(),
+                scenario.name(),
+                host_spec.cpu_cores,
+                &out,
+                None,
+                args.json,
+            );
+            println!(
+                "trace with {} observations written to {path}",
+                out.timeline.len()
+            );
+            Ok(())
+        }
+        "replay" => {
+            let path = args.trace.ok_or("replay requires --trace <path>")?;
+            let mut source = TraceSource::open(&path).map_err(|e| e.to_string())?;
+            let recorded_from = source.header().recorded_from;
+            // The controller runs against the capacities the trace was
+            // recorded on; traces without a host spec get the defaults.
+            let host_spec = source.header().host.unwrap_or_default();
+            let spec = PolicySpec::parse(&args.policy).map_err(|e| e.to_string())?;
+            let mut policy = spec
+                .build(&ControllerConfig::default(), &host_spec)
+                .map_err(|e| e.to_string())?;
+            let out = drive(&mut source, policy.as_mut(), args.ticks).map_err(|e| e.to_string())?;
+            println!(
+                "replayed {} observations from {path} (recorded from {recorded_from})",
+                out.timeline.len(),
+            );
+            let stats = policy.stats();
+            let stats = (stats.periods > 0).then_some(&stats);
+            summarize(
+                policy.name(),
+                &format!("replay:{path}"),
+                host_spec.cpu_cores,
+                &out,
+                stats,
+                args.json,
+            );
             Ok(())
         }
         "fleet" => {
@@ -378,6 +480,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 None => FleetConfig::standard_mix(args.seed),
             };
             let policies = PolicySpec::parse_list(&args.policy).map_err(|e| e.to_string())?;
+            let sources = SourceSpec::parse_list(&args.source).map_err(|e| e.to_string())?;
             let config = FleetConfig {
                 cells: args.cells,
                 workers: args.workers,
@@ -386,6 +489,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 share_templates: args.share_templates,
                 scenarios,
                 policies,
+                sources,
                 controller: ControllerConfig::default(),
             };
             let fleet = Fleet::new(config).map_err(|e| e.to_string())?;
@@ -454,7 +558,50 @@ mod tests {
         assert!(parse_args(&argv("run --scenario")).is_err());
         assert!(parse_args(&argv("fleet --cells abc")).is_err());
         assert!(parse_args(&argv("fleet --workers")).is_err());
+        assert!(parse_args(&argv("replay --trace")).is_err());
         assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_source_and_trace_flags() {
+        let a = parse_args(&argv("run --source trace:/tmp/t.jsonl")).unwrap();
+        assert_eq!(a.source, "trace:/tmp/t.jsonl");
+        assert_eq!(
+            SourceSpec::parse(&a.source).unwrap(),
+            SourceSpec::Trace {
+                path: "/tmp/t.jsonl".into()
+            }
+        );
+        let a = parse_args(&argv("replay --trace out.jsonl --policy reactive")).unwrap();
+        assert_eq!(a.trace.as_deref(), Some("out.jsonl"));
+        // The default substrate is the simulator.
+        let a = parse_args(&argv("run")).unwrap();
+        assert_eq!(SourceSpec::parse(&a.source).unwrap(), SourceSpec::Sim);
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_the_run_through_the_cli_paths() {
+        // Exercise the same code paths the `record` and `replay` commands
+        // use, against an in-memory trace.
+        let scenario = parse_scenario("vlc+cpu-bomb", 3).unwrap();
+        let harness = scenario.build_harness().unwrap();
+        let host_spec = *harness.host().spec();
+        let mut recorder = RecordingSource::new(SimSource::new(harness), Vec::new()).unwrap();
+        let mut live = PolicySpec::StayAway
+            .build(&ControllerConfig::default(), &host_spec)
+            .unwrap();
+        let live_out = drive(&mut recorder, live.as_mut(), 60).unwrap();
+        let (_, trace) = recorder.finish().unwrap();
+
+        let mut source = TraceSource::new(trace.as_slice()).unwrap();
+        let replay_host = source.header().host.unwrap();
+        assert_eq!(replay_host, host_spec);
+        let mut replayed = PolicySpec::StayAway
+            .build(&ControllerConfig::default(), &replay_host)
+            .unwrap();
+        let replay_out = drive(&mut source, replayed.as_mut(), 60).unwrap();
+        assert_eq!(live_out.qos, replay_out.qos);
+        assert_eq!(live.stats(), replayed.stats());
     }
 
     #[test]
@@ -479,13 +626,15 @@ mod tests {
     fn run_policy_by_name_covers_all_policies() {
         let scenario = parse_scenario("vlc+soplex", 1).unwrap();
         for p in ["stay-away", "none", "always", "reactive", "static", "null"] {
-            let (out, policy) = run_policy_by_name(&scenario, p, 30).unwrap();
+            let (out, policy, cap) =
+                run_policy_by_name(&scenario, p, &SourceSpec::Sim, 1, 30).unwrap();
             assert_eq!(out.timeline.len(), 30);
+            assert_eq!(cap, scenario.host_spec().cpu_cores);
             // Only the controller counts its periods and learns templates.
             let is_stayaway = p == "stay-away";
             assert_eq!(policy.stats().periods > 0, is_stayaway);
             assert_eq!(policy.supports_templates(), is_stayaway);
         }
-        assert!(run_policy_by_name(&scenario, "bogus", 10).is_err());
+        assert!(run_policy_by_name(&scenario, "bogus", &SourceSpec::Sim, 1, 10).is_err());
     }
 }

@@ -19,6 +19,9 @@
 //!   ranges, reusable templates;
 //! * [`trajectory`] — step/angle histograms, KDE, inverse-transform
 //!   sampling, per-mode predictors;
+//! * [`telemetry`] — the observation plane: canonical observation types,
+//!   the `ObservationSource` trait, JSONL trace record/replay and the
+//!   best-effort procfs sampler;
 //! * [`sim`] — the deterministic host/container simulator with synthetic
 //!   applications (VLC streaming/transcoding, Webservice, Soplex,
 //!   Twitter-Analysis, CPUBomb, MemoryBomb) standing in for the paper's LXC
@@ -62,4 +65,5 @@ pub use stayaway_fleet as fleet;
 pub use stayaway_mds as mds;
 pub use stayaway_sim as sim;
 pub use stayaway_statespace as statespace;
+pub use stayaway_telemetry as telemetry;
 pub use stayaway_trajectory as trajectory;
