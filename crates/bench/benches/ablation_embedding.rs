@@ -52,7 +52,7 @@ fn main() {
                 label.into(),
                 run.outcome.qos.violations.to_string(),
                 format!("{:.0}", run.outcome.batch_work),
-                format!("{:.1}%", 100.0 * stats.prediction_accuracy()),
+                format!("{:.1}%", 100.0 * stats.prediction_accuracy().unwrap_or(0.0)),
                 format!("{:.1} ms", elapsed.as_secs_f64() * 1e3),
             ]);
             json_rows.push(serde_json::json!({

@@ -145,7 +145,7 @@ fn main() {
             table.row(&[
                 scenario.name().to_string(),
                 if per_mode { "per-mode" } else { "pooled" }.into(),
-                format!("{:.1}%", 100.0 * stats.prediction_accuracy()),
+                format!("{:.1}%", 100.0 * stats.prediction_accuracy().unwrap_or(0.0)),
                 run.outcome.qos.violations.to_string(),
                 format!("{:.0}", run.outcome.batch_work),
             ]);

@@ -27,7 +27,7 @@ fn main() {
         let stats = run.stats();
         table.row(&[
             samples.to_string(),
-            format!("{:.1}%", 100.0 * stats.prediction_accuracy()),
+            format!("{:.1}%", 100.0 * stats.prediction_accuracy().unwrap_or(0.0)),
             run.outcome.qos.violations.to_string(),
             stats.violations_predicted.to_string(),
             format!("{:.0}", run.outcome.batch_work),

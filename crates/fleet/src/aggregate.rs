@@ -18,6 +18,7 @@ use crate::config::FleetConfig;
 use crate::FleetError;
 use serde::{Deserialize, Serialize};
 use stayaway_core::hit_ratio;
+use stayaway_obs::MetricsSnapshot;
 use stayaway_sim::QosSummary;
 
 /// The distilled result of one cell, embedded in the fleet outcome.
@@ -141,8 +142,9 @@ impl PolicyRollup {
         self.qos.satisfaction()
     }
 
-    /// Prediction accuracy over this policy's pooled checks.
-    pub fn prediction_accuracy(&self) -> f64 {
+    /// Prediction accuracy over this policy's pooled checks; `None` when
+    /// no prediction was ever checked (non-predictive policies).
+    pub fn prediction_accuracy(&self) -> Option<f64> {
         hit_ratio(self.prediction_hits, self.prediction_checks)
     }
 }
@@ -188,6 +190,12 @@ pub struct FleetOutcome {
     pub per_policy: Vec<PolicyRollup>,
     /// Per-cell summaries, in cell-index order.
     pub per_cell: Vec<CellSummary>,
+    /// Fleet-wide metrics rollup: the per-cell registries merged in
+    /// cell-index order and reduced to the stable view (latency
+    /// histograms stripped to invocation counts, so the rollup is
+    /// byte-identical for any worker count); `None` unless
+    /// [`FleetConfig::collect_metrics`] was set.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl FleetOutcome {
@@ -207,7 +215,15 @@ impl FleetOutcome {
         let mut cells_imported = 0;
         let mut proactive_first_throttles = 0;
         let mut per_policy: Vec<PolicyRollup> = Vec::new();
+        let mut metrics: Option<MetricsSnapshot> = None;
         for o in outcomes {
+            // Merge in cell-index order (outcomes arrive sorted), so the
+            // rollup is a fixed-order fold regardless of scheduling.
+            if let Some(cell_metrics) = &o.metrics {
+                metrics
+                    .get_or_insert_with(MetricsSnapshot::default)
+                    .merge(cell_metrics);
+            }
             match per_policy.iter_mut().find(|r| r.policy == o.policy) {
                 Some(rollup) => rollup.fold(o),
                 None => {
@@ -255,6 +271,7 @@ impl FleetOutcome {
             proactive_first_throttles,
             per_policy,
             per_cell: outcomes.iter().map(CellSummary::from_outcome).collect(),
+            metrics: metrics.map(|m| m.stable_view()),
         }
     }
 
@@ -268,8 +285,9 @@ impl FleetOutcome {
         self.qos.mean_qos()
     }
 
-    /// Fleet-wide prediction accuracy (pooled checks).
-    pub fn prediction_accuracy(&self) -> f64 {
+    /// Fleet-wide prediction accuracy (pooled checks); `None` when no
+    /// prediction was ever checked.
+    pub fn prediction_accuracy(&self) -> Option<f64> {
         hit_ratio(self.prediction_hits, self.prediction_checks)
     }
 
@@ -321,7 +339,9 @@ mod tests {
         assert_eq!(fleet.per_cell.len(), 2);
         assert_eq!(fleet.per_cell[1].cell, 1);
         assert!(fleet.satisfaction() > 0.0 && fleet.satisfaction() <= 1.0);
-        assert!(fleet.prediction_accuracy() <= 1.0);
+        assert!(fleet.prediction_accuracy().is_none_or(|a| a <= 1.0));
+        // Metrics collection was off, so the rollup is absent.
+        assert!(fleet.metrics.is_none());
     }
 
     #[test]

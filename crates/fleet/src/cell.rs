@@ -5,7 +5,8 @@ use crate::policy::PolicySpec;
 use crate::seed::derive_cell_seed;
 use crate::source::SourceSpec;
 use crate::FleetError;
-use stayaway_core::{ControllerConfig, ControllerEvent, ControllerStats};
+use stayaway_core::{ControllerConfig, ControllerEvent, ControllerStats, Observability};
+use stayaway_obs::{MetricsRegistry, MetricsSnapshot, Span};
 use stayaway_sim::scenario::Scenario;
 use stayaway_sim::RunOutcome;
 use stayaway_statespace::Template;
@@ -24,6 +25,9 @@ pub struct CellPlan {
     pub policy: PolicySpec,
     /// The observation substrate this cell senses through.
     pub source: SourceSpec,
+    /// When true, the cell records into its own [`MetricsRegistry`] and
+    /// reports the snapshot in [`CellOutcome::metrics`]. Decision-inert.
+    pub collect_metrics: bool,
 }
 
 impl CellPlan {
@@ -36,12 +40,19 @@ impl CellPlan {
             scenario,
             policy,
             source: SourceSpec::Sim,
+            collect_metrics: false,
         }
     }
 
     /// Replaces the observation substrate (builder style).
     pub fn with_source(mut self, source: SourceSpec) -> Self {
         self.source = source;
+        self
+    }
+
+    /// Enables or disables per-cell metrics collection (builder style).
+    pub fn with_metrics_collection(mut self, collect: bool) -> Self {
+        self.collect_metrics = collect;
         self
     }
 
@@ -87,6 +98,10 @@ pub struct CellOutcome {
     /// True when the first throttle was proactive (prediction- or
     /// template-driven, not a reaction to an observed violation).
     pub first_throttle_proactive: bool,
+    /// Snapshot of the cell's metrics registry (controller, mapping and
+    /// substrate instruments plus the cell runtime span); `None` unless
+    /// [`CellPlan::collect_metrics`] was set.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Runs one cell to completion: build the observation source from the
@@ -105,7 +120,16 @@ pub fn run_cell(
     import: Option<&Template>,
     ticks: u64,
 ) -> Result<CellOutcome, FleetError> {
-    let mut source = plan.source.build(&plan.scenario, plan.seed)?;
+    let registry = plan.collect_metrics.then(MetricsRegistry::new);
+    let cell_runtime = registry.as_ref().map(|r| {
+        Span::new("fleet.cell").with_histogram(r.latency_histogram(
+            "stayaway_fleet_cell_runtime_nanos",
+            "Wall time of one fleet cell's closed-loop run",
+        ))
+    });
+    let mut source = plan
+        .source
+        .build_observed(&plan.scenario, plan.seed, registry.as_ref())?;
     // Trace cells take the controller's host spec from the trace header
     // (the capacities the recording was made against); cells without one
     // fall back to the scenario prototype's host.
@@ -117,12 +141,19 @@ pub fn run_cell(
         seed: plan.seed,
         ..controller.clone()
     };
-    let mut policy = plan.policy.build(&config, &host_spec)?;
+    let obs = match &registry {
+        Some(registry) => Observability::enabled(registry.clone()),
+        None => Observability::disabled(),
+    };
+    let mut policy = plan.policy.build_observed(&config, &host_spec, obs)?;
     let mut imported_template = false;
     if let Some(template) = import {
         imported_template = policy.import_template(template)?;
     }
-    let run = drive(source.as_mut(), policy.as_mut(), ticks)?;
+    let run = {
+        let _guard = cell_runtime.as_ref().map(|span| span.start(0));
+        drive(source.as_mut(), policy.as_mut(), ticks)?
+    };
     let template = policy.export_template(plan.sensitive_key())?;
     let (first_throttle_tick, first_throttle_proactive) = policy
         .events()
@@ -148,6 +179,7 @@ pub fn run_cell(
         template,
         first_throttle_tick,
         first_throttle_proactive,
+        metrics: registry.map(|r| r.snapshot()),
         run,
     })
 }
@@ -181,6 +213,25 @@ mod tests {
         // CPUBomb forces throttles; the cold first throttle is reactive.
         assert!(out.first_throttle_tick < u64::MAX);
         assert!(!out.first_throttle_proactive);
+    }
+
+    #[test]
+    fn metrics_collection_reports_a_snapshot_without_changing_the_run() {
+        let plan = stayaway_plan(0, 7, Scenario::vlc_with_cpubomb(7));
+        let bare = run_cell(&plan, &ControllerConfig::default(), None, 150).unwrap();
+        let observed_plan = plan.with_metrics_collection(true);
+        let observed = run_cell(&observed_plan, &ControllerConfig::default(), None, 150).unwrap();
+        assert!(bare.metrics.is_none());
+        let metrics = observed.metrics.as_ref().expect("snapshot collected");
+        assert!(!metrics.is_empty());
+        assert!(metrics
+            .histograms
+            .iter()
+            .any(|h| h.name == "stayaway_fleet_cell_runtime_nanos" && h.hist.count == 1));
+        // Decision-inert: the instrumented run matches the bare run.
+        assert_eq!(bare.run, observed.run);
+        assert_eq!(bare.stats, observed.stats);
+        assert_eq!(bare.template, observed.template);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct FleetConfig {
     /// workload import the best match before their first tick (§6 at
     /// fleet scale).
     pub share_templates: bool,
+    /// When true, every cell records into its own metrics registry
+    /// (DESIGN.md §11) and the fleet outcome carries the deterministic
+    /// fixed-order rollup of those registries. Decision-inert: the run's
+    /// actions and statistics are identical either way.
+    pub collect_metrics: bool,
     /// Scenario prototypes round-robined across cells; must be non-empty.
     pub scenarios: Vec<Scenario>,
     /// Control planes round-robined across cells (cell `i` runs
@@ -61,6 +66,7 @@ impl FleetConfig {
             ticks: 384,
             fleet_seed,
             share_templates: false,
+            collect_metrics: false,
             scenarios: Self::standard_mix(fleet_seed),
             policies: vec![PolicySpec::StayAway],
             sources: vec![SourceSpec::Sim],

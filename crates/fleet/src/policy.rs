@@ -9,7 +9,7 @@
 
 use crate::FleetError;
 use stayaway_baselines::{AlwaysThrottle, ReactivePolicy, StaticThresholdPolicy};
-use stayaway_core::{ControlPolicy, Controller, ControllerConfig, CoreError};
+use stayaway_core::{ControlPolicy, Controller, ControllerConfig, CoreError, Observability};
 use stayaway_sim::{HostSpec, NullPolicy};
 
 /// Default reactive cooldown (violation-free ticks before resume) used by
@@ -143,8 +143,26 @@ impl PolicySpec {
         config: &ControllerConfig,
         spec: &HostSpec,
     ) -> Result<Box<dyn ControlPolicy>, CoreError> {
+        self.build_observed(config, spec, Observability::disabled())
+    }
+
+    /// Like [`PolicySpec::build`], with the control plane's instruments
+    /// registered into the given [`Observability`] bundle. Baselines
+    /// register nothing; decisions are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller construction failures.
+    pub fn build_observed(
+        &self,
+        config: &ControllerConfig,
+        spec: &HostSpec,
+        obs: Observability,
+    ) -> Result<Box<dyn ControlPolicy>, CoreError> {
         Ok(match self {
-            PolicySpec::StayAway => Box::new(Controller::for_host(config.clone(), spec)?),
+            PolicySpec::StayAway => {
+                Box::new(Controller::for_host_observed(config.clone(), spec, obs)?)
+            }
             PolicySpec::Reactive { cooldown } => Box::new(ReactivePolicy::new(*cooldown)),
             PolicySpec::StaticThreshold { fraction } => {
                 Box::new(StaticThresholdPolicy::new(*fraction, spec.cpu_cores))

@@ -82,7 +82,9 @@ impl Fleet {
                 let scenario = self.config.scenarios[idx % self.config.scenarios.len()].clone();
                 let policy = self.config.policies[idx % self.config.policies.len()].clone();
                 let source = self.config.sources[idx % self.config.sources.len()].clone();
-                CellPlan::new(idx, self.config.fleet_seed, scenario, policy).with_source(source)
+                CellPlan::new(idx, self.config.fleet_seed, scenario, policy)
+                    .with_source(source)
+                    .with_metrics_collection(self.config.collect_metrics)
             })
             .collect()
     }
@@ -302,7 +304,55 @@ mod tests {
             .find(|r| r.policy == "reactive")
             .unwrap();
         assert_eq!(reactive.prediction_checks, 0);
-        assert_eq!(reactive.prediction_accuracy(), 1.0);
+        assert_eq!(reactive.prediction_accuracy(), None);
+    }
+
+    #[test]
+    fn metrics_rollup_is_byte_identical_across_worker_counts() {
+        let run = |workers| {
+            let mut config = small_config(workers, false);
+            config.collect_metrics = true;
+            Fleet::new(config).unwrap().run().unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        let metrics = a.metrics.as_ref().expect("metrics collected");
+        // The rollup carries controller counters summed across cells...
+        let periods = metrics
+            .counters
+            .iter()
+            .find(|c| c.name == "stayaway_controller_periods_total")
+            .expect("periods counter in rollup");
+        assert_eq!(periods.value, 6 * 90);
+        // ...and the per-stage latency histograms reduced to counts.
+        let sense = metrics
+            .histograms
+            .iter()
+            .find(|h| h.name == "stayaway_controller_sense_latency_nanos")
+            .expect("sense latency in rollup");
+        assert_eq!(sense.hist.count, 6 * 90);
+        assert_eq!(sense.hist.sum, 0, "stable view strips recorded nanos");
+        assert_eq!(a, b);
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
+    fn collecting_metrics_is_decision_inert() {
+        let run = |collect| {
+            let mut config = small_config(2, true);
+            config.collect_metrics = collect;
+            Fleet::new(config).unwrap().run().unwrap()
+        };
+        let bare = run(false);
+        let observed = run(true);
+        assert!(bare.metrics.is_none());
+        assert!(observed.metrics.is_some());
+        // Everything except the metrics rollup is bit-for-bit identical.
+        let stripped = FleetOutcome {
+            metrics: None,
+            ..observed
+        };
+        assert_eq!(bare, stripped);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! run.
 
 use crate::FleetError;
+use stayaway_obs::MetricsRegistry;
 use stayaway_sim::scenario::Scenario;
 use stayaway_sim::SimSource;
 use stayaway_telemetry::{ObservationSource, ProcfsSource, TraceSource};
@@ -118,19 +119,45 @@ impl SourceSpec {
         scenario: &Scenario,
         seed: u64,
     ) -> Result<Box<dyn ObservationSource>, FleetError> {
+        self.build_observed(scenario, seed, None)
+    }
+
+    /// Like [`SourceSpec::build`], additionally registering the
+    /// substrate's error counters (trace decode errors, procfs probe
+    /// failures) into `registry` when one is given. The simulator has no
+    /// failure modes to count and registers nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness construction, trace-open and procfs-probe
+    /// failures.
+    pub fn build_observed(
+        &self,
+        scenario: &Scenario,
+        seed: u64,
+        registry: Option<&MetricsRegistry>,
+    ) -> Result<Box<dyn ObservationSource>, FleetError> {
         Ok(match self {
             SourceSpec::Sim => {
                 let mut harness = scenario.build_harness()?;
                 harness.reseed(seed);
                 Box::new(SimSource::new(harness))
             }
-            SourceSpec::Trace { path } => Box::new(TraceSource::open(path)?),
+            SourceSpec::Trace { path } => {
+                let source = TraceSource::open(path)?;
+                Box::new(match registry {
+                    Some(registry) => source.with_metrics(registry),
+                    None => source,
+                })
+            }
             SourceSpec::Procfs => {
-                Box::new(
-                    ProcfsSource::probe().ok_or_else(|| FleetError::InvalidConfig {
-                        reason: "procfs source unavailable: this host exposes no /proc/stat".into(),
-                    })?,
-                )
+                let source = ProcfsSource::probe().ok_or_else(|| FleetError::InvalidConfig {
+                    reason: "procfs source unavailable: this host exposes no /proc/stat".into(),
+                })?;
+                Box::new(match registry {
+                    Some(registry) => source.with_metrics(registry),
+                    None => source,
+                })
             }
         })
     }

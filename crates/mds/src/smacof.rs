@@ -88,6 +88,18 @@ impl Smacof {
         self.embed_warm(dissim, init)
     }
 
+    /// Like [`Smacof::embed`], but also reports how many majorization
+    /// sweeps ran — the same computation, traced for observability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates seed/solver failures; returns [`MdsError::Empty`] for an
+    /// empty matrix.
+    pub fn embed_traced(&self, dissim: &DistanceMatrix) -> Result<(Embedding, u64), MdsError> {
+        let init = classical_mds(dissim, self.dim)?;
+        self.embed_warm_traced(dissim, init)
+    }
+
     /// Embeds `dissim` starting from the supplied configuration.
     ///
     /// The returned embedding's stress is never higher than the stress of
@@ -102,6 +114,23 @@ impl Smacof {
         dissim: &DistanceMatrix,
         init: Embedding,
     ) -> Result<Embedding, MdsError> {
+        self.embed_warm_traced(dissim, init).map(|(e, _)| e)
+    }
+
+    /// Like [`Smacof::embed_warm`], but also reports how many
+    /// majorization sweeps ran before convergence (or the iteration
+    /// budget was exhausted) — the same computation, traced for
+    /// observability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdsError::DimensionMismatch`] when `init` has the wrong
+    /// number of points or dimensionality.
+    pub fn embed_warm_traced(
+        &self,
+        dissim: &DistanceMatrix,
+        init: Embedding,
+    ) -> Result<(Embedding, u64), MdsError> {
         let n = dissim.len();
         if init.len() != n {
             return Err(MdsError::DimensionMismatch {
@@ -116,13 +145,15 @@ impl Smacof {
             });
         }
         if n <= 1 {
-            return Ok(init);
+            return Ok((init, 0));
         }
 
         let mut x = init;
         let mut prev_stress = x.raw_stress(dissim)?;
+        let mut sweeps = 0u64;
         for _ in 0..self.max_iterations {
             x = guttman_transform(&x, dissim);
+            sweeps += 1;
             let stress = x.raw_stress(dissim)?;
             // Relative improvement check (stress is monotonically
             // non-increasing under the Guttman transform).
@@ -132,7 +163,7 @@ impl Smacof {
             }
             prev_stress = stress;
         }
-        Ok(x)
+        Ok((x, sweeps))
     }
 }
 
@@ -333,6 +364,29 @@ mod tests {
         assert_eq!(s.dim(), 3);
         let d = simplex(4);
         assert!(s.embed(&d).is_ok());
+    }
+
+    #[test]
+    fn traced_embedding_matches_untraced_and_counts_sweeps() {
+        let pts: Vec<Vec<f64>> = (0..9)
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.3).sin(),
+                    (i as f64 * 0.7).cos(),
+                    i as f64 * 0.05,
+                ]
+            })
+            .collect();
+        let d = DistanceMatrix::from_vectors(&pts).unwrap();
+        let plain = Smacof::new(2).embed(&d).unwrap();
+        let (traced, sweeps) = Smacof::new(2).embed_traced(&d).unwrap();
+        assert_eq!(plain, traced, "tracing must not change the embedding");
+        assert!(sweeps >= 1);
+        assert!(sweeps <= 300);
+        // A single point converges in zero sweeps.
+        let d1 = DistanceMatrix::from_vectors(&[vec![1.0]]).unwrap();
+        let (_, sweeps) = Smacof::new(2).embed_traced(&d1).unwrap();
+        assert_eq!(sweeps, 0);
     }
 
     #[test]

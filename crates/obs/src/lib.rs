@@ -1,0 +1,34 @@
+//! The Stay-Away observability plane (DESIGN.md §11).
+//!
+//! A dependency-free metrics and tracing toolkit shared by the
+//! controller, telemetry sources, and the fleet runtime:
+//!
+//! - [`MetricsRegistry`] — named counters, gauges, and log-bucketed
+//!   histograms with p50/p95/p99 estimation, handed out as lock-free
+//!   atomic handles.
+//! - [`Span`] / [`SpanGuard`] / [`SpanSink`] — lightweight wall-time
+//!   tracing into latency histograms and a bounded JSONL record ring.
+//! - [`export`] — Prometheus text exposition and pretty JSON
+//!   snapshots; [`promlint`] validates the former in CI.
+//!
+//! The plane's one hard invariant is **decision-inertness**: recording
+//! reads the monotonic clock and writes atomics, never consuming
+//! controller RNG or branching control logic, so an instrumented run
+//! produces bit-for-bit the actions, events, β, and state map of an
+//! uninstrumented one. Timing histograms compare by invocation count
+//! only ([`Unit::Nanos`]), and fleet rollups ship
+//! [`MetricsSnapshot::stable_view`] so merged JSON stays byte-identical
+//! across worker counts.
+
+pub mod export;
+pub mod hist;
+pub mod promlint;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use export::{to_json, to_prometheus};
+pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, Unit, NUM_BUCKETS};
+pub use registry::{valid_metric_name, Counter, Gauge, MetricsRegistry};
+pub use snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
+pub use span::{Span, SpanGuard, SpanRecord, SpanSink};

@@ -1,0 +1,323 @@
+//! An in-tree lint for the Prometheus text exposition format, used by
+//! the CI metrics smoke to validate `--metrics-out` output without an
+//! external toolchain.
+//!
+//! Scope: the subset the exporters emit — `# HELP` / `# TYPE`
+//! comments, unlabelled counter/gauge samples, and histogram series
+//! with a single `le` label. Checks names, header ordering, value
+//! syntax, `le` monotonicity, cumulative bucket counts, the `+Inf`
+//! terminator, and `_count` consistency.
+
+use crate::registry::valid_metric_name;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Default)]
+struct HistogramState {
+    last_le: Option<f64>,
+    last_cumulative: Option<u64>,
+    inf_count: Option<u64>,
+    count_series: Option<u64>,
+    sum_seen: bool,
+}
+
+#[derive(Debug, Default)]
+struct Lint {
+    types: BTreeMap<String, String>,
+    sampled: BTreeMap<String, bool>,
+    histograms: BTreeMap<String, HistogramState>,
+}
+
+/// Validates Prometheus text exposition output. Returns every
+/// violation found, with 1-based line numbers; `Ok(())` when clean.
+pub fn validate(text: &str) -> Result<(), Vec<String>> {
+    let mut lint = Lint::default();
+    let mut errors = Vec::new();
+    if !text.is_empty() && !text.ends_with('\n') {
+        errors.push("output must end with a newline".to_string());
+    }
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            lint.comment(rest, lineno, &mut errors);
+        } else if line.starts_with('#') {
+            errors.push(format!("line {lineno}: malformed comment: {line:?}"));
+        } else {
+            lint.sample(line, lineno, &mut errors);
+        }
+    }
+    lint.finish(&mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+impl Lint {
+    fn comment(&mut self, rest: &str, lineno: usize, errors: &mut Vec<String>) {
+        let mut parts = rest.splitn(3, ' ');
+        let keyword = parts.next().unwrap_or("");
+        let name = parts.next().unwrap_or("");
+        let payload = parts.next().unwrap_or("");
+        match keyword {
+            "HELP" => {
+                if !valid_metric_name(name) {
+                    errors.push(format!("line {lineno}: invalid metric name {name:?}"));
+                }
+            }
+            "TYPE" => {
+                if !valid_metric_name(name) {
+                    errors.push(format!("line {lineno}: invalid metric name {name:?}"));
+                }
+                if !matches!(payload, "counter" | "gauge" | "histogram") {
+                    errors.push(format!("line {lineno}: unknown type {payload:?}"));
+                }
+                if self
+                    .types
+                    .insert(name.to_string(), payload.to_string())
+                    .is_some()
+                {
+                    errors.push(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+                if self.sampled.contains_key(name) {
+                    errors.push(format!(
+                        "line {lineno}: TYPE for {name} must precede its samples"
+                    ));
+                }
+                if payload == "counter" && !name.ends_with("_total") {
+                    errors.push(format!(
+                        "line {lineno}: counter {name} should end with _total"
+                    ));
+                }
+            }
+            _ => errors.push(format!(
+                "line {lineno}: unknown comment keyword {keyword:?}"
+            )),
+        }
+    }
+
+    fn sample(&mut self, line: &str, lineno: usize, errors: &mut Vec<String>) {
+        let Some((series, value_text)) = line.rsplit_once(' ') else {
+            errors.push(format!("line {lineno}: sample missing value: {line:?}"));
+            return;
+        };
+        let Ok(value) = value_text.parse::<f64>() else {
+            errors.push(format!("line {lineno}: unparsable value {value_text:?}"));
+            return;
+        };
+        let (name, label) = match series.split_once('{') {
+            Some((name, rest)) => match rest.strip_suffix('}') {
+                Some(label) => (name, Some(label)),
+                None => {
+                    errors.push(format!("line {lineno}: unterminated label set: {line:?}"));
+                    return;
+                }
+            },
+            None => (series, None),
+        };
+        if !valid_metric_name(name) {
+            errors.push(format!("line {lineno}: invalid metric name {name:?}"));
+            return;
+        }
+        let base = histogram_base(name, label.is_some());
+        let declared = base
+            .and_then(|b| self.types.get(b).map(String::as_str))
+            .or_else(|| self.types.get(name).map(String::as_str));
+        match declared {
+            None => {
+                errors.push(format!("line {lineno}: sample {name} has no TYPE header"));
+            }
+            Some("histogram") => {
+                let base = base.unwrap_or(name);
+                self.sampled.insert(base.to_string(), true);
+                self.histogram_sample(base, name, label, value, lineno, errors);
+            }
+            Some(_) => {
+                self.sampled.insert(name.to_string(), true);
+                if label.is_some() {
+                    errors.push(format!("line {lineno}: unexpected labels on {name}"));
+                }
+                if self.types.get(name).map(String::as_str) == Some("counter")
+                    && (value < 0.0 || value.fract() != 0.0)
+                {
+                    errors.push(format!(
+                        "line {lineno}: counter {name} must be a non-negative integer"
+                    ));
+                }
+            }
+        }
+    }
+
+    fn histogram_sample(
+        &mut self,
+        base: &str,
+        name: &str,
+        label: Option<&str>,
+        value: f64,
+        lineno: usize,
+        errors: &mut Vec<String>,
+    ) {
+        let state = self.histograms.entry(base.to_string()).or_default();
+        if name.ends_with("_bucket") {
+            let Some(le_text) =
+                label.and_then(|l| l.strip_prefix("le=\"").and_then(|r| r.strip_suffix('"')))
+            else {
+                errors.push(format!("line {lineno}: bucket without le label: {name}"));
+                return;
+            };
+            let le = if le_text == "+Inf" {
+                f64::INFINITY
+            } else {
+                match le_text.parse::<f64>() {
+                    Ok(le) => le,
+                    Err(_) => {
+                        errors.push(format!("line {lineno}: unparsable le {le_text:?}"));
+                        return;
+                    }
+                }
+            };
+            let cumulative = value as u64;
+            if let Some(last) = state.last_le {
+                if le <= last {
+                    errors.push(format!(
+                        "line {lineno}: le values must be strictly increasing for {base}"
+                    ));
+                }
+            }
+            if let Some(last) = state.last_cumulative {
+                if cumulative < last {
+                    errors.push(format!(
+                        "line {lineno}: bucket counts must be cumulative for {base}"
+                    ));
+                }
+            }
+            state.last_le = Some(le);
+            state.last_cumulative = Some(cumulative);
+            if le.is_infinite() {
+                state.inf_count = Some(cumulative);
+            }
+        } else if name.ends_with("_sum") {
+            state.sum_seen = true;
+        } else if name.ends_with("_count") {
+            state.count_series = Some(value as u64);
+        } else {
+            errors.push(format!(
+                "line {lineno}: unexpected histogram series {name} for {base}"
+            ));
+        }
+    }
+
+    fn finish(&mut self, errors: &mut Vec<String>) {
+        for (base, state) in &self.histograms {
+            match state.inf_count {
+                None => errors.push(format!("histogram {base} missing +Inf bucket")),
+                Some(inf) => {
+                    if state.count_series != Some(inf) {
+                        errors.push(format!(
+                            "histogram {base}: _count must equal the +Inf bucket"
+                        ));
+                    }
+                }
+            }
+            if !state.sum_seen {
+                errors.push(format!("histogram {base} missing _sum series"));
+            }
+        }
+        for (name, ty) in &self.types {
+            let sampled = if ty == "histogram" {
+                self.histograms.contains_key(name)
+            } else {
+                self.sampled.contains_key(name)
+            };
+            if !sampled {
+                errors.push(format!("metric {name} declared but never sampled"));
+            }
+        }
+    }
+}
+
+/// Maps a histogram series name back to its base metric, when the
+/// suffix shape says it could be one.
+fn histogram_base(name: &str, has_label: bool) -> Option<&str> {
+    if has_label {
+        name.strip_suffix("_bucket")
+    } else {
+        name.strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::to_prometheus;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn exporter_output_is_clean() {
+        let reg = MetricsRegistry::new();
+        reg.counter("stayaway_x_total", "x").add(3);
+        reg.gauge("stayaway_beta", "beta").set(0.5);
+        let h = reg.latency_histogram("stayaway_lat_nanos", "latency");
+        for v in [5u64, 900, 1_000_000] {
+            h.record(v);
+        }
+        reg.histogram("stayaway_never", "empty histograms are fine");
+        validate(&to_prometheus(&reg.snapshot())).expect("exporter output must lint clean");
+    }
+
+    #[test]
+    fn rejects_missing_type_header() {
+        let err = validate("stayaway_x_total 3\n").unwrap_err();
+        assert!(err[0].contains("no TYPE header"), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_non_monotone_le() {
+        let text = "# HELP h h\n# TYPE h histogram\n\
+                    h_bucket{le=\"10\"} 1\nh_bucket{le=\"5\"} 2\n\
+                    h_bucket{le=\"+Inf\"} 2\nh_sum 12\nh_count 2\n";
+        let err = validate(text).unwrap_err();
+        assert!(
+            err.iter().any(|e| e.contains("strictly increasing")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_non_cumulative_buckets() {
+        let text = "# HELP h h\n# TYPE h histogram\n\
+                    h_bucket{le=\"5\"} 3\nh_bucket{le=\"10\"} 2\n\
+                    h_bucket{le=\"+Inf\"} 3\nh_sum 12\nh_count 3\n";
+        let err = validate(text).unwrap_err();
+        assert!(err.iter().any(|e| e.contains("cumulative")), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_count_inf_mismatch() {
+        let text = "# HELP h h\n# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 3\nh_sum 12\nh_count 4\n";
+        let err = validate(text).unwrap_err();
+        assert!(err.iter().any(|e| e.contains("+Inf")), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_missing_trailing_newline() {
+        let text = "# HELP c_total c\n# TYPE c_total counter\nc_total 1";
+        let err = validate(text).unwrap_err();
+        assert!(err.iter().any(|e| e.contains("newline")), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_float_counter() {
+        let text = "# HELP c_total c\n# TYPE c_total counter\nc_total 1.5\n";
+        let err = validate(text).unwrap_err();
+        assert!(
+            err.iter().any(|e| e.contains("non-negative integer")),
+            "{err:?}"
+        );
+    }
+}

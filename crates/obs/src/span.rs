@@ -1,0 +1,229 @@
+//! Lightweight span tracing: wall-time scopes recorded into latency
+//! histograms and mirrored as structured records in a bounded JSONL
+//! sink.
+//!
+//! Spans are decision-inert by construction — they read the monotonic
+//! clock and write atomics/ring slots, never touching control state or
+//! RNG streams. The sink is a fixed-capacity ring: once full, the
+//! oldest records are dropped and counted, so a long run can never
+//! grow memory unboundedly.
+
+use crate::hist::Histogram;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"controller.sense"`).
+    pub name: String,
+    /// Controller tick (or other logical time) the span belongs to.
+    pub tick: u64,
+    /// Measured wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+#[derive(Debug)]
+struct SinkInner {
+    capacity: usize,
+    records: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+/// A bounded, shareable sink of completed span records.
+#[derive(Debug, Clone)]
+pub struct SpanSink {
+    inner: Arc<Mutex<SinkInner>>,
+}
+
+impl SpanSink {
+    /// Creates a sink retaining at most `capacity` records (oldest
+    /// evicted first). A zero capacity drops — and counts — everything.
+    pub fn bounded(capacity: usize) -> Self {
+        SpanSink {
+            inner: Arc::new(Mutex::new(SinkInner {
+                capacity,
+                records: VecDeque::with_capacity(capacity.min(4096)),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Appends one record, evicting the oldest when full.
+    pub fn emit(&self, name: &str, tick: u64, nanos: u64) {
+        let mut inner = self.inner.lock().expect("span sink poisoned");
+        if inner.capacity == 0 {
+            inner.dropped += 1;
+            return;
+        }
+        if inner.records.len() == inner.capacity {
+            inner.records.pop_front();
+            inner.dropped += 1;
+        }
+        inner.records.push_back(SpanRecord {
+            name: name.to_string(),
+            tick,
+            nanos,
+        });
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("span sink poisoned").records.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records evicted or refused because the sink was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("span sink poisoned").dropped
+    }
+
+    /// Clones out the retained records, oldest first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let inner = self.inner.lock().expect("span sink poisoned");
+        inner.records.iter().cloned().collect()
+    }
+
+    /// Renders the retained records as JSON Lines, one record per
+    /// line, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.inner.lock().expect("span sink poisoned");
+        let mut out = String::new();
+        for record in &inner.records {
+            let line = serde_json::to_string(record).expect("span record serializes");
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+/// A named span: binds an optional latency histogram and an optional
+/// sink; [`Span::start`] produces a guard that records the elapsed
+/// wall time into both on drop.
+#[derive(Debug, Clone, Default)]
+pub struct Span {
+    name: String,
+    histogram: Option<Histogram>,
+    sink: Option<SpanSink>,
+}
+
+impl Span {
+    /// Creates a span with no outputs (a no-op until wired).
+    pub fn new(name: impl Into<String>) -> Self {
+        Span {
+            name: name.into(),
+            histogram: None,
+            sink: None,
+        }
+    }
+
+    /// Records elapsed nanos into `histogram` on every finish.
+    pub fn with_histogram(mut self, histogram: Histogram) -> Self {
+        self.histogram = Some(histogram);
+        self
+    }
+
+    /// Emits a [`SpanRecord`] to `sink` on every finish.
+    pub fn with_sink(mut self, sink: SpanSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Starts measuring; the returned guard records on drop.
+    pub fn start(&self, tick: u64) -> SpanGuard<'_> {
+        SpanGuard {
+            span: self,
+            tick,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records an externally measured duration (for call sites that
+    /// accumulate several segments and record once per period).
+    pub fn record(&self, tick: u64, nanos: u64) {
+        if let Some(h) = &self.histogram {
+            h.record(nanos);
+        }
+        if let Some(s) = &self.sink {
+            s.emit(&self.name, tick, nanos);
+        }
+    }
+}
+
+/// Measures a scope; records into the parent [`Span`] on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    span: &'a Span,
+    tick: u64,
+    started: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.span.record(self.tick, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Unit;
+
+    #[test]
+    fn guard_records_into_histogram_and_sink() {
+        let hist = Histogram::new(Unit::Nanos);
+        let sink = SpanSink::bounded(8);
+        let span = Span::new("test.scope")
+            .with_histogram(hist.clone())
+            .with_sink(sink.clone());
+        {
+            let _guard = span.start(42);
+        }
+        assert_eq!(hist.count(), 1);
+        let records = sink.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "test.scope");
+        assert_eq!(records[0].tick, 42);
+    }
+
+    #[test]
+    fn sink_is_bounded_and_counts_drops() {
+        let sink = SpanSink::bounded(2);
+        for tick in 0..5 {
+            sink.emit("s", tick, 1);
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        let ticks: Vec<u64> = sink.records().iter().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_sink_drops_everything() {
+        let sink = SpanSink::bounded(0);
+        sink.emit("s", 0, 1);
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_renders_one_record_per_line() {
+        let sink = SpanSink::bounded(4);
+        sink.emit("a", 1, 10);
+        sink.emit("b", 2, 20);
+        let jsonl = sink.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: SpanRecord = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.name, "a");
+        assert_eq!(first.nanos, 10);
+    }
+}

@@ -2,11 +2,13 @@
 //! (sense → map → predict → act), every period.
 
 use crate::config::ControllerConfig;
-use crate::events::{ControllerEvent, ControllerStats, EventLog};
+use crate::events::{ControllerEvent, ControllerStats, EventLog, StageClock, StageTiming};
+use crate::obs::{ControllerMetrics, MappingMetrics, Observability};
 use crate::stages::{ActStage, MapStage, PredictStage, ResumeDecision, SenseStage};
 use crate::CoreError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use stayaway_obs::MetricsSnapshot;
 use stayaway_statespace::{ExecutionMode, Point2, StateMap, Template};
 use stayaway_telemetry::{Action, HostSpec, Observation, Policy};
 use std::time::{Duration, Instant};
@@ -35,24 +37,51 @@ pub struct Controller {
     rng: StdRng,
     events: EventLog,
     stats: ControllerStats,
+    obs: ControllerMetrics,
 }
 
 impl Controller {
     /// Creates a controller for a host with the given capacities.
     ///
+    /// Instrumentation records into a private registry (see
+    /// [`Observability::disabled`]); use
+    /// [`Controller::for_host_observed`] to export metrics.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for invalid configurations.
     pub fn for_host(config: ControllerConfig, spec: &HostSpec) -> Result<Self, CoreError> {
+        Controller::for_host_observed(config, spec, Observability::disabled())
+    }
+
+    /// Creates a controller whose instruments register into the given
+    /// [`Observability`] bundle (registry, optional span sink, deep
+    /// derived metrics).
+    ///
+    /// Observability is decision-inert: the controller's actions,
+    /// events, β, and state map are bit-for-bit identical whichever
+    /// bundle is passed — instrumentation reads the clock and writes
+    /// atomics, never consuming the controller's RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid configurations.
+    pub fn for_host_observed(
+        config: ControllerConfig,
+        spec: &HostSpec,
+        obs: Observability,
+    ) -> Result<Self, CoreError> {
         config.validate()?;
+        let mapping_metrics = MappingMetrics::register(obs.registry(), obs.is_deep());
         Ok(Controller {
             rng: StdRng::seed_from_u64(config.seed ^ 0x517cc1b727220a95),
             sense: SenseStage::new(&config.metrics, config.violation_detection),
-            map: MapStage::new(&config, spec)?,
+            map: MapStage::new(&config, spec)?.with_metrics(mapping_metrics),
             predict: PredictStage::new(config.per_mode_models, config.prediction_samples),
             act: ActStage::new(&config, spec.capacities()),
             events: EventLog::with_capacity(config.events_capacity),
             stats: ControllerStats::default(),
+            obs: ControllerMetrics::register(&obs),
             config,
         })
     }
@@ -89,12 +118,34 @@ impl Controller {
     }
 
     /// Aggregate statistics so far.
+    ///
+    /// [`ControllerStats::stage_timing`] is a compatibility view derived
+    /// from the per-stage latency histograms (the primary store since
+    /// the observability plane): invocation counts and total nanos per
+    /// stage.
     pub fn stats(&self) -> ControllerStats {
         let mut s = self.stats;
         s.states = self.map.repr_count();
         s.violation_states = self.map.state_map().violation_count();
         s.events_dropped = self.events.dropped();
+        let clock = |h: &stayaway_obs::Histogram| StageClock {
+            invocations: h.count(),
+            nanos: h.sum(),
+        };
+        s.stage_timing = StageTiming {
+            sense: clock(&self.obs.sense_latency),
+            map: clock(&self.obs.map_latency),
+            predict: clock(&self.obs.predict_latency),
+            act: clock(&self.obs.act_latency),
+        };
         s
+    }
+
+    /// A point-in-time snapshot of every instrument this controller
+    /// registered (per-stage latency histograms, decision counters, β
+    /// and duty-cycle gauges, mapping-engine metrics).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.registry.snapshot()
     }
 
     /// The decision log: the most recent
@@ -143,12 +194,14 @@ impl Controller {
     /// and recorded once at the end.
     fn period(&mut self, obs: &Observation) -> Result<Vec<Action>, CoreError> {
         self.stats.periods += 1;
+        self.obs.periods.inc();
         let tick = obs.tick;
 
         // ---- Sense ------------------------------------------------------
         let span = Instant::now();
         let sensed = self.sense.observe(obs);
         self.stats.samples_rejected += sensed.rejected;
+        self.obs.samples_rejected.add(sensed.rejected);
         let sense_span = span.elapsed();
 
         // ---- Map --------------------------------------------------------
@@ -166,14 +219,17 @@ impl Controller {
         predict_span += span.elapsed();
         if let Some(hit) = verdict {
             self.stats.prediction_checks += 1;
+            self.obs.prediction_checks.inc();
             if hit {
                 self.stats.prediction_hits += 1;
+                self.obs.prediction_hits.inc();
             }
         }
 
         // ---- Learn violations --------------------------------------------
         if sensed.violated {
             self.stats.violations_observed += 1;
+            self.obs.violations_observed.inc();
             let span = Instant::now();
             self.map.mark_violation(mapped.rep)?;
             map_span += span.elapsed();
@@ -220,6 +276,7 @@ impl Controller {
             {
                 actions = resumes;
                 self.stats.resumes += 1;
+                self.obs.resumes.inc();
                 self.events.push(ControllerEvent::Resumed { tick, reason });
             }
         } else {
@@ -235,6 +292,7 @@ impl Controller {
                     predicted_violation = forecast.predicted_violation;
                     if forecast.predicted_violation {
                         self.stats.violations_predicted += 1;
+                        self.obs.violations_predicted.inc();
                         self.events.push(ControllerEvent::ViolationPredicted {
                             tick,
                             votes: forecast.votes,
@@ -259,6 +317,7 @@ impl Controller {
                 act_span += span.elapsed();
                 if !targets.is_empty() {
                     self.stats.throttles += 1;
+                    self.obs.throttles.inc();
                     self.events.push(ControllerEvent::Throttled {
                         tick,
                         count: targets.len(),
@@ -277,10 +336,49 @@ impl Controller {
             }
         }
 
-        self.stats
-            .stage_timing
-            .record_period(sense_span, map_span, predict_span, act_span);
+        self.finish_period(tick, sense_span, map_span, predict_span, act_span);
         Ok(actions)
+    }
+
+    /// End-of-period instrumentation: one latency record per stage
+    /// (keeping histogram invocation counts == periods), mirrored span
+    /// records, and the derived gauges. Pure writes — decision-inert.
+    fn finish_period(
+        &mut self,
+        tick: u64,
+        sense: Duration,
+        map: Duration,
+        predict: Duration,
+        act: Duration,
+    ) {
+        let ns = |d: Duration| d.as_nanos() as u64;
+        self.obs.sense_latency.record(ns(sense));
+        self.obs.map_latency.record(ns(map));
+        self.obs.predict_latency.record(ns(predict));
+        self.obs.act_latency.record(ns(act));
+        if let Some(sink) = &self.obs.sink {
+            sink.emit("controller.sense", tick, ns(sense));
+            sink.emit("controller.map", tick, ns(map));
+            sink.emit("controller.predict", tick, ns(predict));
+            sink.emit("controller.act", tick, ns(act));
+        }
+        if self.act.is_throttling() {
+            self.obs.throttled_periods.inc();
+        }
+        self.obs.beta.set(self.act.beta());
+        self.obs
+            .duty_cycle
+            .set(self.obs.throttled_periods.get() as f64 / self.stats.periods as f64);
+        self.obs.events_dropped.set(self.events.dropped() as f64);
+        self.obs.states.set(self.map.repr_count() as f64);
+        self.obs
+            .violation_states
+            .set(self.map.state_map().violation_count() as f64);
+        if self.stats.prediction_checks > 0 {
+            self.obs.set_hit_ratio(
+                self.stats.prediction_hits as f64 / self.stats.prediction_checks as f64,
+            );
+        }
     }
 }
 
@@ -294,6 +392,7 @@ impl Policy for Controller {
             Ok(actions) => actions,
             Err(_) => {
                 self.stats.mapping_errors += 1;
+                self.obs.mapping_errors.inc();
                 Vec::new()
             }
         }

@@ -232,16 +232,20 @@ impl StageTiming {
     }
 }
 
-/// Ratio of `hits` over `checks`, defined as 1.0 when nothing was checked.
+/// Ratio of `hits` over `checks`, or `None` when nothing was checked.
+///
+/// A 0/0 ratio used to report `1.0`, which let exporters advertise 100 %
+/// prediction accuracy before a single check had run; `None` makes the
+/// "no data yet" case explicit so callers can omit the series instead.
 ///
 /// The one fold helper genuinely shared between the controller's
 /// [`ControllerStats::prediction_accuracy`] and the fleet rollup's pooled
 /// accuracy — kept here (its single home) and re-used by `stayaway-fleet`.
-pub fn hit_ratio(hits: u64, checks: u64) -> f64 {
+pub fn hit_ratio(hits: u64, checks: u64) -> Option<f64> {
     if checks == 0 {
-        1.0
+        None
     } else {
-        hits as f64 / checks as f64
+        Some(hits as f64 / checks as f64)
     }
 }
 
@@ -280,8 +284,9 @@ pub struct ControllerStats {
 
 impl ControllerStats {
     /// Fraction of checked predictions that matched the actually reached
-    /// state (the §3.2.3 accuracy measure). 1.0 when nothing was checked.
-    pub fn prediction_accuracy(&self) -> f64 {
+    /// state (the §3.2.3 accuracy measure). `None` when nothing was
+    /// checked yet — not a claim of perfect accuracy.
+    pub fn prediction_accuracy(&self) -> Option<f64> {
         hit_ratio(self.prediction_hits, self.prediction_checks)
     }
 }
@@ -306,8 +311,8 @@ mod tests {
     }
 
     #[test]
-    fn accuracy_without_checks_is_perfect() {
-        assert_eq!(ControllerStats::default().prediction_accuracy(), 1.0);
+    fn accuracy_without_checks_is_unknown() {
+        assert_eq!(ControllerStats::default().prediction_accuracy(), None);
     }
 
     #[test]
@@ -317,7 +322,7 @@ mod tests {
             prediction_hits: 9,
             ..ControllerStats::default()
         };
-        assert!((s.prediction_accuracy() - 0.9).abs() < 1e-12);
+        assert!((s.prediction_accuracy().unwrap() - 0.9).abs() < 1e-12);
     }
 
     fn throttled(tick: u64) -> ControllerEvent {
@@ -396,8 +401,8 @@ mod tests {
 
     #[test]
     fn hit_ratio_handles_zero_checks() {
-        assert_eq!(hit_ratio(0, 0), 1.0);
-        assert_eq!(hit_ratio(3, 4), 0.75);
+        assert_eq!(hit_ratio(0, 0), None);
+        assert_eq!(hit_ratio(3, 4), Some(0.75));
     }
 
     #[test]

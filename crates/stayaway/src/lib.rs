@@ -26,7 +26,9 @@
 //! [`ControlPolicy`] — the unified control-plane interface ([`policy`])
 //! that the bench runner, fleet cells and CLI program against, for the
 //! Stay-Away controller and baselines alike. Per-stage cost is recorded in
-//! [`events::StageTiming`] and surfaced via [`ControllerStats`].
+//! latency histograms by the observability plane ([`obs`], DESIGN.md §11)
+//! and surfaced both as a [`stayaway_obs::MetricsSnapshot`] and through the
+//! [`events::StageTiming`] compatibility view on [`ControllerStats`].
 //!
 //! The state map doubles as a reusable [`stayaway_statespace::Template`]
 //! for future runs of the same sensitive application (§6).
@@ -62,6 +64,7 @@ pub mod config;
 pub mod controller;
 pub mod events;
 pub mod mapping;
+pub mod obs;
 pub mod policy;
 pub mod stages;
 pub mod violation;
@@ -75,5 +78,6 @@ pub use events::{
     hit_ratio, ControllerEvent, ControllerStats, EventLog, ResumeReason, StageClock, StageTiming,
 };
 pub use mapping::EmbeddingStrategy;
+pub use obs::{MappingMetrics, Observability};
 pub use policy::ControlPolicy;
 pub use violation::{ViolationDetection, ViolationDetector};

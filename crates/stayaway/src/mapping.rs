@@ -1,5 +1,6 @@
 //! The mapping step: normalise → deduplicate → embed → align.
 
+use crate::obs::MappingMetrics;
 use crate::CoreError;
 use stayaway_mds::dedup::ReprSet;
 use stayaway_mds::distance::DistanceMatrix;
@@ -59,6 +60,9 @@ pub struct MappingEngine {
     embedding: Option<Embedding>,
     max_states: usize,
     soft_capped: u64,
+    /// Total samples mapped (the dedup-ratio denominator).
+    samples_seen: u64,
+    metrics: Option<MappingMetrics>,
 }
 
 impl MappingEngine {
@@ -101,12 +105,22 @@ impl MappingEngine {
             embedding: None,
             max_states,
             soft_capped: 0,
+            samples_seen: 0,
+            metrics: None,
         })
     }
 
     /// Selects the embedding strategy (builder-style; default SMACOF).
     pub fn with_strategy(mut self, strategy: EmbeddingStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Attaches observability instruments (builder-style; default none).
+    /// Recording is decision-inert: identical mapping decisions with or
+    /// without instruments.
+    pub fn with_metrics(mut self, metrics: MappingMetrics) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -241,12 +255,17 @@ impl MappingEngine {
     /// Propagates normalisation/embedding failures.
     pub fn observe(&mut self, raw: &[f64]) -> Result<MappedSample, CoreError> {
         let normalized = self.normalizer.normalize(raw)?;
+        self.samples_seen += 1;
 
         // Soft cap: past `max_states`, absorb into the nearest existing
         // representative instead of growing the observation matrix.
         if self.repr.len() >= self.max_states {
             if let Some((rep, _)) = self.repr.nearest(&normalized) {
                 self.soft_capped += 1;
+                if let Some(m) = &self.metrics {
+                    m.on_soft_capped();
+                    m.on_sample(self.repr.len(), self.samples_seen);
+                }
                 return Ok(MappedSample {
                     rep,
                     is_new: false,
@@ -259,6 +278,9 @@ impl MappingEngine {
         let rep = outcome.index();
         if outcome.is_new() {
             self.re_embed()?;
+        }
+        if let Some(m) = &self.metrics {
+            m.on_sample(self.repr.len(), self.samples_seen);
         }
         Ok(MappedSample {
             rep,
@@ -301,8 +323,23 @@ impl MappingEngine {
         }
         self.refresh_dissim()?;
         let dissim = self.dissim.as_ref().expect("cache refreshed");
-        self.embedding = Some(self.smacof.embed(dissim)?);
+        let (embedding, sweeps) = self.smacof.embed_traced(dissim)?;
+        self.embedding = Some(embedding);
+        self.record_embedding(sweeps);
         Ok(())
+    }
+
+    /// Publishes one re-embedding to the instruments: sweep count plus —
+    /// in deep mode only — the O(n²) final stress.
+    fn record_embedding(&self, sweeps: u64) {
+        if let Some(m) = &self.metrics {
+            m.on_smacof(sweeps);
+            m.on_stress(|| {
+                let e = self.embedding.as_ref()?;
+                let d = self.dissim.as_ref().filter(|d| d.len() == e.len())?;
+                e.stress(d).ok()
+            });
+        }
     }
 
     /// Brings the cached distance matrix up to date with the representative
@@ -346,15 +383,16 @@ impl MappingEngine {
     fn re_embed_smacof(&mut self) -> Result<(), CoreError> {
         self.refresh_dissim()?;
         let dissim = self.dissim.as_ref().expect("cache refreshed");
-        let new_embedding = match &self.embedding {
-            None => self.smacof.embed(dissim)?,
+        let (new_embedding, sweeps) = match &self.embedding {
+            None => self.smacof.embed_traced(dissim)?,
             Some(prev) => {
                 let init = warm_start_with_new_points(prev, dissim)?;
-                let refined = self.smacof.embed_warm(dissim, init)?;
-                align_to_previous(&refined, prev)?
+                let (refined, sweeps) = self.smacof.embed_warm_traced(dissim, init)?;
+                (align_to_previous(&refined, prev)?, sweeps)
             }
         };
         self.embedding = Some(new_embedding);
+        self.record_embedding(sweeps);
         Ok(())
     }
 

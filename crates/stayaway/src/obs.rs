@@ -1,0 +1,302 @@
+//! Controller-side observability wiring (DESIGN.md §11).
+//!
+//! [`Observability`] is the option bundle threaded through
+//! [`Controller::for_host_observed`](crate::Controller::for_host_observed):
+//! which [`MetricsRegistry`] receives the controller's instruments,
+//! whether per-stage spans are mirrored to a [`SpanSink`], and whether
+//! *deep* (more expensive, still decision-inert) derived metrics such
+//! as the final embedding stress are computed.
+//!
+//! Everything here obeys the plane's one invariant: recording reads
+//! the clock and writes atomics — it never consumes controller RNG and
+//! never branches control logic — so an instrumented run's actions,
+//! events, β, and state map are bit-for-bit those of a bare run.
+
+use stayaway_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanSink};
+
+/// Observability options for a controller instance.
+///
+/// [`Observability::disabled`] (the default) still maintains the
+/// per-stage latency histograms that back
+/// [`ControllerStats::stage_timing`](crate::ControllerStats) — they
+/// live in a private registry nobody exports. [`Observability::enabled`]
+/// points the instruments at a caller-owned registry and turns on the
+/// deep derived metrics.
+#[derive(Debug, Clone)]
+pub struct Observability {
+    registry: MetricsRegistry,
+    sink: Option<SpanSink>,
+    deep: bool,
+}
+
+impl Default for Observability {
+    fn default() -> Self {
+        Observability::disabled()
+    }
+}
+
+impl Observability {
+    /// Instruments record into a private registry; no spans, no deep
+    /// metrics. The default for [`crate::Controller::for_host`].
+    pub fn disabled() -> Self {
+        Observability {
+            registry: MetricsRegistry::new(),
+            sink: None,
+            deep: false,
+        }
+    }
+
+    /// Full instrumentation into the caller's registry, deep derived
+    /// metrics included.
+    pub fn enabled(registry: MetricsRegistry) -> Self {
+        Observability {
+            registry,
+            sink: None,
+            deep: true,
+        }
+    }
+
+    /// Mirrors per-stage spans into `sink` as structured records.
+    pub fn with_sink(mut self, sink: SpanSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Enables or disables deep derived metrics (e.g. the O(n²) final
+    /// embedding stress). On by default; turn off for hot paths that
+    /// want counters and latencies only.
+    pub fn with_deep(mut self, deep: bool) -> Self {
+        self.deep = deep;
+        self
+    }
+
+    /// The registry instruments are registered into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The span sink, when configured.
+    pub fn sink(&self) -> Option<&SpanSink> {
+        self.sink.as_ref()
+    }
+
+    /// Whether deep derived metrics are computed.
+    pub fn is_deep(&self) -> bool {
+        self.deep
+    }
+}
+
+/// The controller's registered instrument handles. Created once at
+/// construction; recording is lock-free from then on.
+#[derive(Debug)]
+pub(crate) struct ControllerMetrics {
+    pub registry: MetricsRegistry,
+    pub sink: Option<SpanSink>,
+    // Per-stage wall-time, one record per control period per stage —
+    // the primary store behind the `ControllerStats::stage_timing`
+    // compatibility view.
+    pub sense_latency: Histogram,
+    pub map_latency: Histogram,
+    pub predict_latency: Histogram,
+    pub act_latency: Histogram,
+    pub periods: Counter,
+    pub samples_rejected: Counter,
+    pub violations_observed: Counter,
+    pub violations_predicted: Counter,
+    pub throttles: Counter,
+    pub resumes: Counter,
+    pub prediction_checks: Counter,
+    pub prediction_hits: Counter,
+    pub mapping_errors: Counter,
+    pub throttled_periods: Counter,
+    pub beta: Gauge,
+    pub duty_cycle: Gauge,
+    pub events_dropped: Gauge,
+    pub states: Gauge,
+    pub violation_states: Gauge,
+    /// Registered lazily at the first verified prediction so the
+    /// accuracy series is *omitted* — not reported as 1.0 — before any
+    /// check has run (the `hit_ratio(0, 0)` fix, exporter-side).
+    pub hit_ratio: Option<Gauge>,
+}
+
+impl ControllerMetrics {
+    pub fn register(obs: &Observability) -> Self {
+        let r = &obs.registry;
+        ControllerMetrics {
+            sense_latency: r.latency_histogram(
+                "stayaway_controller_sense_latency_nanos",
+                "Wall time of the sense stage per control period",
+            ),
+            map_latency: r.latency_histogram(
+                "stayaway_controller_map_latency_nanos",
+                "Wall time of the map stage per control period",
+            ),
+            predict_latency: r.latency_histogram(
+                "stayaway_controller_predict_latency_nanos",
+                "Wall time of the predict stage per control period",
+            ),
+            act_latency: r.latency_histogram(
+                "stayaway_controller_act_latency_nanos",
+                "Wall time of the act stage per control period",
+            ),
+            periods: r.counter(
+                "stayaway_controller_periods_total",
+                "Control periods executed",
+            ),
+            samples_rejected: r.counter(
+                "stayaway_controller_samples_rejected_total",
+                "Raw metric samples sanitised to zero by the sense stage",
+            ),
+            violations_observed: r.counter(
+                "stayaway_controller_violations_observed_total",
+                "QoS violations reported by the sensitive application",
+            ),
+            violations_predicted: r.counter(
+                "stayaway_controller_violations_predicted_total",
+                "Predictions that flagged an impending violation",
+            ),
+            throttles: r.counter(
+                "stayaway_controller_throttles_total",
+                "Throttle actions issued",
+            ),
+            resumes: r.counter("stayaway_controller_resumes_total", "Resume actions issued"),
+            prediction_checks: r.counter(
+                "stayaway_controller_prediction_checks_total",
+                "Predictions whose verdict was checked against reality",
+            ),
+            prediction_hits: r.counter(
+                "stayaway_controller_prediction_hits_total",
+                "Checked predictions whose verdict matched reality",
+            ),
+            mapping_errors: r.counter(
+                "stayaway_controller_mapping_errors_total",
+                "Control periods skipped because the mapping pipeline errored",
+            ),
+            throttled_periods: r.counter(
+                "stayaway_controller_throttled_periods_total",
+                "Control periods that ended with batch applications paused",
+            ),
+            beta: r.gauge(
+                "stayaway_controller_beta",
+                "Current phase-change threshold β",
+            ),
+            duty_cycle: r.gauge(
+                "stayaway_controller_throttle_duty_cycle",
+                "Fraction of control periods spent throttled",
+            ),
+            events_dropped: r.gauge(
+                "stayaway_controller_events_dropped",
+                "Events evicted from the bounded decision log",
+            ),
+            states: r.gauge(
+                "stayaway_controller_states",
+                "Representative states currently held",
+            ),
+            violation_states: r.gauge(
+                "stayaway_controller_violation_states",
+                "Violation-labelled states currently held",
+            ),
+            hit_ratio: None,
+            registry: obs.registry.clone(),
+            sink: obs.sink.clone(),
+        }
+    }
+
+    /// Publishes the prediction hit ratio, registering the gauge on
+    /// first use (`checks > 0` guaranteed by the caller).
+    pub fn set_hit_ratio(&mut self, ratio: f64) {
+        let gauge = self.hit_ratio.get_or_insert_with(|| {
+            self.registry.gauge(
+                "stayaway_controller_prediction_hit_ratio",
+                "Fraction of checked predictions whose verdict matched reality",
+            )
+        });
+        gauge.set(ratio);
+    }
+}
+
+/// Mapping-engine instrument handles, passed down from the controller
+/// into [`crate::mapping::MappingEngine`].
+#[derive(Debug, Clone)]
+pub struct MappingMetrics {
+    samples: Counter,
+    smacof_runs: Counter,
+    smacof_iterations: Histogram,
+    final_stress: Gauge,
+    dedup_ratio: Gauge,
+    repr_states: Gauge,
+    soft_capped: Counter,
+    deep: bool,
+}
+
+impl MappingMetrics {
+    /// Registers the mapping instruments into `registry`. `deep`
+    /// additionally computes the final embedding stress after each
+    /// re-embedding (O(n²), decision-inert).
+    pub fn register(registry: &MetricsRegistry, deep: bool) -> Self {
+        MappingMetrics {
+            samples: registry.counter(
+                "stayaway_mapping_samples_total",
+                "Raw measurement vectors mapped",
+            ),
+            smacof_runs: registry.counter(
+                "stayaway_mapping_smacof_runs_total",
+                "SMACOF solver invocations (re-embeddings)",
+            ),
+            smacof_iterations: registry.histogram(
+                "stayaway_mapping_smacof_iterations",
+                "Majorization sweeps per SMACOF invocation",
+            ),
+            final_stress: registry.gauge(
+                "stayaway_mapping_final_stress",
+                "Normalised stress of the most recent embedding",
+            ),
+            dedup_ratio: registry.gauge(
+                "stayaway_mapping_dedup_ratio",
+                "Fraction of mapped samples absorbed into existing representatives",
+            ),
+            repr_states: registry.gauge(
+                "stayaway_mapping_repr_states",
+                "Representative states held by the dedup set",
+            ),
+            soft_capped: registry.counter(
+                "stayaway_mapping_soft_capped_total",
+                "Samples absorbed by the soft state cap",
+            ),
+            deep,
+        }
+    }
+
+    /// One sample mapped; refreshes the dedup ratio and repr-set size.
+    pub fn on_sample(&self, repr_states: usize, samples_seen: u64) {
+        self.samples.inc();
+        self.repr_states.set(repr_states as f64);
+        if samples_seen > 0 {
+            self.dedup_ratio
+                .set(1.0 - repr_states as f64 / samples_seen as f64);
+        }
+    }
+
+    /// One sample absorbed by the soft state cap.
+    pub fn on_soft_capped(&self) {
+        self.soft_capped.inc();
+    }
+
+    /// One SMACOF invocation completed with `sweeps` majorization
+    /// sweeps.
+    pub fn on_smacof(&self, sweeps: u64) {
+        self.smacof_runs.inc();
+        self.smacof_iterations.record(sweeps);
+    }
+
+    /// Publishes the final embedding stress, computing it only in deep
+    /// mode (`stress` is a closure so shallow mode pays nothing).
+    pub fn on_stress(&self, stress: impl FnOnce() -> Option<f64>) {
+        if self.deep {
+            if let Some(s) = stress() {
+                self.final_stress.set(s);
+            }
+        }
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::events::{ControllerStats, EventLog};
 use crate::{Controller, CoreError};
+use stayaway_obs::MetricsSnapshot;
 use stayaway_statespace::Template;
 use stayaway_telemetry::{NullPolicy, Policy};
 
@@ -33,6 +34,12 @@ pub trait ControlPolicy: Policy {
     /// The bounded decision log, oldest first. `None` for policies that
     /// keep no log.
     fn events(&self) -> Option<&EventLog> {
+        None
+    }
+
+    /// A snapshot of the policy's registered metrics (DESIGN.md §11).
+    /// `None` for policies that register no instruments.
+    fn metrics(&self) -> Option<MetricsSnapshot> {
         None
     }
 
@@ -73,6 +80,10 @@ impl ControlPolicy for Controller {
 
     fn events(&self) -> Option<&EventLog> {
         Some(Controller::events(self))
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        Some(Controller::metrics(self))
     }
 
     fn supports_templates(&self) -> bool {

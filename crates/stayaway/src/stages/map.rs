@@ -8,6 +8,7 @@
 use super::sense::Sensed;
 use crate::config::ControllerConfig;
 use crate::mapping::MappingEngine;
+use crate::obs::MappingMetrics;
 use crate::CoreError;
 use stayaway_statespace::{ExecutionMode, Point2, StateKind, StateMap, Template};
 use stayaway_telemetry::HostSpec;
@@ -55,6 +56,13 @@ impl MapStage {
             violation_range_enabled: config.violation_range_enabled,
             dim: config.metrics.len() * 2,
         })
+    }
+
+    /// Attaches observability instruments to the mapping engine
+    /// (builder-style; decision-inert).
+    pub fn with_metrics(mut self, metrics: MappingMetrics) -> Self {
+        self.mapping = self.mapping.with_metrics(metrics);
+        self
     }
 
     /// Maps one sensed period: dedup/embed the raw measurement vector,

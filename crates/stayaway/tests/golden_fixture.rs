@@ -14,7 +14,8 @@
 //! ```
 
 use serde_json::Value;
-use stayaway_core::{Controller, ControllerConfig};
+use stayaway_core::{Controller, ControllerConfig, Observability};
+use stayaway_obs::{MetricsRegistry, SpanSink};
 use stayaway_sim::scenario::Scenario;
 
 const FIXTURE_PATH: &str = concat!(
@@ -30,11 +31,16 @@ const FIXTURE_PATH: &str = concat!(
 /// fields are listed one by one so adding a *new* counter cannot silently
 /// change the fixture.
 fn capture() -> Value {
+    capture_observed(Observability::disabled())
+}
+
+fn capture_observed(obs: Observability) -> Value {
     let scenario = Scenario::vlc_with_cpubomb(7);
     let ticks = 300u64;
     let mut harness = scenario.build_harness().expect("scenario builds");
-    let mut ctl = Controller::for_host(ControllerConfig::default(), harness.host().spec())
-        .expect("default config is valid");
+    let mut ctl =
+        Controller::for_host_observed(ControllerConfig::default(), harness.host().spec(), obs)
+            .expect("default config is valid");
     let outcome = harness.run(&mut ctl, ticks);
     let stats = ctl.stats();
     let actions: Vec<usize> = outcome.timeline.iter().map(|r| r.actions).collect();
@@ -77,4 +83,42 @@ fn staged_pipeline_matches_prerefactor_golden_fixture() {
         rendered, golden,
         "staged pipeline diverged from the pre-refactor event/stat stream"
     );
+}
+
+/// The observability plane's hard invariant (DESIGN.md §11): a run with
+/// every instrument enabled — metrics registry, span sink, and the deep
+/// (O(n²) stress gauge) mode — projects to **bit-for-bit** the same
+/// golden document as the uninstrumented run. Instrumentation reads the
+/// clock and writes atomics; it must never touch controller RNG or
+/// branch control logic.
+#[test]
+fn fully_instrumented_run_matches_the_golden_fixture_bit_for_bit() {
+    if std::env::var("STAYAWAY_REGEN_GOLDEN").is_ok() {
+        return; // regeneration runs capture() once; nothing to compare
+    }
+    let golden = std::fs::read_to_string(FIXTURE_PATH)
+        .expect("golden fixture exists (regenerate with STAYAWAY_REGEN_GOLDEN=1)");
+    let registry = MetricsRegistry::new();
+    let sink = SpanSink::bounded(4096);
+    let obs = Observability::enabled(registry.clone()).with_sink(sink.clone());
+    assert!(obs.is_deep());
+    let rendered =
+        serde_json::to_string_pretty(&capture_observed(obs)).expect("projection serialises") + "\n";
+    assert_eq!(
+        rendered, golden,
+        "instrumentation changed controller behaviour — the obs plane must be decision-inert"
+    );
+    // The instruments did record: per-stage latency histograms saw every
+    // period, and the sink holds the span records.
+    let snapshot = registry.snapshot();
+    for stage in ["sense", "map", "predict", "act"] {
+        let name = format!("stayaway_controller_{stage}_latency_nanos");
+        let hist = snapshot
+            .histograms
+            .iter()
+            .find(|h| h.name == name)
+            .unwrap_or_else(|| panic!("{name} registered"));
+        assert_eq!(hist.hist.count, 300, "{name} records one sample per period");
+    }
+    assert!(!sink.is_empty(), "span sink captured records");
 }

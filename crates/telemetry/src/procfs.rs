@@ -16,6 +16,7 @@
 use crate::observation::{AppClass, ContainerId, ContainerObs, Observation};
 use crate::source::{ObservationSource, SourceKind, SourceMeta};
 use crate::{ResourceKind, ResourceVector, TelemetryError};
+use stayaway_obs::{Counter, MetricsRegistry};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -182,6 +183,10 @@ pub struct ProcfsSource {
     tick_period_secs: f64,
     tick: u64,
     prev: Option<Snapshot>,
+    /// Counts failed sampling probes (DESIGN.md §11); probing still
+    /// fails hard — the counter only makes the failure visible in
+    /// exported metrics.
+    probe_failures: Option<Counter>,
 }
 
 impl ProcfsSource {
@@ -228,12 +233,25 @@ impl ProcfsSource {
             tick_period_secs,
             tick: 0,
             prev: None,
+            probe_failures: None,
         })
     }
 
     /// Additionally watches `/proc/<pid>/io` for disk-traffic rates.
     pub fn watch_pid(mut self, pid: u32) -> Self {
         self.pid = Some(pid);
+        self
+    }
+
+    /// Registers this source's instruments into `registry`
+    /// (builder-style, decision-inert): sampling probes that fail to
+    /// read or parse increment
+    /// `stayaway_telemetry_procfs_probe_failures_total`.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.probe_failures = Some(registry.counter(
+            "stayaway_telemetry_procfs_probe_failures_total",
+            "Procfs/cgroup sampling probes that failed to read or parse",
+        ));
         self
     }
 
@@ -356,7 +374,11 @@ impl ObservationSource for ProcfsSource {
     }
 
     fn next_observation(&mut self) -> Result<Option<Observation>, TelemetryError> {
-        let now = self.snapshot()?;
+        let now = self.snapshot().inspect_err(|_| {
+            if let Some(counter) = &self.probe_failures {
+                counter.inc();
+            }
+        })?;
         let usage = match &self.prev {
             Some(prev) => Self::usage_between(prev, &now),
             None => ResourceVector::zero(),
@@ -504,11 +526,19 @@ mod tests {
         let cgroup_root = root.join("cgroup");
         std::fs::create_dir_all(&cgroup_root).unwrap();
         std::fs::write(cgroup_root.join("cpu.stat"), "usage_usec garbage\n").unwrap();
-        let mut source = ProcfsSource::with_roots(&proc_root, Some(cgroup_root), 1.0).unwrap();
+        let registry = MetricsRegistry::new();
+        let failures = registry.counter(
+            "stayaway_telemetry_procfs_probe_failures_total",
+            "Procfs/cgroup sampling probes that failed to read or parse",
+        );
+        let mut source = ProcfsSource::with_roots(&proc_root, Some(cgroup_root), 1.0)
+            .unwrap()
+            .with_metrics(&registry);
         assert!(matches!(
             source.next_observation(),
             Err(TelemetryError::Codec { .. })
         ));
+        assert_eq!(failures.get(), 1);
         let _ = std::fs::remove_dir_all(&root);
     }
 

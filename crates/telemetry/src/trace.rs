@@ -22,6 +22,7 @@ use crate::run::TickRecord;
 use crate::source::{ObservationSource, SourceKind, SourceMeta};
 use crate::{HostSpec, ResourceKind, TelemetryError};
 use serde::{Deserialize, Serialize};
+use stayaway_obs::{Counter, MetricsRegistry};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
@@ -251,6 +252,10 @@ pub struct TraceSource<R: BufRead> {
     /// 1-based number of the last line consumed (the header is line 1).
     line: u64,
     buf: String,
+    /// Counts undecodable observation lines (DESIGN.md §11); decoding
+    /// still fails hard — the counter only makes the failure visible in
+    /// exported metrics.
+    decode_errors: Option<Counter>,
 }
 
 impl TraceSource<BufReader<File>> {
@@ -292,7 +297,19 @@ impl<R: BufRead> TraceSource<R> {
             header,
             line: 1,
             buf,
+            decode_errors: None,
         })
+    }
+
+    /// Registers this source's instruments into `registry`
+    /// (builder-style, decision-inert): undecodable observation lines
+    /// increment `stayaway_telemetry_trace_decode_errors_total`.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.decode_errors = Some(registry.counter(
+            "stayaway_telemetry_trace_decode_errors_total",
+            "Trace observation lines that failed to decode",
+        ));
+        self
     }
 
     /// The decoded trace header.
@@ -317,12 +334,15 @@ impl<R: BufRead> ObservationSource for TraceSource<R> {
             if text.is_empty() {
                 continue; // tolerate blank separator lines
             }
-            return serde_json::from_str(text)
-                .map(Some)
-                .map_err(|e| TelemetryError::Codec {
+            return serde_json::from_str(text).map(Some).map_err(|e| {
+                if let Some(counter) = &self.decode_errors {
+                    counter.inc();
+                }
+                TelemetryError::Codec {
                     line: self.line,
                     reason: e.to_string(),
-                });
+                }
+            });
         }
     }
 }
@@ -426,6 +446,25 @@ mod tests {
             Err(TelemetryError::Codec { line, .. }) => assert_eq!(line, 3),
             other => panic!("expected Codec error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn decode_errors_increment_the_registered_counter() {
+        let mut bytes = record_two_ticks();
+        let cut = bytes.len() - 25;
+        bytes.truncate(cut);
+        let registry = MetricsRegistry::new();
+        let errors = registry.counter(
+            "stayaway_telemetry_trace_decode_errors_total",
+            "Trace observation lines that failed to decode",
+        );
+        let mut source = TraceSource::new(bytes.as_slice())
+            .unwrap()
+            .with_metrics(&registry);
+        assert!(source.next_observation().unwrap().is_some());
+        assert_eq!(errors.get(), 0);
+        assert!(source.next_observation().is_err());
+        assert_eq!(errors.get(), 1);
     }
 
     #[test]

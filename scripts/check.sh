@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints (warnings are errors), rustdoc
 # (warnings are errors), the release build, the test suite (including the
-# fleet determinism suite, the staged-controller golden fixture and the
-# telemetry record→replay determinism suite), a replay smoke run over the
-# committed fixture trace, and a compile check of every criterion bench
+# fleet determinism suite, the staged-controller golden fixture, the
+# observability suites and the telemetry record→replay determinism
+# suite), a replay smoke run over the committed fixture trace, a metrics
+# exposition smoke (64 instrumented ticks, output validated by the
+# in-tree promlint), and a compile check of every criterion bench
 # target. Run from anywhere inside the repository.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,8 +18,19 @@ cargo test -q --workspace
 cargo test -q -p stayaway-fleet --test determinism
 cargo test -q -p stayaway-core --test golden_fixture
 cargo test -q --test record_replay
+cargo test -q -p stayaway-obs
+cargo test -q --test observability
 # Replay smoke: the committed fixture trace must stay readable by the
 # current trace codec, end to end through the CLI.
 cargo run -q --release --bin stayaway -- \
     replay --trace tests/fixtures/smoke_trace.jsonl
+# Metrics smoke: a short fully-instrumented run must emit a Prometheus
+# exposition the in-tree promlint accepts (the observability suite runs
+# promlint in-process; this exercises the CLI path end to end).
+metrics_tmp="$(mktemp)"
+trap 'rm -f "$metrics_tmp"' EXIT
+cargo run -q --release --bin stayaway -- \
+    metrics --scenario vlc+cpu-bomb --ticks 64 > "$metrics_tmp"
+grep -q '^stayaway_controller_periods_total 64$' "$metrics_tmp"
+grep -q '^# TYPE stayaway_controller_sense_latency_nanos histogram$' "$metrics_tmp"
 cargo bench --workspace --no-run

@@ -16,8 +16,9 @@
 //! web-cpu, web-mem, web-mix} and batch ∈ {cpu-bomb, memory-bomb, soplex,
 //! twitter-analysis, vlc-transcode}.
 
-use stay_away::core::{ControlPolicy, ControllerConfig, ControllerStats};
+use stay_away::core::{ControlPolicy, ControllerConfig, ControllerStats, Observability};
 use stay_away::fleet::{Fleet, FleetConfig, PolicySpec, SourceSpec};
+use stay_away::obs::{to_json, to_prometheus, MetricsRegistry, MetricsSnapshot};
 use stay_away::sim::apps::WebWorkload;
 use stay_away::sim::scenario::{BatchKind, Scenario, SensitiveKind};
 use stay_away::sim::workload::{DiurnalParams, Trace};
@@ -38,6 +39,8 @@ commands:
                              stream to a JSONL trace file
   replay                     drive a policy from a recorded trace
   fleet                      run many co-location cells over a worker pool
+  metrics                    run one scenario with full instrumentation and
+                             print the metrics exposition
 
 options:
   --scenario <sens>+<batch>  e.g. vlc+cpu-bomb, web-mem+twitter-analysis
@@ -59,6 +62,10 @@ options:
   --workers <n>              fleet: worker threads (default 1; results are
                              identical for any value)
   --share-templates          fleet: warm-start cells from the registry
+  --metrics-out <path>       run/fleet/metrics: export the run's metrics
+                             snapshot; `-` writes pretty JSON to stdout,
+                             a `.json` path writes pretty JSON, any other
+                             path writes Prometheus text exposition
   --json                     print a JSON summary instead of text
 ";
 
@@ -78,6 +85,7 @@ struct Args {
     cells: usize,
     workers: usize,
     share_templates: bool,
+    metrics_out: Option<String>,
     json: bool,
 }
 
@@ -98,6 +106,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cells: 8,
         workers: 1,
         share_templates: false,
+        metrics_out: None,
         json: false,
     };
     let mut it = argv[1..].iter();
@@ -135,6 +144,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|_| "--workers expects an integer".to_string())?
             }
             "--share-templates" => args.share_templates = true,
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--json" => args.json = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -217,12 +227,12 @@ fn summarize(
         );
         if let Some(stats) = stats {
             println!(
-                "controller: {} states ({} violation), {} throttles, {} resumes, prediction accuracy {:.1}%",
+                "controller: {} states ({} violation), {} throttles, {} resumes, prediction accuracy {}",
                 stats.states,
                 stats.violation_states,
                 stats.throttles,
                 stats.resumes,
-                100.0 * stats.prediction_accuracy(),
+                format_accuracy(stats.prediction_accuracy()),
             );
             let t = &stats.stage_timing;
             println!(
@@ -240,24 +250,63 @@ fn summarize(
     }
 }
 
+/// Prediction accuracy for humans: a percentage, or "n/a" before any
+/// prediction has been checked (never a made-up 100%).
+fn format_accuracy(accuracy: Option<f64>) -> String {
+    match accuracy {
+        Some(a) => format!("{:.1}%", 100.0 * a),
+        None => "n/a".to_string(),
+    }
+}
+
+/// Writes a metrics snapshot to `path`: `-` prints pretty JSON to
+/// stdout, a `.json` path gets pretty JSON, anything else gets the
+/// Prometheus text exposition.
+fn write_metrics(snapshot: &MetricsSnapshot, path: &str) -> Result<(), String> {
+    if path == "-" {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&to_json(snapshot)).expect("metrics json")
+        );
+        return Ok(());
+    }
+    let rendered = if path.ends_with(".json") {
+        let mut text = serde_json::to_string_pretty(&to_json(snapshot)).expect("metrics json");
+        text.push('\n');
+        text
+    } else {
+        to_prometheus(snapshot)
+    };
+    std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("metrics written to {path}");
+    Ok(())
+}
+
 /// Runs the named policy against the selected observation substrate via
 /// the unified [`ControlPolicy`] surface; returns the outcome, the
 /// post-run policy (for introspection: stats, template export) and the
-/// CPU capacity of the sensed host (for utilisation summaries).
+/// CPU capacity of the sensed host (for utilisation summaries). When a
+/// `registry` is given, the policy and substrate register their
+/// instruments into it (decision-inert).
 fn run_policy_by_name(
     scenario: &Scenario,
     policy: &str,
     source_spec: &SourceSpec,
     seed: u64,
     ticks: u64,
+    registry: Option<&MetricsRegistry>,
 ) -> Result<(RunOutcome, Box<dyn ControlPolicy>, f64), String> {
     let spec = PolicySpec::parse(policy).map_err(|e| e.to_string())?;
     let mut source = source_spec
-        .build(scenario, seed)
+        .build_observed(scenario, seed, registry)
         .map_err(|e| e.to_string())?;
     let host_spec = source.meta().host.unwrap_or_else(|| *scenario.host_spec());
+    let obs = match registry {
+        Some(registry) => Observability::enabled(registry.clone()),
+        None => Observability::disabled(),
+    };
     let mut policy = spec
-        .build(&ControllerConfig::default(), &host_spec)
+        .build_observed(&ControllerConfig::default(), &host_spec, obs)
         .map_err(|e| e.to_string())?;
     let out = drive(source.as_mut(), policy.as_mut(), ticks).map_err(|e| e.to_string())?;
     Ok((out, policy, host_spec.cpu_cores))
@@ -298,10 +347,10 @@ fn fleet_summary(outcome: &stay_away::fleet::FleetOutcome) {
         outcome.total_batch_work,
     );
     println!(
-        "control: {} throttles, {} resumes, prediction accuracy {:.1}%, {} log events dropped",
+        "control: {} throttles, {} resumes, prediction accuracy {}, {} log events dropped",
         outcome.throttles,
         outcome.resumes,
-        100.0 * outcome.prediction_accuracy(),
+        format_accuracy(outcome.prediction_accuracy()),
         outcome.events_dropped,
     );
     println!(
@@ -339,13 +388,48 @@ fn run(argv: &[String]) -> Result<(), String> {
         "run" => {
             let scenario = parse_scenario(&scenario_name, args.seed)?;
             let source = SourceSpec::parse(&args.source).map_err(|e| e.to_string())?;
-            let (out, policy, cap) =
-                run_policy_by_name(&scenario, &args.policy, &source, args.seed, args.ticks)?;
+            let registry = args.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+            let (out, policy, cap) = run_policy_by_name(
+                &scenario,
+                &args.policy,
+                &source,
+                args.seed,
+                args.ticks,
+                registry.as_ref(),
+            )?;
             let stats = policy.stats();
             // Baselines track nothing; only show controller internals when
             // the policy actually counted its periods.
             let stats = (stats.periods > 0).then_some(&stats);
             summarize(policy.name(), scenario.name(), cap, &out, stats, args.json);
+            if let (Some(path), Some(registry)) = (&args.metrics_out, &registry) {
+                write_metrics(&registry.snapshot(), path)?;
+            }
+            Ok(())
+        }
+        "metrics" => {
+            let scenario = parse_scenario(&scenario_name, args.seed)?;
+            let source = SourceSpec::parse(&args.source).map_err(|e| e.to_string())?;
+            let registry = MetricsRegistry::new();
+            run_policy_by_name(
+                &scenario,
+                &args.policy,
+                &source,
+                args.seed,
+                args.ticks,
+                Some(&registry),
+            )?;
+            let snapshot = registry.snapshot();
+            match &args.metrics_out {
+                Some(path) => write_metrics(&snapshot, path)?,
+                // Default exposition: JSON with --json, Prometheus text
+                // otherwise, both to stdout.
+                None if args.json => println!(
+                    "{}",
+                    serde_json::to_string_pretty(&to_json(&snapshot)).expect("metrics json")
+                ),
+                None => print!("{}", to_prometheus(&snapshot)),
+            }
             Ok(())
         }
         "compare" => {
@@ -360,7 +444,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             );
             for policy in ["null", "always", "reactive", "static", "stayaway"] {
                 let (out, built, cap) =
-                    run_policy_by_name(&scenario, policy, &source, args.seed, args.ticks)?;
+                    run_policy_by_name(&scenario, policy, &source, args.seed, args.ticks, None)?;
                 summarize(built.name(), scenario.name(), cap, &out, None, args.json);
             }
             Ok(())
@@ -373,6 +457,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 &SourceSpec::Sim,
                 args.seed,
                 args.ticks,
+                None,
             )?;
             let sens_name = scenario_name.split('+').next().unwrap_or("sensitive");
             let template = policy
@@ -491,6 +576,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 policies,
                 sources,
                 controller: ControllerConfig::default(),
+                collect_metrics: args.metrics_out.is_some(),
             };
             let fleet = Fleet::new(config).map_err(|e| e.to_string())?;
             let outcome = fleet.run().map_err(|e| e.to_string())?;
@@ -498,6 +584,13 @@ fn run(argv: &[String]) -> Result<(), String> {
                 println!("{}", outcome.to_json().map_err(|e| e.to_string())?);
             } else {
                 fleet_summary(&outcome);
+            }
+            if let Some(path) = &args.metrics_out {
+                let rollup = outcome
+                    .metrics
+                    .as_ref()
+                    .ok_or("fleet produced no metrics rollup")?;
+                write_metrics(rollup, path)?;
             }
             Ok(())
         }
@@ -627,7 +720,7 @@ mod tests {
         let scenario = parse_scenario("vlc+soplex", 1).unwrap();
         for p in ["stay-away", "none", "always", "reactive", "static", "null"] {
             let (out, policy, cap) =
-                run_policy_by_name(&scenario, p, &SourceSpec::Sim, 1, 30).unwrap();
+                run_policy_by_name(&scenario, p, &SourceSpec::Sim, 1, 30, None).unwrap();
             assert_eq!(out.timeline.len(), 30);
             assert_eq!(cap, scenario.host_spec().cpu_cores);
             // Only the controller counts its periods and learns templates.
@@ -635,6 +728,6 @@ mod tests {
             assert_eq!(policy.stats().periods > 0, is_stayaway);
             assert_eq!(policy.supports_templates(), is_stayaway);
         }
-        assert!(run_policy_by_name(&scenario, "bogus", &SourceSpec::Sim, 1, 10).is_err());
+        assert!(run_policy_by_name(&scenario, "bogus", &SourceSpec::Sim, 1, 10, None).is_err());
     }
 }

@@ -19,6 +19,9 @@
 //!   ranges, reusable templates;
 //! * [`trajectory`] — step/angle histograms, KDE, inverse-transform
 //!   sampling, per-mode predictors;
+//! * [`obs`] — the observability plane: the metrics registry
+//!   (counters/gauges/latency histograms), span tracing and the
+//!   Prometheus/JSON exporters every other layer instruments through;
 //! * [`telemetry`] — the observation plane: canonical observation types,
 //!   the `ObservationSource` trait, JSONL trace record/replay and the
 //!   best-effort procfs sampler;
@@ -63,6 +66,7 @@ pub use stayaway_baselines as baselines;
 pub use stayaway_core as core;
 pub use stayaway_fleet as fleet;
 pub use stayaway_mds as mds;
+pub use stayaway_obs as obs;
 pub use stayaway_sim as sim;
 pub use stayaway_statespace as statespace;
 pub use stayaway_telemetry as telemetry;
