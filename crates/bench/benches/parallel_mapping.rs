@@ -1,0 +1,184 @@
+//! The parallel + cache-blocked mapping plane vs its serial f64 reference.
+//!
+//! Three timed groups over the mapping-bound hot path (ROADMAP item 3):
+//!
+//! * `smacof_sweep_512` — pure Guttman sweeps on a fixed 512-point
+//!   dissimilarity matrix, warm-started from one precomputed classical
+//!   seed so the timing isolates the sweep kernel (`tolerance(0.0)` pins
+//!   every arm at exactly `SWEEPS` sweeps): the serial f64 reference, the
+//!   chunk-parallel f64 path, and the cache-blocked f32 kernel at 1 and 4
+//!   workers. The f64 arms are bit-identical to each other by
+//!   construction; the f32 arms are deterministic across worker counts.
+//! * `matrix_maintenance_512` — growing the 512-point distance matrix one
+//!   representative at a time: from-scratch rebuilds (the naive baseline)
+//!   vs incremental column appends, serial and at 4 workers. The
+//!   rebuild-vs-append gap carries the ≥10× matrix-maintenance claim.
+//! * `mapping_bound_path_128` — the per-period mapping plane end to end.
+//!   The naive arm is the paper's literal §2.2 pipeline run every period:
+//!   rebuild the distance matrix from scratch and solve from a fresh
+//!   classical-MDS seed. The incremental arm is the plane the engine
+//!   actually runs: column append + warm-started sweep on the f32 blocked
+//!   kernel. Both arms run one majorization sweep per period, so the gap
+//!   is the maintenance machinery itself; it carries the end-to-end ≥10×
+//!   claim and widens further with worker count on a multi-core host.
+//!
+//! Before timing, the harness prints the f32-vs-f64 accuracy check
+//! (|Δstress| after the pinned sweeps on the 512-point solve) so the
+//! kernel's accuracy budget is visible next to its speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stayaway_mds::classical::classical_mds;
+use stayaway_mds::distance::{DistanceMatrix, Metric};
+use stayaway_mds::smacof::{warm_start_with_new_points, Smacof, SweepKernel};
+
+const N_SWEEP: usize = 512;
+const N_PATH: usize = 128;
+/// Sweeps per solve in the pure-sweep group (`tolerance(0.0)` keeps every
+/// arm at exactly this count, so the arms time identical sweep workloads).
+const SWEEPS: usize = 3;
+const WORKERS: usize = 4;
+
+/// Deterministic pseudo-random measurement vectors in `[0, 1]^dim`.
+fn vectors(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(0x4d41_5050);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0f64..1.0)).collect())
+        .collect()
+}
+
+fn solver(kernel: SweepKernel, workers: usize) -> Smacof {
+    Smacof::new(2)
+        .max_iterations(SWEEPS)
+        .tolerance(0.0)
+        .kernel(kernel)
+        .workers(workers)
+}
+
+fn bench_parallel_mapping(c: &mut Criterion) {
+    let pts = vectors(N_SWEEP, 10);
+    let dissim = DistanceMatrix::from_vectors(&pts).expect("matrix");
+    // One classical seed shared by every sweep arm: the expensive O(n³)
+    // eigensolve happens once, outside all timings.
+    let seed = classical_mds(&dissim, 2).expect("seed");
+
+    // Accuracy budget: the f32 kernel's stress must track the reference.
+    let e64 = solver(SweepKernel::F64, 1)
+        .embed_warm(&dissim, seed.clone())
+        .expect("embed");
+    let e32 = solver(SweepKernel::F32Blocked, 1)
+        .embed_warm(&dissim, seed.clone())
+        .expect("embed");
+    let s64 = e64.stress(&dissim).expect("stress");
+    let s32 = e32.stress(&dissim).expect("stress");
+    println!(
+        "accuracy: {N_SWEEP}-point stress f64 {s64:.6} vs f32-blocked {s32:.6} \
+         (|Δ| = {:.2e})",
+        (s64 - s32).abs()
+    );
+    assert!(
+        (s64 - s32).abs() < 1e-3,
+        "f32 kernel outside accuracy budget"
+    );
+
+    let mut group = c.benchmark_group("smacof_sweep_512");
+    group.sample_size(10);
+    for (label, kernel, workers) in [
+        ("f64_serial", SweepKernel::F64, 1),
+        ("f64_4workers", SweepKernel::F64, WORKERS),
+        ("f32_blocked_serial", SweepKernel::F32Blocked, 1),
+        ("f32_blocked_4workers", SweepKernel::F32Blocked, WORKERS),
+    ] {
+        let s = solver(kernel, workers);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                s.embed_warm(std::hint::black_box(&dissim), seed.clone())
+                    .expect("embed")
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("matrix_maintenance_512");
+    group.sample_size(10);
+    group.bench_function("full_rebuild_baseline", |b| {
+        b.iter(|| {
+            let mut last = 0.0;
+            for m in 2..=pts.len() {
+                let d =
+                    DistanceMatrix::from_vectors(std::hint::black_box(&pts[..m])).expect("matrix");
+                last = d.get(0, m - 1);
+            }
+            last
+        });
+    });
+    for (label, workers) in [
+        ("incremental_append_serial", 1),
+        ("incremental_append_4workers", WORKERS),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut d =
+                    DistanceMatrix::from_vectors(std::hint::black_box(&pts[..2])).expect("matrix");
+                for m in 2..pts.len() {
+                    d.append_point_with_workers(&pts[..m], &pts[m], Metric::Euclidean, workers)
+                        .expect("append");
+                }
+                d.get(0, pts.len() - 1)
+            });
+        });
+    }
+    group.finish();
+
+    // End-to-end per-period mapping plane, one sweep per new point.
+    let path_pts = &pts[..N_PATH];
+    let mut group = c.benchmark_group("mapping_bound_path_128");
+    group.sample_size(10);
+    group.bench_function("naive_per_period_full_mds", |b| {
+        // The paper's literal pipeline every period: full matrix rebuild
+        // plus a fresh classical seed for the solve.
+        let s = Smacof::new(2).max_iterations(1).tolerance(0.0);
+        b.iter(|| {
+            let mut x = 0.0;
+            for m in 2..=path_pts.len() {
+                let dissim = DistanceMatrix::from_vectors(std::hint::black_box(&path_pts[..m]))
+                    .expect("matrix");
+                let e = s.embed(&dissim).expect("embed");
+                x = e.xy(0).0;
+            }
+            x
+        });
+    });
+    group.bench_function("incremental_parallel_plane", |b| {
+        // Column append + warm start + the blocked f32 kernel — the
+        // engine's actual per-period work.
+        let s = Smacof::new(2)
+            .max_iterations(1)
+            .tolerance(0.0)
+            .kernel(SweepKernel::F32Blocked)
+            .workers(WORKERS);
+        b.iter(|| {
+            let mut dissim =
+                DistanceMatrix::from_vectors(std::hint::black_box(&path_pts[..2])).expect("matrix");
+            let mut embedding = s.embed(&dissim).expect("embed");
+            for m in 2..path_pts.len() {
+                dissim
+                    .append_point_with_workers(
+                        &path_pts[..m],
+                        &path_pts[m],
+                        Metric::Euclidean,
+                        WORKERS,
+                    )
+                    .expect("append");
+                let init = warm_start_with_new_points(&embedding, &dissim).expect("warm start");
+                embedding = s.embed_warm(&dissim, init).expect("embed warm");
+            }
+            embedding.xy(0).0
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_mapping);
+criterion_main!(benches);

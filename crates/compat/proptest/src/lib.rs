@@ -326,10 +326,38 @@ pub mod collection {
     }
 }
 
+pub mod sample {
+    //! Sampling strategies (`prop::sample::select`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy drawing one element of a fixed candidate list per case.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select needs at least one candidate");
+        Select { values }
+    }
+
+    /// Strategy returned by [`select()`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.values[rng.gen_range(0..self.values.len())].clone()
+        }
+    }
+}
+
 pub mod prop {
     //! The `prop::` namespace (upstream exposes collection strategies here).
 
     pub use crate::collection;
+    pub use crate::sample;
 }
 
 pub mod prelude {

@@ -53,6 +53,12 @@ pub struct FleetConfig {
     /// seed overrides [`ControllerConfig::seed`]); ignored by baseline
     /// policies.
     pub controller: ControllerConfig,
+    /// Per-cell worker-thread budget of the mapping kernels; overrides
+    /// [`ControllerConfig::mapping_workers`] for every cell. Defaults to 1
+    /// — fleet parallelism is across cells, so each cell's mapping plane
+    /// stays serial unless a mapping-bound deployment raises it. Mapping
+    /// results are bit-for-bit identical for any value ≥ 1.
+    pub mapping_workers: usize,
 }
 
 impl FleetConfig {
@@ -71,6 +77,7 @@ impl FleetConfig {
             policies: vec![PolicySpec::StayAway],
             sources: vec![SourceSpec::Sim],
             controller: ControllerConfig::default(),
+            mapping_workers: 1,
         }
     }
 
@@ -129,6 +136,11 @@ impl FleetConfig {
         }
         for source in &self.sources {
             source.validate()?;
+        }
+        if self.mapping_workers == 0 {
+            return Err(FleetError::InvalidConfig {
+                reason: "mapping_workers must be positive".into(),
+            });
         }
         self.controller.validate().map_err(FleetError::Core)
     }

@@ -149,6 +149,13 @@ impl ReprSet {
     /// Creates an empty set that merges vectors within `epsilon` of an
     /// existing representative.
     ///
+    /// The threshold is **closed** — see [`ReprSet::merges`]. In
+    /// particular `ReprSet::new(0.0)` is a valid exact-duplicate
+    /// deduplicator: bit-equal vectors (distance 0) merge, any
+    /// perturbation however small (e.g. 1e-7 in one coordinate) starts a
+    /// new representative. This holds identically on the grid-indexed
+    /// path.
+    ///
     /// # Errors
     ///
     /// Returns [`MdsError::NonFinite`] if `epsilon` is negative or not
@@ -196,6 +203,21 @@ impl ReprSet {
     /// The merge radius.
     pub fn epsilon(&self) -> f64 {
         self.epsilon
+    }
+
+    /// The merge predicate: a vector at `distance` from a representative
+    /// merges into it exactly when `distance <= epsilon` (**closed**
+    /// threshold, both ends). Consequences, enforced by regression tests:
+    ///
+    /// * a distance of exactly `epsilon` merges (not a new
+    ///   representative);
+    /// * with `epsilon == 0.0` only exact duplicates merge — `-0.0`
+    ///   coordinates count as duplicates of `0.0` because their distance
+    ///   is zero;
+    /// * any `distance > epsilon`, however slightly, starts a new
+    ///   representative.
+    pub fn merges(&self, distance: f64) -> bool {
+        distance <= self.epsilon
     }
 
     /// Number of representatives currently held.
@@ -269,7 +291,7 @@ impl ReprSet {
         let consider = |i: usize, rep: &[f64], best: &mut Option<(usize, f64)>| {
             let bound = best.map_or(self.epsilon, |(_, bd)| bd);
             if let Some(d) = self.metric.distance_pruned(rep, vector, bound) {
-                if d <= self.epsilon && best.is_none_or(|(bi, bd)| d < bd || (d == bd && i < bi)) {
+                if self.merges(d) && best.is_none_or(|(bi, bd)| d < bd || (d == bd && i < bi)) {
                     *best = Some((i, d));
                 }
             }
@@ -408,6 +430,60 @@ mod tests {
         set.insert(&[0.3, 0.3]).unwrap();
         assert!(set.insert(&[0.3, 0.3]).unwrap().index() == 0);
         assert!(set.insert(&[0.3, 0.3000001]).unwrap().is_new());
+    }
+
+    #[test]
+    fn threshold_is_closed_at_epsilon() {
+        // d == epsilon exactly: merges, on both the linear and grid paths.
+        for indexed in [false, true] {
+            let mut set = ReprSet::new(0.5).unwrap();
+            if indexed {
+                set = set.grid_indexed();
+            }
+            set.insert(&[0.0, 0.0]).unwrap();
+            assert_eq!(
+                set.insert(&[0.5, 0.0]).unwrap(),
+                DedupOutcome::Merged(0),
+                "exactly-at-epsilon must merge (indexed = {indexed})"
+            );
+            // The next representable distance above epsilon is new.
+            let just_over = 0.5f64.next_up();
+            assert!(
+                set.insert(&[just_over, 0.0]).unwrap().is_new(),
+                "just over epsilon must be new (indexed = {indexed})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_epsilon_treats_negative_zero_as_duplicate() {
+        for indexed in [false, true] {
+            let mut set = ReprSet::new(0.0).unwrap();
+            if indexed {
+                set = set.grid_indexed();
+            }
+            set.insert(&[0.0, 0.3]).unwrap();
+            // -0.0 == 0.0, so the distance is exactly zero: a duplicate.
+            assert_eq!(
+                set.insert(&[-0.0, 0.3]).unwrap(),
+                DedupOutcome::Merged(0),
+                "-0.0 must dedup against 0.0 (indexed = {indexed})"
+            );
+            // A 1e-7 perturbation is a genuinely new representative.
+            assert!(set.insert(&[0.0, 0.3 + 1e-7]).unwrap().is_new());
+            assert_eq!(set.len(), 2);
+        }
+    }
+
+    #[test]
+    fn merges_predicate_matches_documented_semantics() {
+        let set = ReprSet::new(0.25).unwrap();
+        assert!(set.merges(0.0));
+        assert!(set.merges(0.25));
+        assert!(!set.merges(0.25f64.next_up()));
+        let exact = ReprSet::new(0.0).unwrap();
+        assert!(exact.merges(0.0));
+        assert!(!exact.merges(f64::MIN_POSITIVE));
     }
 
     #[test]

@@ -1,6 +1,16 @@
 //! Dissimilarity matrices over measurement vectors.
 
+use crate::parallel;
 use crate::MdsError;
+
+/// Entries per parallel chunk when appending a point's column. Derived
+/// only from the matrix size, so chunk boundaries — and the result bits —
+/// are independent of the worker count.
+const APPEND_CHUNK: usize = 256;
+
+/// Target entries per whole-column chunk when building a matrix in
+/// parallel. Same determinism rule as [`APPEND_CHUNK`].
+const BUILD_CHUNK: usize = 4096;
 
 /// Pairwise distance metric between measurement vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -123,6 +133,24 @@ impl DistanceMatrix {
     ///
     /// Same conditions as [`DistanceMatrix::from_vectors`].
     pub fn from_vectors_with(vectors: &[Vec<f64>], metric: Metric) -> Result<Self, MdsError> {
+        Self::from_vectors_with_workers(vectors, metric, 1)
+    }
+
+    /// [`DistanceMatrix::from_vectors_with`] with the pairwise scan spread
+    /// over up to `workers` threads. Chunks are whole columns of the packed
+    /// triangle whose boundaries depend only on the point count, and every
+    /// entry is an independent distance evaluation, so **the result is
+    /// bit-for-bit identical for any worker count** (including 1, the
+    /// inline path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DistanceMatrix::from_vectors`].
+    pub fn from_vectors_with_workers(
+        vectors: &[Vec<f64>],
+        metric: Metric,
+        workers: usize,
+    ) -> Result<Self, MdsError> {
         let first = vectors.first().ok_or(MdsError::Empty)?;
         let dim = first.len();
         for v in vectors {
@@ -139,12 +167,22 @@ impl DistanceMatrix {
             }
         }
         let n = vectors.len();
-        let mut upper = Vec::with_capacity(n * (n - 1) / 2);
-        for j in 1..n {
-            for i in 0..j {
-                upper.push(metric.distance(&vectors[i], &vectors[j]));
+        let mut upper = vec![0.0; n * (n - 1) / 2];
+        let pieces = parallel::tri_column_pieces(n, &mut upper, BUILD_CHUNK);
+        parallel::scatter(workers, pieces, |first_col, slice| {
+            // Walk the packed column-grouped layout: column j holds the
+            // entries (0, j) .. (j-1, j) contiguously.
+            let mut j = first_col;
+            let mut i = 0usize;
+            for v in slice.iter_mut() {
+                *v = metric.distance(&vectors[i], &vectors[j]);
+                i += 1;
+                if i == j {
+                    i = 0;
+                    j += 1;
+                }
             }
-        }
+        });
         Ok(DistanceMatrix { n, upper })
     }
 
@@ -175,6 +213,26 @@ impl DistanceMatrix {
         point: &[f64],
         metric: Metric,
     ) -> Result<(), MdsError> {
+        self.append_point_with_workers(existing, point, metric, 1)
+    }
+
+    /// [`DistanceMatrix::append_point_with`] with the new column's distance
+    /// evaluations spread over up to `workers` threads. Chunk boundaries
+    /// depend only on the current point count and every entry is an
+    /// independent distance evaluation, so **the result is bit-for-bit
+    /// identical for any worker count** (including 1, the inline path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DistanceMatrix::append_point`]; a failed append
+    /// leaves the matrix untouched.
+    pub fn append_point_with_workers(
+        &mut self,
+        existing: &[Vec<f64>],
+        point: &[f64],
+        metric: Metric,
+        workers: usize,
+    ) -> Result<(), MdsError> {
         if existing.len() != self.n {
             return Err(MdsError::DimensionMismatch {
                 expected: self.n,
@@ -193,10 +251,14 @@ impl DistanceMatrix {
                 context: "distance matrix appended point",
             });
         }
-        self.upper.reserve(self.n);
-        for other in existing {
-            self.upper.push(metric.distance(other, point));
-        }
+        let base = self.upper.len();
+        self.upper.resize(base + self.n, 0.0);
+        let pieces = parallel::row_pieces(&mut self.upper[base..], 1, APPEND_CHUNK);
+        parallel::scatter(workers, pieces, |first, slice| {
+            for (k, v) in slice.iter_mut().enumerate() {
+                *v = metric.distance(&existing[first + k], point);
+            }
+        });
         self.n += 1;
         Ok(())
     }
@@ -389,6 +451,43 @@ mod tests {
             Err(MdsError::NonFinite { .. })
         ));
         // Failed appends leave the matrix untouched.
+        assert_eq!(d, DistanceMatrix::from_vectors(&vectors).unwrap());
+    }
+
+    #[test]
+    fn parallel_build_and_append_are_bit_identical_to_serial() {
+        // Enough points to span several BUILD_CHUNK / APPEND_CHUNK chunks.
+        let vectors: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.61).cos()])
+            .collect();
+        let serial = DistanceMatrix::from_vectors(&vectors).unwrap();
+        for workers in [2, 3, 4, 8] {
+            let par =
+                DistanceMatrix::from_vectors_with_workers(&vectors, Metric::Euclidean, workers)
+                    .unwrap();
+            assert_eq!(serial, par, "build diverged at {workers} workers");
+
+            let mut appended = DistanceMatrix::from_vectors(&vectors[..299]).unwrap();
+            appended
+                .append_point_with_workers(
+                    &vectors[..299],
+                    &vectors[299],
+                    Metric::Euclidean,
+                    workers,
+                )
+                .unwrap();
+            assert_eq!(serial, appended, "append diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallel_append_validates_and_leaves_matrix_untouched() {
+        let vectors = vec![vec![0.0, 0.0], vec![1.0, 0.0]];
+        let mut d = DistanceMatrix::from_vectors(&vectors).unwrap();
+        assert!(matches!(
+            d.append_point_with_workers(&vectors, &[f64::INFINITY, 0.0], Metric::Euclidean, 4),
+            Err(MdsError::NonFinite { .. })
+        ));
         assert_eq!(d, DistanceMatrix::from_vectors(&vectors).unwrap());
     }
 

@@ -237,7 +237,7 @@ impl Embedding {
             .into_iter()
             .map(|(lo, hi)| (hi - lo).max(0.0))
             .collect();
-        extents.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        extents.sort_by(f64::total_cmp);
         let n = extents.len();
         if n % 2 == 1 {
             extents[n / 2]

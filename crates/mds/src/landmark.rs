@@ -76,18 +76,14 @@ fn select_landmarks_by(
         .min_by(|&a, &b| {
             let da = Metric::Euclidean.distance(&vectors[a], &centroid);
             let db = Metric::Euclidean.distance(&vectors[b], &centroid);
-            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            da.total_cmp(&db)
         })
         .unwrap_or(0);
     chosen.push(seed);
     let mut min_dist: Vec<f64> = (0..n).map(|i| pair(i, seed)).collect();
     while chosen.len() < k {
         let far = (0..n)
-            .max_by(|&a, &b| {
-                min_dist[a]
-                    .partial_cmp(&min_dist[b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|&a, &b| min_dist[a].total_cmp(&min_dist[b]))
             .unwrap_or(0);
         if min_dist[far] <= 0.0 {
             break; // all remaining points coincide with landmarks

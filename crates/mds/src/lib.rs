@@ -61,6 +61,8 @@ pub mod procrustes;
 pub mod smacof;
 
 mod error;
+mod parallel;
 
 pub use embedding::Embedding;
 pub use error::MdsError;
+pub use smacof::SweepKernel;

@@ -195,7 +195,7 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MdsError> {
         }
         if off.sqrt() <= tol {
             let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
-            pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
             let eigenvalues: Vec<f64> = pairs.iter().map(|p| p.0).collect();
             let mut eigenvectors = Matrix::zeros(n, n);
             for (new_col, &(_, old_col)) in pairs.iter().enumerate() {

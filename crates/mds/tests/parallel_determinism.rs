@@ -1,0 +1,151 @@
+//! Property tests for the parallel mapping kernels.
+//!
+//! The invariants the fleet suites lean on, fuzzed here at the crate
+//! boundary: (1) the chunk-parallel SMACOF sweep and the chunk-parallel
+//! `DistanceMatrix` builders are **bit-for-bit identical** to the serial
+//! reference for 1–8 workers, because chunk boundaries derive from the
+//! problem size alone; (2) the f32 cache-blocked kernel is deterministic
+//! across worker counts (though intentionally not bit-identical to f64);
+//! (3) adversarial inputs — NaN/inf observations, duplicate/coincident
+//! points — surface as typed [`MdsError`]s or finite embeddings, never a
+//! panic or a poisoned (non-finite) configuration.
+
+use proptest::prelude::*;
+use stayaway_mds::dedup::ReprSet;
+use stayaway_mds::distance::{DistanceMatrix, Metric};
+use stayaway_mds::smacof::{Smacof, SweepKernel};
+use stayaway_mds::MdsError;
+
+/// Deterministic pseudo-random point cloud parameterised by a seed; big
+/// enough (when `n` > 64) to span several parallel sweep chunks.
+fn cloud(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|k| {
+                    let t = (i * dim + k) as f64 + seed as f64 * 0.618;
+                    (t * 0.37).sin() + 0.25 * (t * 1.91).cos()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case embeds up to ~96 points several times; keep the count
+    // moderate so the suite stays fast in debug builds.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit(
+        n in 2usize..96,
+        seed in 0u64..1000,
+        workers in 1usize..=8,
+    ) {
+        let d = DistanceMatrix::from_vectors(&cloud(n, 3, seed)).unwrap();
+        let serial = Smacof::new(2).max_iterations(10).embed(&d).unwrap();
+        let parallel = Smacof::new(2)
+            .max_iterations(10)
+            .workers(workers)
+            .embed(&d)
+            .unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_matrix_builders_match_serial_bit_for_bit(
+        n in 2usize..120,
+        seed in 0u64..1000,
+        workers in 1usize..=8,
+    ) {
+        let pts = cloud(n, 4, seed);
+        let serial = DistanceMatrix::from_vectors(&pts).unwrap();
+        let built =
+            DistanceMatrix::from_vectors_with_workers(&pts, Metric::Euclidean, workers).unwrap();
+        prop_assert_eq!(&serial, &built);
+
+        let mut appended = DistanceMatrix::from_vectors(&pts[..n - 1]).unwrap();
+        appended
+            .append_point_with_workers(&pts[..n - 1], &pts[n - 1], Metric::Euclidean, workers)
+            .unwrap();
+        prop_assert_eq!(&serial, &appended);
+    }
+
+    #[test]
+    fn f32_kernel_is_worker_count_deterministic(
+        n in 2usize..96,
+        seed in 0u64..1000,
+        workers in 2usize..=8,
+    ) {
+        let d = DistanceMatrix::from_vectors(&cloud(n, 3, seed)).unwrap();
+        let embed = |w: usize| {
+            Smacof::new(2)
+                .max_iterations(10)
+                .kernel(SweepKernel::F32Blocked)
+                .workers(w)
+                .embed(&d)
+                .unwrap()
+        };
+        prop_assert_eq!(embed(1), embed(workers));
+    }
+
+    #[test]
+    fn non_finite_observations_yield_typed_errors_not_panics(
+        n in 1usize..40,
+        poison_at in 0usize..40,
+        poison in prop::sample::select(vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY]),
+        workers in 1usize..=8,
+    ) {
+        let mut pts = cloud(n, 3, 7);
+        let poison_at = poison_at % n;
+        pts[poison_at][0] = poison;
+
+        let build_err = matches!(
+            DistanceMatrix::from_vectors_with_workers(&pts, Metric::Euclidean, workers),
+            Err(MdsError::NonFinite { .. })
+        );
+        prop_assert!(build_err, "poisoned build must return NonFinite");
+
+        let clean = cloud(n, 3, 7);
+        let mut m = DistanceMatrix::from_vectors(&clean).unwrap();
+        let append_err = matches!(
+            m.append_point_with_workers(&clean, &pts[poison_at], Metric::Euclidean, workers),
+            Err(MdsError::NonFinite { .. })
+        );
+        prop_assert!(append_err, "poisoned append must return NonFinite");
+        // The failed append left the matrix untouched.
+        prop_assert_eq!(m, DistanceMatrix::from_vectors(&clean).unwrap());
+
+        let mut set = ReprSet::new(0.05).unwrap();
+        let insert_err = matches!(set.insert(&pts[poison_at]), Err(MdsError::NonFinite { .. }));
+        prop_assert!(insert_err, "poisoned dedup insert must return NonFinite");
+    }
+
+    #[test]
+    fn duplicate_and_coincident_points_embed_finitely(
+        n in 2usize..40,
+        dup_of in 0usize..40,
+        workers in 1usize..=8,
+        kernel in prop::sample::select(vec![SweepKernel::F64, SweepKernel::F32Blocked]),
+    ) {
+        // Duplicate an arbitrary point, then pile three exact copies of
+        // point 0 on top: the guarded ratio must keep every coordinate
+        // finite instead of emitting inf/NaN for the zero distances.
+        let mut pts = cloud(n, 3, 3);
+        pts.push(pts[dup_of % n].clone());
+        pts.push(pts[0].clone());
+        pts.push(pts[0].clone());
+        pts.push(pts[0].clone());
+        let d = DistanceMatrix::from_vectors(&pts).unwrap();
+        let e = Smacof::new(2)
+            .max_iterations(10)
+            .kernel(kernel)
+            .workers(workers)
+            .embed(&d)
+            .unwrap();
+        for p in e.iter() {
+            let finite = p.iter().all(|v| v.is_finite());
+            prop_assert!(finite, "embedding coordinate went non-finite");
+        }
+    }
+}

@@ -137,7 +137,7 @@ pub fn majority_share_batch(
     if weights.is_empty() {
         return Vec::new();
     }
-    weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    weights.sort_by(|a, b| b.1.total_cmp(&a.1));
     let total: f64 = weights.iter().map(|(_, w)| w).sum();
     let mut selected = Vec::new();
     let mut cum = 0.0;

@@ -3,6 +3,7 @@
 use crate::mapping::EmbeddingStrategy;
 use crate::violation::ViolationDetection;
 use crate::CoreError;
+use stayaway_mds::SweepKernel;
 use stayaway_telemetry::ResourceKind;
 
 /// Tunables of the Stay-Away controller; defaults follow the paper where it
@@ -54,6 +55,13 @@ pub struct ControllerConfig {
     /// How the 2-D embedding is maintained: per-period SMACOF (the paper's
     /// pipeline) or the landmark-MDS incremental alternative §4 cites.
     pub embedding_strategy: EmbeddingStrategy,
+    /// Worker-thread budget of the mapping kernels (SMACOF sweeps and
+    /// distance-matrix maintenance). Mapping results are bit-for-bit
+    /// identical for any value ≥ 1; the budget only bounds concurrency.
+    pub mapping_workers: usize,
+    /// Numeric kernel of the SMACOF majorization sweep: the bit-stable f64
+    /// reference (default) or the cache-blocked f32 kernel.
+    pub mapping_kernel: SweepKernel,
     /// Length of one control period in seconds (the paper samples per-VM
     /// metrics once per second, §5). The simulator equates one tick with
     /// one period; a deployment would use this to pace its sampling loop.
@@ -90,6 +98,8 @@ impl Default for ControllerConfig {
             per_mode_models: true,
             violation_detection: ViolationDetection::AppReported,
             embedding_strategy: EmbeddingStrategy::Smacof,
+            mapping_workers: 1,
+            mapping_kernel: SweepKernel::F64,
             control_period_secs: 1.0,
             seed: 0,
             events_capacity: 4096,
@@ -159,6 +169,11 @@ impl ControllerConfig {
                 });
             }
         }
+        if self.mapping_workers == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "mapping_workers must be at least 1".into(),
+            });
+        }
         if self.events_capacity == 0 {
             return Err(CoreError::InvalidConfig {
                 reason: "events_capacity must be positive".into(),
@@ -227,6 +242,10 @@ mod tests {
             },
             ControllerConfig {
                 events_capacity: 0,
+                ..base.clone()
+            },
+            ControllerConfig {
+                mapping_workers: 0,
                 ..base.clone()
             },
             ControllerConfig {

@@ -80,4 +80,5 @@ pub use events::{
 pub use mapping::EmbeddingStrategy;
 pub use obs::{MappingMetrics, Observability};
 pub use policy::ControlPolicy;
+pub use stayaway_mds::SweepKernel;
 pub use violation::{ViolationDetection, ViolationDetector};

@@ -227,6 +227,9 @@ pub struct MappingMetrics {
     dedup_ratio: Gauge,
     repr_states: Gauge,
     soft_capped: Counter,
+    sweep_latency: Histogram,
+    append_latency: Histogram,
+    sweep_workers: Gauge,
     deep: bool,
 }
 
@@ -264,6 +267,20 @@ impl MappingMetrics {
                 "stayaway_mapping_soft_capped_total",
                 "Samples absorbed by the soft state cap",
             ),
+            // Latency histograms end in `_nanos`, so fleet rollups strip
+            // their timing payload via `stable_view` (counts survive).
+            sweep_latency: registry.latency_histogram(
+                "stayaway_mapping_sweep_latency_nanos",
+                "Wall time of one SMACOF solve (all majorization sweeps)",
+            ),
+            append_latency: registry.latency_histogram(
+                "stayaway_mapping_append_latency_nanos",
+                "Wall time of one distance-matrix column append batch",
+            ),
+            sweep_workers: registry.gauge(
+                "stayaway_mapping_sweep_workers",
+                "Worker-thread budget of the parallel mapping kernels",
+            ),
             deep,
         }
     }
@@ -288,6 +305,23 @@ impl MappingMetrics {
     pub fn on_smacof(&self, sweeps: u64) {
         self.smacof_runs.inc();
         self.smacof_iterations.record(sweeps);
+    }
+
+    /// One SMACOF solve finished in `nanos` wall-nanoseconds.
+    pub fn on_embed_timed(&self, nanos: u64) {
+        self.sweep_latency.record(nanos);
+    }
+
+    /// One distance-matrix append batch finished in `nanos`
+    /// wall-nanoseconds.
+    pub fn on_append_timed(&self, nanos: u64) {
+        self.append_latency.record(nanos);
+    }
+
+    /// Publishes the configured kernel worker budget (config-reflecting,
+    /// decision-inert).
+    pub fn set_workers(&self, workers: usize) {
+        self.sweep_workers.set(workers as f64);
     }
 
     /// Publishes the final embedding stress, computing it only in deep

@@ -31,7 +31,7 @@ pub fn silverman_bandwidth(samples: &[f64]) -> f64 {
     let sd = var.sqrt();
 
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let q = |p: f64| -> f64 {
         let idx = p * (n - 1) as f64;
         let lo = idx.floor() as usize;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints (warnings are errors), rustdoc
 # (warnings are errors), the release build, the test suite (including the
-# fleet determinism suite, the staged-controller golden fixture, the
+# fleet determinism suite, the parallel-mapping determinism suite at 1-8
+# workers, the staged-controller golden fixture, the
 # observability suites and the telemetry record→replay determinism
 # suite), a replay smoke run over the committed fixture trace, a metrics
 # exposition smoke (64 instrumented ticks, output validated by the
@@ -16,6 +17,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 cargo build --release --workspace
 cargo test -q --workspace
 cargo test -q -p stayaway-fleet --test determinism
+# Mapping determinism: the chunk-parallel SMACOF sweep and distance-matrix
+# builders must stay bit-identical to the serial reference (the property
+# suite fuzzes 1-8 workers internally; the fleet test pins the 1-vs-4
+# worker configuration end to end through a full fleet run).
+cargo test -q -p stayaway-mds --test parallel_determinism
+cargo test -q -p stayaway-fleet --test determinism mapping_workers_1_and_4_agree_bit_for_bit
 cargo test -q -p stayaway-core --test golden_fixture
 cargo test -q --test record_replay
 cargo test -q -p stayaway-obs

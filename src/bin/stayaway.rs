@@ -577,6 +577,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 sources,
                 controller: ControllerConfig::default(),
                 collect_metrics: args.metrics_out.is_some(),
+                mapping_workers: 1,
             };
             let fleet = Fleet::new(config).map_err(|e| e.to_string())?;
             let outcome = fleet.run().map_err(|e| e.to_string())?;
