@@ -9,22 +9,33 @@ pub fn ascii_chart(values: &[f64], width: usize, height: usize) -> String {
     if values.is_empty() || width == 0 || height == 0 {
         return String::from("(no data)\n");
     }
-    // Bucket the series into `width` columns.
-    let mut cols = Vec::with_capacity(width.min(values.len()));
+    // Bucket the series into `width` columns. Non-finite samples (NaN
+    // gaps, infinities from degenerate ratios) are excluded from the
+    // bucket mean; a bucket with no finite sample renders as a gap.
+    let mut cols: Vec<Option<f64>> = Vec::with_capacity(width.min(values.len()));
     let n = values.len();
     let w = width.min(n);
     for c in 0..w {
         let lo = c * n / w;
         let hi = ((c + 1) * n / w).max(lo + 1);
-        let slice = &values[lo..hi];
-        cols.push(slice.iter().sum::<f64>() / slice.len() as f64);
+        let finite: Vec<f64> = values[lo..hi]
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        cols.push((!finite.is_empty()).then(|| finite.iter().sum::<f64>() / finite.len() as f64));
     }
-    let min = cols.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = cols.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let finite: Vec<f64> = cols.iter().flatten().copied().collect();
+    if finite.is_empty() {
+        return String::from("(no finite data)\n");
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let span = (max - min).max(1e-12);
 
     let mut rows = vec![vec![b' '; w]; height];
-    for (c, &v) in cols.iter().enumerate() {
+    for (c, v) in cols.iter().enumerate() {
+        let Some(v) = v else { continue };
         let level = (((v - min) / span) * (height as f64 - 1.0)).round() as usize;
         for (r, row) in rows.iter_mut().enumerate() {
             let from_bottom = height - 1 - r;
@@ -48,12 +59,21 @@ pub fn sparkline(values: &[f64]) -> String {
     if values.is_empty() {
         return String::new();
     }
-    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // Range over finite values only; non-finite samples render as gaps
+    // instead of poisoning the scale (or indexing off the level table).
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return values.iter().map(|_| ' ').collect();
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let span = (max - min).max(1e-12);
     values
         .iter()
         .map(|v| {
+            if !v.is_finite() {
+                return ' ';
+            }
             let idx = (((v - min) / span) * 7.0).round() as usize;
             LEVELS[idx.min(7)]
         })
@@ -158,12 +178,41 @@ mod tests {
     }
 
     #[test]
+    fn chart_is_nan_robust() {
+        // A NaN sample neither poisons its bucket mean nor the range.
+        let values = [0.0, f64::NAN, 1.0, 2.0];
+        let chart = ascii_chart(&values, 4, 3);
+        assert!(chart.contains("min=0.0000 max=2.0000"), "{chart}");
+        // An all-NaN bucket renders as a gap column, not a bar.
+        let gappy = [0.0, f64::NAN, 2.0];
+        let chart = ascii_chart(&gappy, 3, 2);
+        let bottom = chart.lines().nth(1).unwrap();
+        assert_eq!(&bottom[1..2], " ", "{chart}");
+        // Infinities are treated like NaN gaps.
+        let chart = ascii_chart(&[0.0, f64::INFINITY, 2.0], 3, 2);
+        assert!(chart.contains("min=0.0000 max=2.0000"), "{chart}");
+        assert_eq!(
+            ascii_chart(&[f64::NAN, f64::NAN], 2, 2),
+            "(no finite data)\n"
+        );
+    }
+
+    #[test]
     fn sparkline_levels() {
         let s = sparkline(&[0.0, 1.0]);
         assert_eq!(s.chars().count(), 2);
         assert!(s.starts_with('▁'));
         assert!(s.ends_with('█'));
         assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn sparkline_is_nan_robust() {
+        let s = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().nth(1), Some(' '));
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        assert_eq!(sparkline(&[f64::NAN, f64::NAN]), "  ");
     }
 
     #[test]

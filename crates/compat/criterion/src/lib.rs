@@ -153,7 +153,9 @@ impl BenchmarkGroup<'_> {
             println!("{}/{}: no samples (b.iter never called)", self.name, id);
             return;
         }
-        timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+        // total_cmp: a NaN timing (zero-duration clock glitch divided
+        // away) must not panic the whole bench run.
+        timings.sort_by(f64::total_cmp);
         let mean = timings.iter().sum::<f64>() / timings.len() as f64;
         let median = timings[timings.len() / 2];
         println!(

@@ -32,6 +32,9 @@ pub struct CellSummary {
     pub sensitive: String,
     /// Canonical name of the policy the cell ran.
     pub policy: String,
+    /// Full source token the cell sensed through (`sim`, `trace:<path>`,
+    /// `procfs` or `workload:<scenario>`).
+    pub source: String,
     /// The cell's derived seed.
     pub seed: u64,
     /// Ticks the sensitive application was active.
@@ -67,6 +70,7 @@ impl CellSummary {
             scenario: o.scenario.clone(),
             sensitive: o.sensitive.clone(),
             policy: o.policy.clone(),
+            source: o.source.clone(),
             seed: o.seed,
             active_ticks: o.run.qos.active_ticks,
             violations: o.run.qos.violations,

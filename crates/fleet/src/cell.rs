@@ -75,8 +75,8 @@ pub struct CellOutcome {
     pub sensitive: String,
     /// Canonical name of the policy the cell ran.
     pub policy: String,
-    /// Canonical name of the observation substrate the cell sensed
-    /// through (`sim`, `trace` or `procfs`).
+    /// Full source token the cell sensed through (`sim`, `trace:<path>`,
+    /// `procfs` or `workload:<scenario>`).
     pub source: String,
     /// The cell's derived seed.
     pub seed: u64,
@@ -171,7 +171,7 @@ pub fn run_cell(
         scenario: plan.scenario.name().to_string(),
         sensitive: plan.sensitive_key().to_string(),
         policy: plan.policy.name().to_string(),
-        source: plan.source.name().to_string(),
+        source: plan.source.label(),
         seed: plan.seed,
         stats: policy.stats(),
         cpu_capacity: host_spec.cpu_cores,

@@ -30,6 +30,14 @@ pub enum SourceSpec {
     /// Best-effort live sampling of the local `/proc` and cgroup-v2 files
     /// ([`ProcfsSource`]); only available on hosts that expose them.
     Procfs,
+    /// The request-driven multi-tenant workload engine
+    /// ([`stayaway_workload::WorkloadSource`]) running a named scenario
+    /// from the workload library; actuates pause/resume as tenant
+    /// freezes.
+    Workload {
+        /// Name of a scenario in [`stayaway_workload::library`].
+        scenario: String,
+    },
 }
 
 impl SourceSpec {
@@ -40,6 +48,17 @@ impl SourceSpec {
             SourceSpec::Sim => "sim",
             SourceSpec::Trace { .. } => "trace",
             SourceSpec::Procfs => "procfs",
+            SourceSpec::Workload { .. } => "workload",
+        }
+    }
+
+    /// The full CLI token, including any argument — `sim`,
+    /// `trace:<path>`, `procfs` or `workload:<scenario>`.
+    pub fn label(&self) -> String {
+        match self {
+            SourceSpec::Trace { path } => format!("trace:{path}"),
+            SourceSpec::Workload { scenario } => format!("workload:{scenario}"),
+            other => other.name().to_string(),
         }
     }
 
@@ -58,11 +77,20 @@ impl SourceSpec {
             spec.validate()?;
             return Ok(spec);
         }
+        if let Some(scenario) = token.strip_prefix("workload:") {
+            let spec = SourceSpec::Workload {
+                scenario: scenario.trim().to_string(),
+            };
+            spec.validate()?;
+            return Ok(spec);
+        }
         match token.to_ascii_lowercase().as_str() {
             "sim" => Ok(SourceSpec::Sim),
             "procfs" => Ok(SourceSpec::Procfs),
             other => Err(FleetError::InvalidConfig {
-                reason: format!("unknown source '{other}' (expected sim|trace:<path>|procfs)"),
+                reason: format!(
+                    "unknown source '{other}' (expected sim|trace:<path>|procfs|workload:<scenario>)"
+                ),
             }),
         }
     }
@@ -99,6 +127,12 @@ impl SourceSpec {
                 Err(FleetError::InvalidConfig {
                     reason: "trace source requires a non-empty path (trace:<path>)".into(),
                 })
+            }
+            SourceSpec::Workload { scenario } => {
+                stayaway_workload::by_name(scenario).map_err(|e| FleetError::InvalidConfig {
+                    reason: e.to_string(),
+                })?;
+                Ok(())
             }
             _ => Ok(()),
         }
@@ -153,6 +187,22 @@ impl SourceSpec {
             SourceSpec::Procfs => {
                 let source = ProcfsSource::probe().ok_or_else(|| FleetError::InvalidConfig {
                     reason: "procfs source unavailable: this host exposes no /proc/stat".into(),
+                })?;
+                Box::new(match registry {
+                    Some(registry) => source.with_metrics(registry),
+                    None => source,
+                })
+            }
+            SourceSpec::Workload { scenario } => {
+                let spec = stayaway_workload::by_name(scenario).map_err(|e| {
+                    FleetError::InvalidConfig {
+                        reason: e.to_string(),
+                    }
+                })?;
+                let source = stayaway_workload::WorkloadSource::new(spec, seed).map_err(|e| {
+                    FleetError::InvalidConfig {
+                        reason: e.to_string(),
+                    }
                 })?;
                 Box::new(match registry {
                     Some(registry) => source.with_metrics(registry),
@@ -217,5 +267,34 @@ mod tests {
         assert!(SourceSpec::Trace { path: "  ".into() }.validate().is_err());
         assert!(SourceSpec::Sim.validate().is_ok());
         assert!(SourceSpec::Procfs.validate().is_ok());
+    }
+
+    #[test]
+    fn parse_accepts_workload_scenarios() {
+        let spec = SourceSpec::parse("workload:cpu-bomb").unwrap();
+        assert_eq!(
+            spec,
+            SourceSpec::Workload {
+                scenario: "cpu-bomb".into()
+            }
+        );
+        assert_eq!(spec.name(), "workload");
+        assert_eq!(spec.label(), "workload:cpu-bomb");
+        // Unknown scenarios are rejected at parse time, not at cell start.
+        assert!(SourceSpec::parse("workload:warp-core").is_err());
+        assert!(SourceSpec::parse("workload:").is_err());
+    }
+
+    #[test]
+    fn build_workload_produces_a_driveable_source() {
+        let scenario = Scenario::vlc_with_cpubomb(5);
+        let spec = SourceSpec::Workload {
+            scenario: "memcached-like".into(),
+        };
+        let mut source = spec.build(&scenario, 5).unwrap();
+        let meta = source.meta();
+        assert_eq!(meta.kind, SourceKind::Workload);
+        assert!(meta.host.is_some());
+        assert!(source.next_observation().unwrap().is_some());
     }
 }

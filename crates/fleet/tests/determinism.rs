@@ -1,7 +1,7 @@
 //! Fleet determinism: the aggregated outcome is a pure function of the
 //! configuration — the worker count must not leak into any result bit.
 
-use stayaway_fleet::{Fleet, FleetConfig, TemplateRegistry};
+use stayaway_fleet::{Fleet, FleetConfig, SourceSpec, TemplateRegistry};
 use std::sync::Arc;
 
 fn config(cells: usize, workers: usize, seed: u64, share: bool) -> FleetConfig {
@@ -47,6 +47,34 @@ fn mapping_workers_1_and_4_agree_bit_for_bit() {
     let pooled = run(4);
     assert_eq!(serial, pooled);
     assert_eq!(serial.to_json().unwrap(), pooled.to_json().unwrap());
+}
+
+#[test]
+fn workload_cells_agree_across_worker_counts() {
+    // The request-driven workload substrate must uphold the same
+    // contract as the simulator: worker count leaks into no result bit,
+    // including the JSON rendering.
+    let run = |workers: usize| {
+        let mut c = config(8, workers, 7, false);
+        c.ticks = 60;
+        c.sources = vec![
+            SourceSpec::Workload {
+                scenario: "multi-tenant-storm".into(),
+            },
+            SourceSpec::Workload {
+                scenario: "cpu-bomb".into(),
+            },
+        ];
+        Fleet::new(c).unwrap().run().unwrap()
+    };
+    let solo = run(1);
+    let pooled = run(4);
+    assert_eq!(solo, pooled);
+    assert_eq!(solo.to_json().unwrap(), pooled.to_json().unwrap());
+    assert!(solo
+        .per_cell
+        .iter()
+        .all(|cell| cell.source.starts_with("workload:")));
 }
 
 #[test]

@@ -232,7 +232,9 @@ impl StateMap {
                 continue;
             }
             let d = e.point.distance(point);
-            if best.is_none_or(|(_, bd)| d < bd) {
+            // total_cmp: a NaN distance (degenerate query point) must not
+            // capture and then forever hold the "nearest" slot.
+            if best.is_none_or(|(_, bd)| d.total_cmp(&bd).is_lt()) {
                 best = Some((i, d));
             }
         }
@@ -291,7 +293,7 @@ impl StateMap {
                 .expect("violation entry yields a range");
             if range.contains(point) {
                 let d = e.point.distance(point);
-                if best.is_none_or(|(_, bd)| d < bd) {
+                if best.is_none_or(|(_, bd)| d.total_cmp(&bd).is_lt()) {
                     best = Some((i, d));
                 }
             }
@@ -358,6 +360,21 @@ mod tests {
         assert!((vd - 0.1).abs() < 1e-12);
         let (si, _) = m.nearest_safe(p).unwrap();
         assert_eq!(si, 0);
+    }
+
+    #[test]
+    fn nearest_queries_survive_nan_coordinates() {
+        // A degenerate embedding can leave an entry at NaN; it must not
+        // capture the "nearest" slot ahead of finite entries.
+        let mut m = StateMap::new();
+        m.set_coordinate_scale(1.0).unwrap();
+        m.visit(0, Point2::new(f64::NAN, 0.0), ExecutionMode::CoLocated, 0)
+            .unwrap();
+        m.visit(1, Point2::new(1.0, 0.0), ExecutionMode::CoLocated, 1)
+            .unwrap();
+        let (i, d) = m.nearest_safe(Point2::origin()).unwrap();
+        assert_eq!(i, 1);
+        assert!((d - 1.0).abs() < 1e-12);
     }
 
     #[test]

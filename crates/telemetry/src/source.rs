@@ -27,6 +27,8 @@ pub enum SourceKind {
     Trace,
     /// Live best-effort sampling of Linux `/proc` and cgroup-v2 files.
     Procfs,
+    /// The request-driven multi-tenant workload engine.
+    Workload,
 }
 
 impl fmt::Display for SourceKind {
@@ -35,6 +37,7 @@ impl fmt::Display for SourceKind {
             SourceKind::Sim => f.write_str("sim"),
             SourceKind::Trace => f.write_str("trace"),
             SourceKind::Procfs => f.write_str("procfs"),
+            SourceKind::Workload => f.write_str("workload"),
         }
     }
 }
@@ -131,5 +134,6 @@ mod tests {
         assert_eq!(SourceKind::Sim.to_string(), "sim");
         assert_eq!(SourceKind::Trace.to_string(), "trace");
         assert_eq!(SourceKind::Procfs.to_string(), "procfs");
+        assert_eq!(SourceKind::Workload.to_string(), "workload");
     }
 }

@@ -1,0 +1,1138 @@
+//! The deterministic discrete-event engine behind a workload scenario.
+//!
+//! [`WorkloadHost`] simulates one multi-tenant host in integer
+//! nanoseconds. Four event kinds drive it — request arrivals, container
+//! deploy completions, invocation completions and idle-container
+//! expiries — ordered by a binary heap keyed on `(time, seq)` so ties
+//! break by insertion order and the timeline is a pure function of
+//! `(scenario, seed, action sequence)`. Every tenant owns two split
+//! RNG streams (arrival gaps, service jitter), both derived from the run
+//! seed by SplitMix64, so arrival timelines are identical under every
+//! control policy: the open-loop property that makes latency comparable
+//! across policies.
+//!
+//! Contention is modelled at dispatch: an invocation's service time is
+//! stretched by the product of the host's per-resource oversubscription
+//! ratios (CPU, memory bandwidth, disk, network, LLC footprint) and a
+//! swap penalty for RAM overcommit, sampled once when the invocation
+//! starts. Freezing a tenant (the paper's SIGSTOP) halts its in-flight
+//! invocations — their remaining stretched time is stored and their
+//! completion events lazily invalidated through generation counters —
+//! and removes their rate demands from the contention signal while the
+//! frozen containers keep occupying RAM and cache, exactly the
+//! behaviour Stay-Away exploits.
+
+use crate::arrival::NANOS_PER_SEC;
+use crate::latency::LatencyHistogram;
+use crate::metrics::WorkloadMetrics;
+use crate::spec::WorkloadScenario;
+use crate::WorkloadError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stayaway_telemetry::{
+    Action, AppClass, ContainerId, ContainerObs, Observation, ResourceKind, ResourceVector,
+    TickRecord,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// SplitMix64 — the same mixer the rest of the workspace uses for seed
+/// derivation, reproduced here so tenant streams are stable even if the
+/// RNG crate changes its expansion.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A request arrives at `tenant`.
+    Arrival { tenant: usize },
+    /// A deploying container finishes its cold start.
+    ContainerReady {
+        tenant: usize,
+        slot: usize,
+        gen: u64,
+    },
+    /// A running invocation completes.
+    Completion { tenant: usize, inv: usize, gen: u64 },
+    /// An idle warm container's keepalive window expires.
+    IdleExpire {
+        tenant: usize,
+        slot: usize,
+        gen: u64,
+    },
+}
+
+impl EventKind {
+    fn discriminant(&self) -> u64 {
+        match self {
+            EventKind::Arrival { .. } => 0,
+            EventKind::ContainerReady { .. } => 1,
+            EventKind::Completion { .. } => 2,
+            EventKind::IdleExpire { .. } => 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time_ns: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_ns, self.seq).cmp(&(other.time_ns, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ContainerState {
+    /// Slot unused.
+    Dead,
+    /// Cold-starting; serves nothing until its `ContainerReady` fires.
+    Deploying,
+    /// Deployed and able to serve (idle when `active == 0`).
+    Warm,
+}
+
+#[derive(Debug, Clone)]
+struct Container {
+    state: ContainerState,
+    /// Bumped on every transition; in-flight `ContainerReady` /
+    /// `IdleExpire` events carrying an older value are stale.
+    gen: u64,
+    /// Running invocations currently assigned to this container.
+    active: u32,
+}
+
+/// A request waiting for a container slot.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    arrival_ns: u64,
+    nominal_ns: u64,
+}
+
+/// An in-flight invocation.
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    slot: usize,
+    arrival_ns: u64,
+    nominal_ns: u64,
+    finish_ns: u64,
+    slowdown: f64,
+    /// Bumped on freeze/resume; the scheduled `Completion` event is
+    /// valid only while its gen matches.
+    gen: u64,
+    /// Stretched nanoseconds left when the tenant was frozen.
+    frozen_remaining: Option<u64>,
+}
+
+/// Per-tick, per-tenant accounting, reset at every tick boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct TickStats {
+    completed: u64,
+    met: u64,
+    dropped: u64,
+    cold_starts: u64,
+    evictions: u64,
+    slowdown_sum: f64,
+    /// Resource-time integrals over the tick (value · nanoseconds).
+    acc_cpu: f64,
+    acc_membw: f64,
+    acc_disk: f64,
+    acc_net: f64,
+}
+
+/// Whole-run request totals (ground truth, all tenants).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunTotals {
+    /// Requests that arrived (all tenants).
+    pub arrivals: u64,
+    /// Invocations completed (all tenants).
+    pub completed: u64,
+    /// Sensitive requests completed.
+    pub sensitive_completed: u64,
+    /// Sensitive requests that met the deadline.
+    pub sensitive_met: u64,
+    /// Sensitive requests dropped on queue overflow.
+    pub sensitive_dropped: u64,
+    /// Requests dropped on queue overflow (all tenants).
+    pub dropped: u64,
+    /// Containers cold-started.
+    pub cold_starts: u64,
+    /// Idle containers evicted.
+    pub evictions: u64,
+}
+
+impl RunTotals {
+    /// Fraction of sensitive requests that missed the SLO (deadline
+    /// overruns plus drops). 0 when no sensitive requests finished.
+    pub fn slo_violation_rate(&self) -> f64 {
+        let total = self.sensitive_completed + self.sensitive_dropped;
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.sensitive_met as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Tenant {
+    name: String,
+    class: AppClass,
+    frozen: bool,
+    arrival_rng: StdRng,
+    service_rng: StdRng,
+    containers: Vec<Container>,
+    free_slots: Vec<usize>,
+    queue: VecDeque<Request>,
+    running: Vec<Option<Running>>,
+    running_free: Vec<usize>,
+    running_count: u32,
+    inv_gen: u64,
+    /// Current rate demand of this tenant's *running, unfrozen*
+    /// invocations (CPU cores, MB/s …).
+    run_cpu: f64,
+    run_membw: f64,
+    run_disk: f64,
+    run_net: f64,
+    stats: TickStats,
+}
+
+impl Tenant {
+    fn alive_containers(&self) -> u32 {
+        self.containers
+            .iter()
+            .filter(|c| c.state != ContainerState::Dead)
+            .count() as u32
+    }
+}
+
+/// The deterministic multi-tenant host engine.
+#[derive(Debug)]
+pub struct WorkloadHost {
+    scenario: WorkloadScenario,
+    tick_period_ns: u64,
+    deadline_ns: u64,
+    tick: u64,
+    /// Time up to which the resource-time integrals have been advanced.
+    now_ns: u64,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    tenants: Vec<Tenant>,
+    /// Host-wide running rate demand (all unfrozen invocations).
+    total_cpu: f64,
+    total_membw: f64,
+    total_disk: f64,
+    total_net: f64,
+    /// Host-wide occupancy of alive containers (frozen ones included —
+    /// SIGSTOP keeps memory resident).
+    total_mem_mb: f64,
+    total_cache_mb: f64,
+    /// Nominal batch work completed, core-seconds.
+    batch_work: f64,
+    totals: RunTotals,
+    latency: LatencyHistogram,
+    /// FNV-1a fold of every processed event — the run's timeline
+    /// fingerprint for determinism tests.
+    timeline_digest: u64,
+    last_record: Option<TickRecord>,
+    metrics: Option<WorkloadMetrics>,
+}
+
+impl WorkloadHost {
+    /// Builds the engine for a validated scenario.
+    ///
+    /// Tenants with an eager keepalive policy start with one pre-warmed
+    /// container (their service is already running when the controller
+    /// attaches); everyone else starts cold. The first arrival of every
+    /// tenant is scheduled from its dedicated arrival stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidSpec`] when the scenario fails
+    /// validation.
+    pub fn new(scenario: WorkloadScenario, seed: u64) -> Result<Self, WorkloadError> {
+        scenario.validate()?;
+        let mut host = WorkloadHost {
+            tick_period_ns: scenario.tick_period_ns(),
+            deadline_ns: scenario.slo.deadline_ns(),
+            tick: 0,
+            now_ns: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            tenants: Vec::new(),
+            total_cpu: 0.0,
+            total_membw: 0.0,
+            total_disk: 0.0,
+            total_net: 0.0,
+            total_mem_mb: 0.0,
+            total_cache_mb: 0.0,
+            batch_work: 0.0,
+            totals: RunTotals::default(),
+            latency: LatencyHistogram::new(),
+            timeline_digest: 0xcbf2_9ce4_8422_2325,
+            last_record: None,
+            metrics: None,
+            scenario,
+        };
+        for (i, t) in host.scenario.tenants.clone().iter().enumerate() {
+            let arrival_seed = splitmix64(seed ^ splitmix64(2 * i as u64));
+            let service_seed = splitmix64(seed ^ splitmix64(2 * i as u64 + 1));
+            let mut tenant = Tenant {
+                name: t.name.clone(),
+                class: t.class,
+                frozen: false,
+                arrival_rng: StdRng::seed_from_u64(arrival_seed),
+                service_rng: StdRng::seed_from_u64(service_seed),
+                containers: Vec::new(),
+                free_slots: Vec::new(),
+                queue: VecDeque::new(),
+                running: Vec::new(),
+                running_free: Vec::new(),
+                running_count: 0,
+                inv_gen: 0,
+                run_cpu: 0.0,
+                run_membw: 0.0,
+                run_disk: 0.0,
+                run_net: 0.0,
+                stats: TickStats::default(),
+            };
+            if t.keepalive.idle_window_ns().is_none() {
+                tenant.containers.push(Container {
+                    state: ContainerState::Warm,
+                    gen: 0,
+                    active: 0,
+                });
+                host.total_mem_mb += t.demand.container_mb;
+                host.total_cache_mb += t.demand.cache_mb;
+            }
+            let first = t.arrival.next_arrival_ns(0, &mut tenant.arrival_rng);
+            host.tenants.push(tenant);
+            host.push_event(first, EventKind::Arrival { tenant: i });
+        }
+        Ok(host)
+    }
+
+    /// Attaches decision-inert instrumentation. Recording only bumps
+    /// atomics — it never touches RNG or control state, so instrumented
+    /// and bare runs stay bit-identical.
+    pub fn with_metrics(mut self, metrics: WorkloadMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The scenario this engine runs.
+    pub fn scenario(&self) -> &WorkloadScenario {
+        &self.scenario
+    }
+
+    /// Ticks completed so far.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Whole-run latency histogram of sensitive requests.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Whole-run request totals.
+    pub fn totals(&self) -> &RunTotals {
+        &self.totals
+    }
+
+    /// Nominal batch work completed so far, core-seconds.
+    pub fn batch_work(&self) -> f64 {
+        self.batch_work
+    }
+
+    /// FNV-1a fingerprint of every event processed so far: two runs with
+    /// the same scenario, seed and action sequence fold to the same
+    /// digest; any divergence in the timeline changes it.
+    pub fn timeline_digest(&self) -> u64 {
+        self.timeline_digest
+    }
+
+    fn push_event(&mut self, time_ns: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time_ns, seq, kind }));
+    }
+
+    fn fold_digest(&mut self, e: &Event) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = self.timeline_digest;
+        for word in [e.time_ns, e.seq, e.kind.discriminant()] {
+            h = (h ^ word).wrapping_mul(PRIME);
+        }
+        self.timeline_digest = h;
+    }
+
+    /// Advances the per-tenant resource-time integrals to `to_ns`. Must
+    /// be called before any mutation of the running set.
+    fn advance(&mut self, to_ns: u64) {
+        let dt = to_ns.saturating_sub(self.now_ns) as f64;
+        if dt > 0.0 {
+            for t in &mut self.tenants {
+                t.stats.acc_cpu += t.run_cpu * dt;
+                t.stats.acc_membw += t.run_membw * dt;
+                t.stats.acc_disk += t.run_disk * dt;
+                t.stats.acc_net += t.run_net * dt;
+            }
+        }
+        self.now_ns = self.now_ns.max(to_ns);
+    }
+
+    /// Contention-stretch factor for a new invocation of tenant `ti`:
+    /// the product of per-resource oversubscription ratios (including
+    /// the invocation's own demand) and a swap penalty for RAM
+    /// overcommit. Always ≥ 1.
+    fn slowdown_for(&self, ti: usize) -> f64 {
+        let d = &self.scenario.tenants[ti].demand;
+        let h = &self.scenario.host;
+        let ratio = |total: f64, own: f64, cap: f64| ((total + own) / cap).max(1.0);
+        let cpu = ratio(self.total_cpu, d.cpu_per_invocation, h.cpu_cores);
+        let membw = ratio(self.total_membw, d.membw_per_invocation, h.membw_mbps);
+        let disk = ratio(self.total_disk, d.disk_per_invocation, h.disk_mbps);
+        let net = ratio(self.total_net, d.net_per_invocation, h.net_mbps);
+        let cache = (self.total_cache_mb / h.llc_mb).max(1.0);
+        let overcommit = ((self.total_mem_mb - h.ram_mb) / h.ram_mb).max(0.0);
+        cpu * membw * disk * net * cache * (1.0 + overcommit)
+    }
+
+    fn add_running_rates(&mut self, ti: usize) {
+        let d = &self.scenario.tenants[ti].demand;
+        let (cpu, membw, disk, net) = (
+            d.cpu_per_invocation,
+            d.membw_per_invocation,
+            d.disk_per_invocation,
+            d.net_per_invocation,
+        );
+        let t = &mut self.tenants[ti];
+        t.run_cpu += cpu;
+        t.run_membw += membw;
+        t.run_disk += disk;
+        t.run_net += net;
+        self.total_cpu += cpu;
+        self.total_membw += membw;
+        self.total_disk += disk;
+        self.total_net += net;
+    }
+
+    fn sub_running_rates(&mut self, ti: usize) {
+        let d = &self.scenario.tenants[ti].demand;
+        let (cpu, membw, disk, net) = (
+            d.cpu_per_invocation,
+            d.membw_per_invocation,
+            d.disk_per_invocation,
+            d.net_per_invocation,
+        );
+        let t = &mut self.tenants[ti];
+        t.run_cpu = (t.run_cpu - cpu).max(0.0);
+        t.run_membw = (t.run_membw - membw).max(0.0);
+        t.run_disk = (t.run_disk - disk).max(0.0);
+        t.run_net = (t.run_net - net).max(0.0);
+        self.total_cpu = (self.total_cpu - cpu).max(0.0);
+        self.total_membw = (self.total_membw - membw).max(0.0);
+        self.total_disk = (self.total_disk - disk).max(0.0);
+        self.total_net = (self.total_net - net).max(0.0);
+    }
+
+    /// Starts `req` on container `slot` of tenant `ti` at `now`.
+    fn start_invocation(&mut self, ti: usize, slot: usize, req: Request, now_ns: u64) {
+        let slowdown = self.slowdown_for(ti);
+        let stretched = ((req.nominal_ns as f64 * slowdown) as u64).max(1);
+        let finish_ns = now_ns.saturating_add(stretched);
+        let t = &mut self.tenants[ti];
+        t.inv_gen += 1;
+        let gen = t.inv_gen;
+        let running = Running {
+            slot,
+            arrival_ns: req.arrival_ns,
+            nominal_ns: req.nominal_ns,
+            finish_ns,
+            slowdown,
+            gen,
+            frozen_remaining: None,
+        };
+        let inv = match t.running_free.pop() {
+            Some(i) => {
+                t.running[i] = Some(running);
+                i
+            }
+            None => {
+                t.running.push(Some(running));
+                t.running.len() - 1
+            }
+        };
+        t.running_count += 1;
+        let c = &mut t.containers[slot];
+        c.active += 1;
+        c.gen += 1; // invalidates any pending idle expiry
+        self.add_running_rates(ti);
+        self.push_event(
+            finish_ns,
+            EventKind::Completion {
+                tenant: ti,
+                inv,
+                gen,
+            },
+        );
+    }
+
+    /// First warm container (slot order) with a free concurrency slot.
+    fn free_capacity_slot(&self, ti: usize) -> Option<usize> {
+        let concurrency = self.scenario.tenants[ti].demand.concurrency;
+        self.tenants[ti]
+            .containers
+            .iter()
+            .position(|c| c.state == ContainerState::Warm && c.active < concurrency)
+    }
+
+    /// Routes a request: warm capacity → run now; pool headroom → deploy
+    /// and queue; else queue, dropping on overflow.
+    fn dispatch(&mut self, ti: usize, req: Request, now_ns: u64) {
+        if !self.tenants[ti].frozen {
+            if let Some(slot) = self.free_capacity_slot(ti) {
+                self.start_invocation(ti, slot, req, now_ns);
+                return;
+            }
+            let spec = &self.scenario.tenants[ti];
+            let can_deploy = self.tenants[ti].alive_containers() < spec.demand.max_containers;
+            if can_deploy {
+                self.deploy_container(ti, now_ns);
+            }
+        }
+        let cap = self.scenario.tenants[ti].demand.queue_cap as usize;
+        let t = &mut self.tenants[ti];
+        if t.queue.len() < cap {
+            t.queue.push_back(req);
+        } else {
+            t.stats.dropped += 1;
+            self.totals.dropped += 1;
+            if t.class == AppClass::Sensitive {
+                self.totals.sensitive_dropped += 1;
+            }
+            if let Some(m) = &self.metrics {
+                m.dropped.inc();
+            }
+        }
+    }
+
+    fn deploy_container(&mut self, ti: usize, now_ns: u64) {
+        let d = &self.scenario.tenants[ti].demand;
+        let (mem, cache, cold_ns) = (d.container_mb, d.cache_mb, d.cold_start_ns());
+        let t = &mut self.tenants[ti];
+        let slot = match t.free_slots.pop() {
+            Some(s) => {
+                let c = &mut t.containers[s];
+                c.state = ContainerState::Deploying;
+                c.gen += 1;
+                c.active = 0;
+                s
+            }
+            None => {
+                t.containers.push(Container {
+                    state: ContainerState::Deploying,
+                    gen: 0,
+                    active: 0,
+                });
+                t.containers.len() - 1
+            }
+        };
+        let gen = t.containers[slot].gen;
+        t.stats.cold_starts += 1;
+        self.totals.cold_starts += 1;
+        self.total_mem_mb += mem;
+        self.total_cache_mb += cache;
+        if let Some(m) = &self.metrics {
+            m.cold_starts.inc();
+        }
+        self.push_event(
+            now_ns.saturating_add(cold_ns.max(1)),
+            EventKind::ContainerReady {
+                tenant: ti,
+                slot,
+                gen,
+            },
+        );
+    }
+
+    fn evict_container(&mut self, ti: usize, slot: usize) {
+        let d = &self.scenario.tenants[ti].demand;
+        let (mem, cache) = (d.container_mb, d.cache_mb);
+        let t = &mut self.tenants[ti];
+        let c = &mut t.containers[slot];
+        c.state = ContainerState::Dead;
+        c.gen += 1;
+        c.active = 0;
+        t.free_slots.push(slot);
+        t.stats.evictions += 1;
+        self.totals.evictions += 1;
+        self.total_mem_mb = (self.total_mem_mb - mem).max(0.0);
+        self.total_cache_mb = (self.total_cache_mb - cache).max(0.0);
+        if let Some(m) = &self.metrics {
+            m.evictions.inc();
+        }
+    }
+
+    /// Arms the keepalive timer (or evicts immediately) for a container
+    /// that just became idle.
+    fn container_idle(&mut self, ti: usize, slot: usize, now_ns: u64) {
+        match self.scenario.tenants[ti].keepalive.idle_window_ns() {
+            None => {}
+            Some(0) => self.evict_container(ti, slot),
+            Some(window) => {
+                let gen = self.tenants[ti].containers[slot].gen;
+                self.push_event(
+                    now_ns.saturating_add(window),
+                    EventKind::IdleExpire {
+                        tenant: ti,
+                        slot,
+                        gen,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Feeds queued requests into any free capacity of tenant `ti`.
+    fn drain_queue(&mut self, ti: usize, now_ns: u64) {
+        while !self.tenants[ti].queue.is_empty() {
+            let Some(slot) = self.free_capacity_slot(ti) else {
+                break;
+            };
+            let req = self.tenants[ti]
+                .queue
+                .pop_front()
+                .expect("checked non-empty");
+            self.start_invocation(ti, slot, req, now_ns);
+        }
+    }
+
+    fn handle_arrival(&mut self, ti: usize, now_ns: u64) {
+        // Schedule the successor first: the arrival stream consumes only
+        // the arrival RNG, in arrival order, under every policy.
+        let next = self.scenario.tenants[ti]
+            .arrival
+            .next_arrival_ns(now_ns, &mut self.tenants[ti].arrival_rng);
+        self.push_event(next, EventKind::Arrival { tenant: ti });
+        // Nominal service time comes from the dedicated service stream,
+        // also consumed in arrival order.
+        let d = &self.scenario.tenants[ti].demand;
+        let (base_ns, jitter) = (d.service_ns(), d.service_jitter);
+        let u: f64 = self.tenants[ti].service_rng.gen_range(0.0..1.0);
+        let factor = 1.0 - jitter + 2.0 * jitter * u;
+        let nominal_ns = ((base_ns as f64 * factor) as u64).max(1);
+        self.totals.arrivals += 1;
+        if let Some(m) = &self.metrics {
+            m.requests.inc();
+        }
+        self.dispatch(
+            ti,
+            Request {
+                arrival_ns: now_ns,
+                nominal_ns,
+            },
+            now_ns,
+        );
+    }
+
+    fn handle_container_ready(&mut self, ti: usize, slot: usize, gen: u64, now_ns: u64) {
+        {
+            let c = &mut self.tenants[ti].containers[slot];
+            if c.state != ContainerState::Deploying || c.gen != gen {
+                return; // stale: the slot was reused or evicted
+            }
+            c.state = ContainerState::Warm;
+            c.gen += 1;
+        }
+        if !self.tenants[ti].frozen {
+            self.drain_queue(ti, now_ns);
+            if self.tenants[ti].containers[slot].active == 0 {
+                self.container_idle(ti, slot, now_ns);
+            }
+        }
+    }
+
+    fn handle_completion(&mut self, ti: usize, inv: usize, gen: u64, now_ns: u64) {
+        let running = match self.tenants[ti].running.get(inv) {
+            Some(Some(r)) if r.gen == gen && r.frozen_remaining.is_none() => *r,
+            _ => return, // stale: frozen or rescheduled since
+        };
+        let t = &mut self.tenants[ti];
+        t.running[inv] = None;
+        t.running_free.push(inv);
+        t.running_count -= 1;
+        t.stats.completed += 1;
+        t.stats.slowdown_sum += running.slowdown;
+        self.totals.completed += 1;
+        let latency_ns = now_ns.saturating_sub(running.arrival_ns);
+        let class = self.tenants[ti].class;
+        match class {
+            AppClass::Sensitive => {
+                self.totals.sensitive_completed += 1;
+                let met = latency_ns <= self.deadline_ns;
+                if met {
+                    self.totals.sensitive_met += 1;
+                    self.tenants[ti].stats.met += 1;
+                }
+                self.latency.record(latency_ns);
+                if let Some(m) = &self.metrics {
+                    m.completed.inc();
+                    m.latency.record(latency_ns);
+                    if !met {
+                        m.slo_misses.inc();
+                    }
+                }
+            }
+            AppClass::Batch => {
+                self.batch_work += self.scenario.tenants[ti].demand.cpu_per_invocation
+                    * running.nominal_ns as f64
+                    / NANOS_PER_SEC;
+                if let Some(m) = &self.metrics {
+                    m.completed.inc();
+                }
+            }
+        }
+        let slot = running.slot;
+        {
+            let c = &mut self.tenants[ti].containers[slot];
+            c.active = c.active.saturating_sub(1);
+        }
+        self.sub_running_rates(ti);
+        if !self.tenants[ti].frozen {
+            self.drain_queue(ti, now_ns);
+            if self.tenants[ti].containers[slot].active == 0
+                && self.tenants[ti].containers[slot].state == ContainerState::Warm
+            {
+                self.container_idle(ti, slot, now_ns);
+            }
+        }
+    }
+
+    fn handle_idle_expire(&mut self, ti: usize, slot: usize, gen: u64) {
+        let c = &self.tenants[ti].containers[slot];
+        if c.state != ContainerState::Warm || c.gen != gen || c.active != 0 {
+            return; // stale: served again, evicted, or redeployed since
+        }
+        if self.tenants[ti].frozen {
+            return; // frozen containers are not reaped; re-armed on resume
+        }
+        self.evict_container(ti, slot);
+    }
+
+    fn process(&mut self, event: Event) {
+        self.advance(event.time_ns);
+        self.fold_digest(&event);
+        match event.kind {
+            EventKind::Arrival { tenant } => self.handle_arrival(tenant, event.time_ns),
+            EventKind::ContainerReady { tenant, slot, gen } => {
+                self.handle_container_ready(tenant, slot, gen, event.time_ns)
+            }
+            EventKind::Completion { tenant, inv, gen } => {
+                self.handle_completion(tenant, inv, gen, event.time_ns)
+            }
+            EventKind::IdleExpire { tenant, slot, gen } => {
+                self.handle_idle_expire(tenant, slot, gen)
+            }
+        }
+    }
+
+    /// Freezes a batch tenant: in-flight invocations halt (remaining
+    /// stretched time stored, completions invalidated), rate demands
+    /// leave the contention signal, memory and cache stay resident.
+    fn freeze(&mut self, ti: usize, now_ns: u64) {
+        if self.tenants[ti].frozen {
+            return;
+        }
+        self.tenants[ti].frozen = true;
+        if let Some(m) = &self.metrics {
+            m.freezes.inc();
+        }
+        let slots: Vec<usize> = (0..self.tenants[ti].running.len()).collect();
+        for i in slots {
+            let t = &mut self.tenants[ti];
+            let Some(r) = &mut t.running[i] else { continue };
+            if r.frozen_remaining.is_some() {
+                continue;
+            }
+            r.frozen_remaining = Some(r.finish_ns.saturating_sub(now_ns).max(1));
+            t.inv_gen += 1;
+            r.gen = t.inv_gen;
+            self.sub_running_rates(ti);
+        }
+    }
+
+    /// Resumes a frozen tenant: halted invocations reschedule at `now +
+    /// remaining`, queued requests drain into free capacity, idle
+    /// keepalive timers re-arm.
+    fn resume(&mut self, ti: usize, now_ns: u64) {
+        if !self.tenants[ti].frozen {
+            return;
+        }
+        self.tenants[ti].frozen = false;
+        if let Some(m) = &self.metrics {
+            m.resumes.inc();
+        }
+        for i in 0..self.tenants[ti].running.len() {
+            let t = &mut self.tenants[ti];
+            let Some(r) = &mut t.running[i] else { continue };
+            let Some(remaining) = r.frozen_remaining.take() else {
+                continue;
+            };
+            r.finish_ns = now_ns.saturating_add(remaining);
+            t.inv_gen += 1;
+            r.gen = t.inv_gen;
+            let (finish_ns, gen) = (r.finish_ns, r.gen);
+            self.add_running_rates(ti);
+            self.push_event(
+                finish_ns,
+                EventKind::Completion {
+                    tenant: ti,
+                    inv: i,
+                    gen,
+                },
+            );
+        }
+        self.drain_queue(ti, now_ns);
+        for slot in 0..self.tenants[ti].containers.len() {
+            let c = &self.tenants[ti].containers[slot];
+            if c.state == ContainerState::Warm && c.active == 0 {
+                self.container_idle(ti, slot, now_ns);
+            }
+        }
+    }
+
+    /// Applies policy actions at the current tick boundary, returning
+    /// how many were rejected (freezing sensitive tenants, unknown ids).
+    pub fn apply(&mut self, actions: &[Action]) -> u64 {
+        let now_ns = self.tick * self.tick_period_ns;
+        self.advance(now_ns);
+        let mut rejected = 0;
+        for action in actions {
+            let (id, pause) = match action {
+                Action::Pause(id) => (*id, true),
+                Action::Resume(id) => (*id, false),
+            };
+            let ti = id.raw();
+            if ti >= self.tenants.len() || (pause && self.tenants[ti].class == AppClass::Sensitive)
+            {
+                rejected += 1;
+                continue;
+            }
+            if pause {
+                self.freeze(ti, now_ns);
+            } else {
+                self.resume(ti, now_ns);
+            }
+        }
+        rejected
+    }
+
+    /// True when any sensitive request (queued or in flight) is already
+    /// past its deadline at `now_ns`.
+    fn sensitive_overdue(&self, now_ns: u64) -> bool {
+        self.tenants.iter().enumerate().any(|(ti, t)| {
+            if self.scenario.tenants[ti].class != AppClass::Sensitive {
+                return false;
+            }
+            let overdue = |arrival: u64| now_ns.saturating_sub(arrival) > self.deadline_ns;
+            t.queue.front().is_some_and(|r| overdue(r.arrival_ns))
+                || t.running.iter().flatten().any(|r| overdue(r.arrival_ns))
+        })
+    }
+
+    /// Runs the engine up to the next tick boundary and emits the tick's
+    /// observation; the matching ground-truth [`TickRecord`] is stored
+    /// for [`Self::last_record`].
+    pub fn advance_tick(&mut self) -> Observation {
+        let tick_end = (self.tick + 1) * self.tick_period_ns;
+        while let Some(Reverse(head)) = self.events.peek() {
+            if head.time_ns >= tick_end {
+                break;
+            }
+            let Reverse(event) = self.events.pop().expect("peeked non-empty");
+            self.process(event);
+        }
+        self.advance(tick_end);
+
+        let tick_ns = self.tick_period_ns as f64;
+        let mut containers = Vec::with_capacity(self.tenants.len());
+        let mut sensitive_completed = 0u64;
+        let mut sensitive_met = 0u64;
+        let mut sensitive_dropped = 0u64;
+        let mut sensitive_cpu = 0.0;
+        let mut batch_cpu = 0.0;
+        let mut batch_active = 0usize;
+        let mut batch_paused = 0usize;
+        let mut sensitive_active = false;
+        for (ti, t) in self.tenants.iter().enumerate() {
+            let spec = &self.scenario.tenants[ti];
+            let mean_cpu = t.stats.acc_cpu / tick_ns;
+            let busy = t.stats.acc_cpu > 0.0 || t.stats.completed > 0;
+            let active = !t.frozen && (t.alive_containers() > 0 || busy);
+            let alive = t.alive_containers() as f64;
+            let usage = ResourceVector::zero()
+                .with(ResourceKind::Cpu, mean_cpu)
+                .with(ResourceKind::Memory, alive * spec.demand.container_mb)
+                .with(ResourceKind::MemBandwidth, t.stats.acc_membw / tick_ns)
+                .with(ResourceKind::DiskIo, t.stats.acc_disk / tick_ns)
+                .with(ResourceKind::Network, t.stats.acc_net / tick_ns)
+                .with(ResourceKind::Cache, alive * spec.demand.cache_mb);
+            let ipc = if t.stats.completed > 0 {
+                (t.stats.completed as f64 / t.stats.slowdown_sum).min(1.0)
+            } else if t.frozen {
+                0.0
+            } else if active {
+                1.0
+            } else {
+                0.0
+            };
+            match t.class {
+                AppClass::Sensitive => {
+                    sensitive_completed += t.stats.completed;
+                    sensitive_met += t.stats.met;
+                    sensitive_dropped += t.stats.dropped;
+                    sensitive_cpu += mean_cpu;
+                    sensitive_active |= active;
+                }
+                AppClass::Batch => {
+                    batch_cpu += mean_cpu;
+                    if t.frozen {
+                        batch_paused += 1;
+                    } else if active {
+                        batch_active += 1;
+                    }
+                }
+            }
+            containers.push(ContainerObs {
+                id: ContainerId::from_raw(ti),
+                name: t.name.clone(),
+                class: t.class,
+                active,
+                paused: t.frozen,
+                finished: false,
+                usage,
+                ipc,
+                priority: 0,
+            });
+        }
+
+        let judged = sensitive_completed + sensitive_dropped;
+        let qos_value = if judged > 0 {
+            sensitive_met as f64 / judged as f64
+        } else if self.sensitive_overdue(tick_end) {
+            0.0
+        } else {
+            1.0
+        };
+        let qos_violation = qos_value < self.scenario.slo.target_satisfaction;
+
+        let observation = Observation {
+            tick: self.tick,
+            containers,
+            qos_violation,
+            qos_value,
+        };
+        let utilization =
+            ((sensitive_cpu + batch_cpu) / self.scenario.host.cpu_cores).clamp(0.0, 1.0);
+        self.last_record = Some(TickRecord {
+            tick: self.tick,
+            qos_value,
+            violated: qos_violation,
+            sensitive_active,
+            batch_active,
+            batch_paused,
+            sensitive_cpu,
+            batch_cpu,
+            utilization,
+            actions: 0,
+        });
+        for t in &mut self.tenants {
+            t.stats = TickStats::default();
+        }
+        self.tick += 1;
+        observation
+    }
+
+    /// The ground-truth accounting record of the last emitted tick, with
+    /// the action count filled in.
+    pub fn last_record(&self, actions: usize) -> Option<TickRecord> {
+        self.last_record.clone().map(|mut r| {
+            r.actions = actions;
+            r
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::by_name;
+
+    fn host(name: &str, seed: u64) -> WorkloadHost {
+        WorkloadHost::new(by_name(name).unwrap(), seed).unwrap()
+    }
+
+    #[test]
+    fn same_seed_same_timeline() {
+        let mut a = host("memcached-like", 42);
+        let mut b = host("memcached-like", 42);
+        for _ in 0..30 {
+            let oa = a.advance_tick();
+            let ob = b.advance_tick();
+            assert_eq!(oa, ob);
+        }
+        assert_eq!(a.timeline_digest(), b.timeline_digest());
+        assert_eq!(a.totals(), b.totals());
+        assert_eq!(a.latency(), b.latency());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = host("memcached-like", 1);
+        let mut b = host("memcached-like", 2);
+        for _ in 0..10 {
+            a.advance_tick();
+            b.advance_tick();
+        }
+        assert_ne!(a.timeline_digest(), b.timeline_digest());
+    }
+
+    #[test]
+    fn requests_flow_and_latency_is_recorded() {
+        let mut h = host("memcached-like", 7);
+        for _ in 0..20 {
+            h.advance_tick();
+        }
+        let t = h.totals();
+        // ~800 rps for 20 s.
+        assert!(t.arrivals > 10_000, "arrivals {}", t.arrivals);
+        assert!(t.sensitive_completed > 10_000);
+        assert!(h.latency().count() == t.sensitive_completed);
+        // Uncontended kv service is ~1 ms; p50 must sit near it.
+        let p50 = h.latency().quantile_ms(0.5);
+        assert!((0.5..5.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn pausing_batch_removes_its_cpu() {
+        let mut h = host("cpu-bomb", 11);
+        for _ in 0..10 {
+            h.advance_tick();
+        }
+        // Find the batch tenant id.
+        let bomb = ContainerId::from_raw(1);
+        assert_eq!(h.apply(&[Action::Pause(bomb)]), 0);
+        let mut batch_cpu_after = 0.0;
+        for _ in 0..5 {
+            let obs = h.advance_tick();
+            batch_cpu_after = obs.containers[1].usage.get(ResourceKind::Cpu);
+            assert!(obs.containers[1].paused);
+        }
+        assert_eq!(batch_cpu_after, 0.0);
+        // Resume: work picks back up.
+        assert_eq!(h.apply(&[Action::Resume(bomb)]), 0);
+        let before = h.totals().completed;
+        for _ in 0..5 {
+            h.advance_tick();
+        }
+        assert!(h.totals().completed > before);
+    }
+
+    #[test]
+    fn sensitive_tenants_cannot_be_paused() {
+        let mut h = host("memcached-like", 3);
+        h.advance_tick();
+        assert_eq!(h.apply(&[Action::Pause(ContainerId::from_raw(0))]), 1);
+        assert_eq!(h.apply(&[Action::Pause(ContainerId::from_raw(99))]), 1);
+    }
+
+    #[test]
+    fn contention_stretches_latency() {
+        // cpu-bomb saturates the host: sensitive p95 must exceed the
+        // uncontended service time.
+        let mut h = host("cpu-bomb", 5);
+        for _ in 0..40 {
+            h.advance_tick();
+        }
+        let p95 = h.latency().quantile_ms(0.95);
+        assert!(p95 > 1.5, "expected contention, p95 {p95}ms");
+        assert!(h.totals().slo_violation_rate() > 0.0);
+        assert!(h.batch_work() > 0.0);
+    }
+
+    #[test]
+    fn freeze_halts_inflight_and_resume_completes_them() {
+        let mut h = host("cpu-bomb", 9);
+        for _ in 0..5 {
+            h.advance_tick();
+        }
+        let bomb = ContainerId::from_raw(1);
+        h.apply(&[Action::Pause(bomb)]);
+        let completed_frozen = h.totals().completed;
+        let batch_work_frozen = h.batch_work();
+        for _ in 0..10 {
+            h.advance_tick();
+        }
+        // No batch completions while frozen.
+        assert_eq!(h.batch_work(), batch_work_frozen);
+        assert!(h.totals().completed > completed_frozen); // kv still completes
+        h.apply(&[Action::Resume(bomb)]);
+        for _ in 0..10 {
+            h.advance_tick();
+        }
+        assert!(h.batch_work() > batch_work_frozen);
+    }
+
+    #[test]
+    fn cold_starts_and_evictions_happen() {
+        let mut h = host("flash-crowd", 13);
+        for _ in 0..70 {
+            h.advance_tick();
+        }
+        assert!(h.totals().cold_starts > 0);
+        assert!(h.totals().evictions > 0, "fixed keepalive should evict");
+    }
+
+    #[test]
+    fn eager_tenants_start_prewarmed() {
+        let h = host("memcached-like", 1);
+        assert_eq!(h.tenants[0].alive_containers(), 1); // eager kv-front
+        assert_eq!(h.tenants[1].alive_containers(), 0); // fixed-keepalive batch
+    }
+
+    #[test]
+    fn instrumentation_is_decision_inert() {
+        use stayaway_obs::MetricsRegistry;
+        let mut bare = host("multi-tenant-storm", 21);
+        let registry = MetricsRegistry::new();
+        let mut instrumented = WorkloadHost::new(by_name("multi-tenant-storm").unwrap(), 21)
+            .unwrap()
+            .with_metrics(WorkloadMetrics::register(&registry));
+        for _ in 0..20 {
+            let a = bare.advance_tick();
+            let b = instrumented.advance_tick();
+            assert_eq!(a, b);
+        }
+        assert_eq!(bare.timeline_digest(), instrumented.timeline_digest());
+        // And the metrics actually recorded.
+        let snap = registry.snapshot();
+        let text = stayaway_obs::to_json(&snap).to_string();
+        assert!(text.contains("workload_requests_total"));
+    }
+}

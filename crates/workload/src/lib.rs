@@ -1,0 +1,43 @@
+//! Request-driven multi-tenant workload plane (DESIGN.md §13).
+//!
+//! A deterministic discrete-event simulator of one multi-tenant host,
+//! replacing the per-tick synthetic QoS score with what the paper's
+//! evaluation actually measures: per-request latency percentiles and
+//! SLO-violation rates over open-loop request streams under co-located
+//! interference.
+//!
+//! - [`ArrivalProcess`] — seeded open-loop arrivals: Poisson, diurnal
+//!   curve, flash-crowd bursts, on/off batch phases.
+//! - [`DemandProfile`] / [`KeepalivePolicy`] — per-invocation resource
+//!   demand, container-pool shape, cold-start penalty, idle eviction.
+//! - [`WorkloadScenario`] — declarative serde specs; [`library`] ships
+//!   seven named co-location situations resolvable [`by_name`].
+//! - [`WorkloadHost`] — the binary-heap event engine: container
+//!   lifecycle, contention-stretched service times, SIGSTOP-style
+//!   freezes, integer-nanosecond determinism.
+//! - [`WorkloadSource`] — the [`ObservationSource`] adapter: existing
+//!   policies and the fleet sense the event-driven host unchanged.
+//! - [`bench_scenario`] / [`BenchTable`] — the per-scenario/per-policy
+//!   QoS grid behind `stayaway bench-scenarios`.
+//!
+//! [`ObservationSource`]: stayaway_telemetry::ObservationSource
+
+pub mod arrival;
+pub mod demand;
+pub mod engine;
+mod error;
+pub mod latency;
+pub mod metrics;
+pub mod report;
+pub mod source;
+pub mod spec;
+
+pub use arrival::ArrivalProcess;
+pub use demand::{DemandProfile, KeepalivePolicy};
+pub use engine::{RunTotals, WorkloadHost};
+pub use error::WorkloadError;
+pub use latency::LatencyHistogram;
+pub use metrics::WorkloadMetrics;
+pub use report::{bench_scenario, BenchTable, ScenarioQos};
+pub use source::WorkloadSource;
+pub use spec::{by_name, library, names, SloSpec, TenantSpec, WorkloadScenario};

@@ -1,0 +1,171 @@
+//! The workload-backed observation source.
+//!
+//! [`WorkloadSource`] adapts a [`WorkloadHost`] to the telemetry plane's
+//! [`ObservationSource`] interface: `next_observation` runs the event
+//! engine one control tick forward, `apply` actuates freezes/resumes at
+//! the tick boundary, and `record_for` returns the engine's noiseless
+//! ground-truth accounting — so `stayaway_telemetry::drive` closes the
+//! loop over the request-driven host exactly as it does over the
+//! per-tick simulator, and every existing policy senses it unchanged.
+
+use crate::engine::{RunTotals, WorkloadHost};
+use crate::latency::LatencyHistogram;
+use crate::metrics::WorkloadMetrics;
+use crate::spec::WorkloadScenario;
+use crate::WorkloadError;
+use stayaway_obs::MetricsRegistry;
+use stayaway_telemetry::{
+    Action, Observation, ObservationSource, ResourceKind, SourceKind, SourceMeta, TelemetryError,
+    TickRecord,
+};
+
+/// Drives a [`WorkloadHost`] as a telemetry observation source.
+#[derive(Debug)]
+pub struct WorkloadSource {
+    host: WorkloadHost,
+}
+
+impl WorkloadSource {
+    /// Builds the source for a scenario and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidSpec`] when the scenario fails
+    /// validation.
+    pub fn new(scenario: WorkloadScenario, seed: u64) -> Result<Self, WorkloadError> {
+        Ok(WorkloadSource {
+            host: WorkloadHost::new(scenario, seed)?,
+        })
+    }
+
+    /// Attaches decision-inert instrumentation from `registry`.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.host = self.host.with_metrics(WorkloadMetrics::register(registry));
+        self
+    }
+
+    /// Shared access to the engine.
+    pub fn host(&self) -> &WorkloadHost {
+        &self.host
+    }
+
+    /// Whole-run latency histogram of sensitive requests.
+    pub fn latency(&self) -> &LatencyHistogram {
+        self.host.latency()
+    }
+
+    /// Whole-run request totals.
+    pub fn totals(&self) -> &RunTotals {
+        self.host.totals()
+    }
+
+    /// The run's event-timeline fingerprint (determinism tests).
+    pub fn timeline_digest(&self) -> u64 {
+        self.host.timeline_digest()
+    }
+}
+
+impl ObservationSource for WorkloadSource {
+    fn meta(&self) -> SourceMeta {
+        SourceMeta {
+            kind: SourceKind::Workload,
+            metrics: ResourceKind::ALL.to_vec(),
+            tick_period_secs: self.host.scenario().tick_period_secs,
+            host: Some(self.host.scenario().host),
+        }
+    }
+
+    fn next_observation(&mut self) -> Result<Option<Observation>, TelemetryError> {
+        Ok(Some(self.host.advance_tick()))
+    }
+
+    fn apply(&mut self, actions: &[Action]) -> Result<u64, TelemetryError> {
+        Ok(self.host.apply(actions))
+    }
+
+    fn record_for(&self, observation: &Observation, actions: &[Action]) -> TickRecord {
+        self.host.last_record(actions.len()).unwrap_or_else(|| {
+            stayaway_telemetry::derive_record(
+                observation,
+                actions.len(),
+                Some(&self.host.scenario().host),
+            )
+        })
+    }
+
+    fn batch_work(&self) -> f64 {
+        self.host.batch_work()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::by_name;
+    use stayaway_telemetry::{drive, NullPolicy, Policy};
+
+    fn source(name: &str, seed: u64) -> WorkloadSource {
+        WorkloadSource::new(by_name(name).unwrap(), seed).unwrap()
+    }
+
+    #[test]
+    fn meta_reports_the_workload_substrate() {
+        let s = source("memcached-like", 1);
+        let meta = s.meta();
+        assert_eq!(meta.kind, SourceKind::Workload);
+        assert_eq!(meta.tick_period_secs, 1.0);
+        assert!(meta.host.is_some());
+    }
+
+    #[test]
+    fn drive_closes_the_loop_deterministically() {
+        let mut a = source("cpu-bomb", 17);
+        let mut b = source("cpu-bomb", 17);
+        let out_a = drive(&mut a, &mut NullPolicy::new(), 30).unwrap();
+        let out_b = drive(&mut b, &mut NullPolicy::new(), 30).unwrap();
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.timeline_digest(), b.timeline_digest());
+        assert_eq!(out_a.timeline.len(), 30);
+        assert!(out_a.batch_work > 0.0);
+    }
+
+    /// Pauses every unpaused batch container it sees.
+    struct PauseAll;
+    impl Policy for PauseAll {
+        fn name(&self) -> &str {
+            "pause-all"
+        }
+        fn decide(&mut self, obs: &Observation) -> Vec<Action> {
+            obs.batch()
+                .filter(|c| !c.paused)
+                .map(|c| Action::Pause(c.id))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn pausing_batch_improves_latency_under_contention() {
+        let mut contended = source("cpu-bomb", 23);
+        drive(&mut contended, &mut NullPolicy::new(), 40).unwrap();
+        let mut protected = source("cpu-bomb", 23);
+        drive(&mut protected, &mut PauseAll, 40).unwrap();
+        let p95_contended = contended.latency().quantile_ms(0.95);
+        let p95_protected = protected.latency().quantile_ms(0.95);
+        assert!(
+            p95_protected < p95_contended,
+            "pause should help: {p95_protected} vs {p95_contended}"
+        );
+        assert!(protected.totals().slo_violation_rate() <= contended.totals().slo_violation_rate());
+    }
+
+    #[test]
+    fn arrival_timeline_is_policy_independent() {
+        // Open-loop property: the same requests arrive whatever the
+        // policy does to the batch tenants.
+        let mut idle = source("cpu-bomb", 29);
+        drive(&mut idle, &mut NullPolicy::new(), 30).unwrap();
+        let mut throttled = source("cpu-bomb", 29);
+        drive(&mut throttled, &mut PauseAll, 30).unwrap();
+        assert_eq!(idle.totals().arrivals, throttled.totals().arrivals);
+    }
+}

@@ -3,10 +3,12 @@
 # (warnings are errors), the release build, the test suite (including the
 # fleet determinism suite, the parallel-mapping determinism suite at 1-8
 # workers, the staged-controller golden fixture, the
-# observability suites and the telemetry record→replay determinism
-# suite), a replay smoke run over the committed fixture trace, a metrics
-# exposition smoke (64 instrumented ticks, output validated by the
-# in-tree promlint), and a compile check of every criterion bench
+# observability suites, the telemetry record→replay determinism
+# suite and the workload-engine determinism suite), a replay smoke run
+# over the committed fixture trace, a metrics exposition smoke (64
+# instrumented ticks, output validated by the in-tree promlint), a
+# workload-scenario CLI smoke (library listing plus a short
+# request-driven run), and a compile check of every criterion bench
 # target. Run from anywhere inside the repository.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +26,11 @@ cargo test -q -p stayaway-fleet --test determinism
 cargo test -q -p stayaway-mds --test parallel_determinism
 cargo test -q -p stayaway-fleet --test determinism mapping_workers_1_and_4_agree_bit_for_bit
 cargo test -q -p stayaway-core --test golden_fixture
+# Workload determinism: the request-driven engine must be a pure function
+# of (scenario, seed) — bit-identical timelines and byte-identical JSON —
+# and must uphold the fleet's worker-count-independence contract.
+cargo test -q -p stayaway-workload --test determinism
+cargo test -q -p stayaway-fleet --test determinism workload_cells_agree_across_worker_counts
 cargo test -q --test record_replay
 cargo test -q -p stayaway-obs
 cargo test -q --test observability
@@ -40,4 +47,13 @@ cargo run -q --release --bin stayaway -- \
     metrics --scenario vlc+cpu-bomb --ticks 64 > "$metrics_tmp"
 grep -q '^stayaway_controller_periods_total 64$' "$metrics_tmp"
 grep -q '^# TYPE stayaway_controller_sense_latency_nanos histogram$' "$metrics_tmp"
+# Workload smoke: the scenario library must list (and round-trip through
+# JSON), and a short request-driven run must report per-request latency.
+# Capture first: grep -q closes the pipe on first match, which would kill
+# the producer with SIGPIPE under pipefail.
+scenarios_out="$(cargo run -q --release --bin stayaway -- scenarios --json)"
+grep -q '"multi-tenant-storm"' <<<"$scenarios_out"
+workload_out="$(cargo run -q --release --bin stayaway -- \
+    run --source workload:cpu-bomb --ticks 60)"
+grep -q '^latency: p50' <<<"$workload_out"
 cargo bench --workspace --no-run

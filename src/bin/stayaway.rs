@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! stayaway list
+//! stayaway scenarios --json
 //! stayaway run --scenario vlc+cpu-bomb --policy stay-away --ticks 384 --seed 7
 //! stayaway run --source trace:trace.jsonl
+//! stayaway run --source workload:multi-tenant-storm --policy stayaway
+//! stayaway bench-scenarios --ticks 120
 //! stayaway compare --scenario web-mem+twitter-analysis --ticks 300
 //! stayaway capture --scenario vlc+cpu-bomb --out template.json
 //! stayaway reuse --scenario vlc+soplex --template template.json
@@ -25,6 +28,7 @@ use stay_away::sim::workload::{DiurnalParams, Trace};
 use stay_away::sim::{RunOutcome, SimSource};
 use stay_away::statespace::Template;
 use stay_away::telemetry::{drive, RecordingSource, TraceSource};
+use stay_away::workload::{bench_scenario, BenchTable, WorkloadSource};
 
 const USAGE: &str = "\
 usage: stayaway <command> [options]
@@ -41,17 +45,23 @@ commands:
   fleet                      run many co-location cells over a worker pool
   metrics                    run one scenario with full instrumentation and
                              print the metrics exposition
+  scenarios                  list the request-driven workload scenario
+                             library (use with run --source workload:<name>)
+  bench-scenarios            run every workload scenario under a list of
+                             policies and print the per-request QoS table
 
 options:
   --scenario <sens>+<batch>  e.g. vlc+cpu-bomb, web-mem+twitter-analysis
                              (fleet default: a 4-scenario mix)
   --policy <name>            stayaway | reactive | static | always | null
-                             (fleet: comma-separated list round-robined
-                             across cells, e.g. stayaway,reactive)
+                             (fleet/bench-scenarios: comma-separated list,
+                             e.g. stayaway,reactive; bench-scenarios
+                             default stayaway,reactive,null)
   --source <spec>            observation substrate for run/compare/fleet:
-                             sim | trace:<path> | procfs (default sim;
-                             fleet: comma-separated list round-robined
-                             across cells)
+                             sim | trace:<path> | procfs |
+                             workload:<scenario> (default sim; fleet:
+                             comma-separated list round-robined across
+                             cells)
   --trace <path>             recorded trace file for replay
   --ticks <n>                simulation length (default 384)
   --seed <n>                 deterministic seed (default 7)
@@ -75,7 +85,9 @@ struct Args {
     /// None means "not given on the command line": single-run commands
     /// default to vlc+cpu-bomb, the fleet to its standard scenario mix.
     scenario: Option<String>,
-    policy: String,
+    /// None means "not given on the command line": most commands default
+    /// to stay-away, bench-scenarios to its baseline-comparison list.
+    policy: Option<String>,
     source: String,
     trace: Option<String>,
     ticks: u64,
@@ -92,11 +104,18 @@ struct Args {
 /// Scenario used by the single-run commands when `--scenario` is omitted.
 const DEFAULT_SCENARIO: &str = "vlc+cpu-bomb";
 
+impl Args {
+    /// The `--policy` value, or `default` when the flag was omitted.
+    fn policy_or<'a>(&'a self, default: &'a str) -> &'a str {
+        self.policy.as_deref().unwrap_or(default)
+    }
+}
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         command: argv.first().cloned().ok_or("missing command")?,
         scenario: None,
-        policy: "stay-away".into(),
+        policy: None,
         source: "sim".into(),
         trace: None,
         ticks: 384,
@@ -118,7 +137,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         match flag.as_str() {
             "--scenario" => args.scenario = Some(value("--scenario")?),
-            "--policy" => args.policy = value("--policy")?,
+            "--policy" => args.policy = Some(value("--policy")?),
             "--source" => args.source = value("--source")?,
             "--trace" => args.trace = Some(value("--trace")?),
             "--ticks" => {
@@ -312,6 +331,85 @@ fn run_policy_by_name(
     Ok((out, policy, host_spec.cpu_cores))
 }
 
+/// Runs a workload-library scenario under one policy, keeping the
+/// concrete [`WorkloadSource`] in hand so the summary can include the
+/// per-request latency QoS the tick-level summary cannot see.
+fn run_workload(name: &str, args: &Args) -> Result<(), String> {
+    let scenario = stay_away::workload::by_name(name).map_err(|e| e.to_string())?;
+    let host_spec = scenario.host;
+    let registry = args.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+    let spec = PolicySpec::parse(args.policy_or("stay-away")).map_err(|e| e.to_string())?;
+    let obs = match &registry {
+        Some(registry) => Observability::enabled(registry.clone()),
+        None => Observability::disabled(),
+    };
+    let mut policy = spec
+        .build_observed(&ControllerConfig::default(), &host_spec, obs)
+        .map_err(|e| e.to_string())?;
+    let mut source = WorkloadSource::new(scenario, args.seed).map_err(|e| e.to_string())?;
+    if let Some(registry) = &registry {
+        source = source.with_metrics(registry);
+    }
+    let out = drive(&mut source, policy.as_mut(), args.ticks).map_err(|e| e.to_string())?;
+    let latency = source.latency();
+    let totals = source.totals();
+    let stats = policy.stats();
+    let stats = (stats.periods > 0).then_some(&stats);
+    let label = format!("workload:{name}");
+    if args.json {
+        let mut doc = serde_json::json!({
+            "scenario": label,
+            "policy": policy.name(),
+            "ticks": out.timeline.len(),
+            "violations": out.qos.violations,
+            "satisfaction": out.qos.satisfaction(),
+            "mean_qos": out.qos.mean_qos(),
+            "gained_utilization": out.mean_gained_utilization(host_spec.cpu_cores),
+            "batch_work": out.batch_work,
+            "latency": serde_json::json!({
+                "p50_ms": latency.quantile_ms(0.50),
+                "p95_ms": latency.quantile_ms(0.95),
+                "p99_ms": latency.quantile_ms(0.99),
+                "mean_ms": latency.mean_ms(),
+                "slo_violation_rate": totals.slo_violation_rate(),
+                "requests": totals.arrivals,
+                "completed": totals.completed,
+                "dropped": totals.dropped,
+                "cold_starts": totals.cold_starts,
+                "evictions": totals.evictions,
+            }),
+        });
+        if let (Some(stats), serde_json::Value::Object(pairs)) = (stats, &mut doc) {
+            pairs.push(("controller".to_string(), serde_json::to_value(stats)));
+        }
+        println!("{}", serde_json::to_string_pretty(&doc).expect("json"));
+    } else {
+        summarize(
+            policy.name(),
+            &label,
+            host_spec.cpu_cores,
+            &out,
+            stats,
+            false,
+        );
+        println!(
+            "latency: p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  slo-violation {:.2}%",
+            latency.quantile_ms(0.50),
+            latency.quantile_ms(0.95),
+            latency.quantile_ms(0.99),
+            100.0 * totals.slo_violation_rate(),
+        );
+        println!(
+            "requests: {} arrived, {} completed, {} dropped, {} cold starts, {} evictions",
+            totals.arrivals, totals.completed, totals.dropped, totals.cold_starts, totals.evictions,
+        );
+    }
+    if let (Some(path), Some(registry)) = (&args.metrics_out, &registry) {
+        write_metrics(&registry.snapshot(), path)?;
+    }
+    Ok(())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
@@ -383,15 +481,80 @@ fn run(argv: &[String]) -> Result<(), String> {
                 BatchKind::ALL.map(|k| k.name()).join(", ")
             );
             println!("policies:               stayaway, reactive, static, always, null");
+            println!("workload scenarios:     see `stayaway scenarios`");
+            Ok(())
+        }
+        "scenarios" => {
+            let library = stay_away::workload::library();
+            if args.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&library).expect("scenario json")
+                );
+                return Ok(());
+            }
+            for scenario in &library {
+                println!("{:<20} {}", scenario.name, scenario.description);
+                println!(
+                    "{:20} slo: {} ms deadline, {:.0}% of a tick's requests",
+                    "",
+                    scenario.slo.deadline_ms,
+                    100.0 * scenario.slo.target_satisfaction,
+                );
+                for tenant in &scenario.tenants {
+                    println!(
+                        "{:20} {:<9} {:<12} {}",
+                        "",
+                        tenant.class.to_string(),
+                        tenant.name,
+                        tenant.arrival.summary(),
+                    );
+                }
+                println!(
+                    "{:20} co-runners: {}",
+                    "",
+                    match scenario.co_runners().join(", ") {
+                        ref s if s.is_empty() => "none".to_string(),
+                        s => s,
+                    },
+                );
+            }
+            Ok(())
+        }
+        "bench-scenarios" => {
+            let policies = PolicySpec::parse_list(args.policy_or("stayaway,reactive,null"))
+                .map_err(|e| e.to_string())?;
+            let mut table = BenchTable::default();
+            for scenario in stay_away::workload::library() {
+                for spec in &policies {
+                    let mut policy = spec
+                        .build(&ControllerConfig::default(), &scenario.host)
+                        .map_err(|e| e.to_string())?;
+                    let row = bench_scenario(&scenario, policy.as_mut(), args.seed, args.ticks)
+                        .map_err(|e| e.to_string())?;
+                    table.rows.push(row);
+                }
+            }
+            if args.json {
+                println!("{}", table.to_json().map_err(|e| e.to_string())?);
+            } else {
+                print!("{}", table.render());
+            }
             Ok(())
         }
         "run" => {
-            let scenario = parse_scenario(&scenario_name, args.seed)?;
             let source = SourceSpec::parse(&args.source).map_err(|e| e.to_string())?;
+            // Workload runs bypass the `<sensitive>+<batch>` scenario
+            // machinery: the named library scenario IS the workload, and
+            // the concrete source exposes per-request latency QoS.
+            if let SourceSpec::Workload { scenario } = &source {
+                return run_workload(scenario, &args);
+            }
+            let scenario = parse_scenario(&scenario_name, args.seed)?;
             let registry = args.metrics_out.as_ref().map(|_| MetricsRegistry::new());
             let (out, policy, cap) = run_policy_by_name(
                 &scenario,
-                &args.policy,
+                args.policy_or("stay-away"),
                 &source,
                 args.seed,
                 args.ticks,
@@ -413,7 +576,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let registry = MetricsRegistry::new();
             run_policy_by_name(
                 &scenario,
-                &args.policy,
+                args.policy_or("stay-away"),
                 &source,
                 args.seed,
                 args.ticks,
@@ -503,7 +666,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         "record" => {
             let scenario = parse_scenario(&scenario_name, args.seed)?;
-            let spec = PolicySpec::parse(&args.policy).map_err(|e| e.to_string())?;
+            let spec = PolicySpec::parse(args.policy_or("stay-away")).map_err(|e| e.to_string())?;
             let harness = scenario.build_harness().map_err(|e| e.to_string())?;
             let host_spec = *harness.host().spec();
             let mut policy = spec
@@ -532,13 +695,13 @@ fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         "replay" => {
-            let path = args.trace.ok_or("replay requires --trace <path>")?;
+            let path = args.trace.clone().ok_or("replay requires --trace <path>")?;
             let mut source = TraceSource::open(&path).map_err(|e| e.to_string())?;
             let recorded_from = source.header().recorded_from;
             // The controller runs against the capacities the trace was
             // recorded on; traces without a host spec get the defaults.
             let host_spec = source.header().host.unwrap_or_default();
-            let spec = PolicySpec::parse(&args.policy).map_err(|e| e.to_string())?;
+            let spec = PolicySpec::parse(args.policy_or("stay-away")).map_err(|e| e.to_string())?;
             let mut policy = spec
                 .build(&ControllerConfig::default(), &host_spec)
                 .map_err(|e| e.to_string())?;
@@ -564,7 +727,8 @@ fn run(argv: &[String]) -> Result<(), String> {
                 Some(name) => vec![parse_scenario(name, args.seed)?],
                 None => FleetConfig::standard_mix(args.seed),
             };
-            let policies = PolicySpec::parse_list(&args.policy).map_err(|e| e.to_string())?;
+            let policies =
+                PolicySpec::parse_list(args.policy_or("stay-away")).map_err(|e| e.to_string())?;
             let sources = SourceSpec::parse_list(&args.source).map_err(|e| e.to_string())?;
             let config = FleetConfig {
                 cells: args.cells,
@@ -615,7 +779,7 @@ mod tests {
         .unwrap();
         assert_eq!(a.command, "run");
         assert_eq!(a.scenario.as_deref(), Some("web-mem+soplex"));
-        assert_eq!(a.policy, "reactive");
+        assert_eq!(a.policy.as_deref(), Some("reactive"));
         assert_eq!(a.ticks, 100);
         assert_eq!(a.seed, 3);
         assert!(a.json);
@@ -730,5 +894,61 @@ mod tests {
             assert_eq!(policy.supports_templates(), is_stayaway);
         }
         assert!(run_policy_by_name(&scenario, "bogus", &SourceSpec::Sim, 1, 10, None).is_err());
+    }
+
+    #[test]
+    fn policy_defaults_are_per_command() {
+        let a = parse_args(&argv("run")).unwrap();
+        assert_eq!(a.policy, None);
+        assert_eq!(a.policy_or("stay-away"), "stay-away");
+        assert_eq!(
+            a.policy_or("stayaway,reactive,null"),
+            "stayaway,reactive,null"
+        );
+        let a = parse_args(&argv("bench-scenarios --policy null")).unwrap();
+        assert_eq!(a.policy_or("stayaway,reactive,null"), "null");
+    }
+
+    #[test]
+    fn parses_workload_source_tokens() {
+        let a = parse_args(&argv("run --source workload:cpu-bomb")).unwrap();
+        assert_eq!(
+            SourceSpec::parse(&a.source).unwrap(),
+            SourceSpec::Workload {
+                scenario: "cpu-bomb".into()
+            }
+        );
+        assert!(SourceSpec::parse("workload:warp-core").is_err());
+    }
+
+    #[test]
+    fn workload_scenarios_run_under_cli_built_policies() {
+        // The bench-scenarios path: library scenario × PolicySpec-built
+        // policy, closed over the workload substrate.
+        let scenario = stay_away::workload::by_name("cpu-bomb").unwrap();
+        for name in ["stayaway", "reactive", "null"] {
+            let spec = PolicySpec::parse(name).unwrap();
+            let mut policy = spec
+                .build(&ControllerConfig::default(), &scenario.host)
+                .unwrap();
+            let row = bench_scenario(&scenario, policy.as_mut(), 7, 20).unwrap();
+            assert_eq!(row.scenario, "cpu-bomb");
+            assert_eq!(row.ticks, 20);
+            assert!(row.requests > 0);
+            assert!(row.p50_ms <= row.p95_ms && row.p95_ms <= row.p99_ms);
+        }
+    }
+
+    #[test]
+    fn every_library_scenario_drives_through_the_run_path() {
+        // The run --source workload:<name> path builds the same concrete
+        // source; make sure each library entry survives a short drive.
+        for name in stay_away::workload::names() {
+            let scenario = stay_away::workload::by_name(&name).unwrap();
+            let mut source = WorkloadSource::new(scenario, 7).unwrap();
+            let out = drive(&mut source, &mut stay_away::telemetry::NullPolicy::new(), 5).unwrap();
+            assert_eq!(out.timeline.len(), 5, "{name}");
+            assert!(source.totals().arrivals > 0, "{name}");
+        }
     }
 }

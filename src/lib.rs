@@ -34,7 +34,11 @@
 //!   comparison policies;
 //! * [`fleet`] — the sharded multi-cell runtime: N concurrent
 //!   harness+controller cells over a fixed worker pool, with deterministic
-//!   per-cell seeds and a cross-host template registry.
+//!   per-cell seeds and a cross-host template registry;
+//! * [`workload`] — the request-driven multi-tenant workload engine: a
+//!   deterministic discrete-event simulator of open-loop request arrivals,
+//!   container lifecycle and shared-resource contention, with a named
+//!   scenario library and per-request latency QoS.
 //!
 //! # Quickstart
 //!
@@ -71,3 +75,4 @@ pub use stayaway_sim as sim;
 pub use stayaway_statespace as statespace;
 pub use stayaway_telemetry as telemetry;
 pub use stayaway_trajectory as trajectory;
+pub use stayaway_workload as workload;
