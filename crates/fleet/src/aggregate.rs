@@ -106,6 +106,10 @@ pub struct PolicyRollup {
     pub throttles: u64,
     /// Total resume actions.
     pub resumes: u64,
+    /// Total events evicted from this cohort's bounded decision logs —
+    /// surfaces which control plane is churning hardest under memory
+    /// pressure.
+    pub events_dropped: u64,
     /// Total checked predictions (zero for non-predictive policies).
     pub prediction_checks: u64,
     /// Total checked predictions that matched reality.
@@ -122,6 +126,7 @@ impl PolicyRollup {
             total_batch_work: 0.0,
             throttles: 0,
             resumes: 0,
+            events_dropped: 0,
             prediction_checks: 0,
             prediction_hits: 0,
         }
@@ -137,6 +142,7 @@ impl PolicyRollup {
         self.total_batch_work += o.run.batch_work;
         self.throttles += o.stats.throttles;
         self.resumes += o.stats.resumes;
+        self.events_dropped += o.stats.events_dropped;
         self.prediction_checks += o.stats.prediction_checks;
         self.prediction_hits += o.stats.prediction_hits;
     }

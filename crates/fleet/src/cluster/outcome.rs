@@ -1,0 +1,159 @@
+//! Cluster-level rollups: per-host, per-job and cluster-wide.
+//!
+//! Like the fleet's [`crate::aggregate`], every derived float is a
+//! fixed-order fold over hosts (then jobs) in index order, and the JSON
+//! rendering deliberately excludes runtime knobs that must not influence
+//! results (the worker count above all) — so `workers = 1` and
+//! `workers = 8` render byte-identical documents, migration included.
+
+use crate::FleetError;
+use serde::{Deserialize, Serialize};
+use stayaway_obs::MetricsSnapshot;
+use stayaway_telemetry::QosSummary;
+
+/// The distilled result of one cluster host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostRollup {
+    /// Host index.
+    pub host: usize,
+    /// Host name (from the scenario).
+    pub name: String,
+    /// Sensitive-workload registry key (first sensitive resident).
+    pub sensitive: String,
+    /// Derived host seed.
+    pub seed: u64,
+    /// Whole-run sensitive QoS accounting on this host.
+    pub qos: QosSummary,
+    /// Per-request SLO violation rate of this host's sensitive tenants.
+    pub slo_violation_rate: f64,
+    /// Requests that arrived on this host (residents + injected jobs).
+    pub arrivals: u64,
+    /// Invocations completed on this host.
+    pub completed: u64,
+    /// Requests dropped on queue overflow.
+    pub dropped: u64,
+    /// Mean machine utilisation over the run.
+    pub mean_utilization: f64,
+    /// Mean utilisation gained from batch work (cores / capacity).
+    pub gained_utilization: f64,
+    /// Nominal batch work completed on this host.
+    pub batch_work: f64,
+    /// Throttles issued by the host controller.
+    pub throttles: u64,
+    /// Resumes issued by the host controller.
+    pub resumes: u64,
+    /// Events evicted from the host controller's bounded decision log.
+    pub events_dropped: u64,
+    /// Actions the engine rejected (e.g. pausing a detached tenant).
+    pub rejected_actions: u64,
+    /// True when the host controller warm-started from a registry
+    /// template.
+    pub imported_template: bool,
+    /// Every job that ran here at some point, in job-id order.
+    pub jobs_hosted: Vec<usize>,
+    /// The host engine's event-timeline fingerprint.
+    pub timeline_digest: u64,
+}
+
+/// The distilled result of one movable job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRollup {
+    /// Job id.
+    pub job: usize,
+    /// Job name.
+    pub name: String,
+    /// Requests the job's stream generated.
+    pub generated: u64,
+    /// FNV-1a digest of the generated `(arrival, service)` stream —
+    /// identical across cluster policies by construction.
+    pub arrival_digest: u64,
+    /// Requests dropped because the job waited unplaced too long.
+    pub dropped_unplaced: u64,
+    /// Every host the job ran on, in placement order.
+    pub placements: Vec<usize>,
+    /// Completed migrations.
+    pub migrations: u64,
+    /// Epochs spent waiting in the admission queue.
+    pub queued_epochs: u64,
+    /// True once the job was submitted during the run.
+    pub arrived: bool,
+    /// True once the job's stream ended and its work drained.
+    pub departed: bool,
+}
+
+/// The aggregated result of one cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterOutcome {
+    /// Cluster scenario name.
+    pub scenario: String,
+    /// Cluster policy that placed the jobs.
+    pub cluster_policy: String,
+    /// Per-host control policy.
+    pub host_policy: String,
+    /// The cluster seed everything derived from.
+    pub seed: u64,
+    /// Epochs run.
+    pub epochs: u64,
+    /// Control ticks per epoch.
+    pub ticks_per_epoch: u64,
+    /// Whether the migration verb was enabled.
+    pub migration: bool,
+    /// Pooled sensitive QoS accounting across hosts.
+    pub qos: QosSummary,
+    /// Pooled per-request SLO violation rate across hosts.
+    pub slo_violation_rate: f64,
+    /// Total nominal batch work completed across the cluster.
+    pub total_batch_work: f64,
+    /// Mean of the hosts' mean utilisations.
+    pub mean_utilization: f64,
+    /// Mean of the hosts' gained (batch) utilisations.
+    pub mean_gained_utilization: f64,
+    /// Total throttles across host controllers.
+    pub throttles: u64,
+    /// Total resumes across host controllers.
+    pub resumes: u64,
+    /// Total events evicted from bounded decision logs.
+    pub events_dropped: u64,
+    /// Jobs admitted (first placements).
+    pub admissions: u64,
+    /// Completed migrations.
+    pub migrations: u64,
+    /// Defer actions taken.
+    pub deferrals: u64,
+    /// Queue actions taken.
+    pub queue_actions: u64,
+    /// Actions the runner rejected as invalid (counted, never applied).
+    pub invalid_actions: u64,
+    /// Highest admission-queue depth observed at any epoch boundary.
+    pub max_queue_depth: u64,
+    /// Mean admission-queue depth over epoch boundaries.
+    pub mean_queue_depth: f64,
+    /// Jobs still waiting or running when the run ended.
+    pub jobs_unfinished: usize,
+    /// Per-host rollups, in host-index order.
+    pub per_host: Vec<HostRollup>,
+    /// Per-job rollups, in job-id order.
+    pub per_job: Vec<JobRollup>,
+    /// Cluster-wide metrics rollup (host registries merged in index
+    /// order, reduced to the stable view); `None` unless metrics
+    /// collection was enabled.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+impl ClusterOutcome {
+    /// Pooled QoS satisfaction across hosts.
+    pub fn satisfaction(&self) -> f64 {
+        self.qos.satisfaction()
+    }
+
+    /// Renders the outcome as pretty JSON. Deterministic: identical
+    /// outcomes render to identical bytes, and the worker count is not
+    /// part of the document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Registry`] on serialisation failure.
+    pub fn to_json(&self) -> Result<String, FleetError> {
+        serde_json::to_string_pretty(self).map_err(|e| FleetError::Registry(e.to_string()))
+    }
+}

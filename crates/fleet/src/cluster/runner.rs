@@ -1,0 +1,710 @@
+//! The deterministic cluster epoch loop.
+//!
+//! A [`Cluster`] advances all hosts in lockstep epochs. Everything that
+//! couples hosts — snapshots, the cluster policy's decision, placement
+//! actuation, arrival routing, departures — happens *serially* at the
+//! epoch boundary in fixed host/job order; between boundaries each host's
+//! event engine advances alone, and only that embarrassingly parallel
+//! part runs on the worker pool. Combined with placement-independent job
+//! streams ([`crate::cluster::job`]), the run is bit-identical for any
+//! worker count, migrations included.
+
+use crate::cluster::action::ClusterAction;
+use crate::cluster::job::JobState;
+use crate::cluster::outcome::{ClusterOutcome, HostRollup, JobRollup};
+use crate::cluster::policy::{ClusterPolicySpec, HostSnapshot, JobView};
+use crate::cluster::scenario::ClusterScenario;
+use crate::policy::PolicySpec;
+use crate::registry::TemplateRegistry;
+use crate::seed::derive_cell_seed;
+use crate::FleetError;
+use stayaway_core::{ControlPolicy, ControllerConfig, Observability};
+use stayaway_obs::MetricsRegistry;
+use stayaway_telemetry::{AppClass, QosSummary};
+use stayaway_workload::{WorkloadHost, WorkloadMetrics};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Configuration of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The cluster scenario (hosts + movable jobs).
+    pub scenario: ClusterScenario,
+    /// Epochs to run.
+    pub epochs: u64,
+    /// Control ticks per epoch (the placement cadence).
+    pub ticks_per_epoch: u64,
+    /// Worker threads advancing host engines between barriers. Never
+    /// affects results.
+    pub workers: usize,
+    /// The cluster seed; host and job seeds derive from it.
+    pub seed: u64,
+    /// The cluster scheduling plane.
+    pub cluster_policy: ClusterPolicySpec,
+    /// The per-host control plane.
+    pub host_policy: PolicySpec,
+    /// Whether the migration verb is enabled (the runner drops
+    /// [`ClusterAction::Migrate`] as invalid when off).
+    pub migration: bool,
+    /// When true, every host records into its own registry and the
+    /// outcome carries the merged stable view. Decision-inert.
+    pub collect_metrics: bool,
+    /// Controller configuration for Stay-Away host policies (each host
+    /// overrides the seed with its derived one).
+    pub controller: ControllerConfig,
+}
+
+impl ClusterConfig {
+    /// Builds a default configuration: 24 epochs × 8 ticks, 4 workers,
+    /// scoring placement with migration above per-host Stay-Away.
+    pub fn new(scenario: ClusterScenario, seed: u64) -> Self {
+        ClusterConfig {
+            scenario,
+            epochs: 24,
+            ticks_per_epoch: 8,
+            workers: 4,
+            seed,
+            cluster_policy: ClusterPolicySpec::Score,
+            host_policy: PolicySpec::StayAway,
+            migration: true,
+            collect_metrics: false,
+            controller: ControllerConfig::default(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] for zero epochs/ticks/workers
+    /// or an invalid scenario or host policy.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        let invalid = |reason: &str| FleetError::InvalidConfig {
+            reason: reason.into(),
+        };
+        if self.epochs == 0 {
+            return Err(invalid("cluster epochs must be positive"));
+        }
+        if self.ticks_per_epoch == 0 {
+            return Err(invalid("ticks per epoch must be positive"));
+        }
+        if self.workers == 0 {
+            return Err(invalid("cluster workers must be positive"));
+        }
+        self.scenario.validate()?;
+        self.host_policy.validate()
+    }
+}
+
+/// One open host: a workload engine plus its local control policy.
+struct HostCell {
+    idx: usize,
+    host: WorkloadHost,
+    policy: Box<dyn ControlPolicy + Send>,
+    registry: Option<MetricsRegistry>,
+    sensitive_key: String,
+    seed: u64,
+    cpu_capacity: f64,
+    imported_template: bool,
+    qos: QosSummary,
+    epoch_qos: QosSummary,
+    epoch_cpu_sum: f64,
+    epoch_ticks: u64,
+    sum_utilization: f64,
+    sum_batch_cpu: f64,
+    ticks: u64,
+    rejected: u64,
+}
+
+impl HostCell {
+    /// Runs `ticks` control ticks of the local closed loop, mirroring
+    /// `stayaway_telemetry::drive` decision for decision.
+    fn advance_epoch(&mut self, ticks: u64) {
+        self.epoch_qos = QosSummary::new();
+        self.epoch_cpu_sum = 0.0;
+        self.epoch_ticks = ticks;
+        for _ in 0..ticks {
+            let observation = self.host.advance_tick();
+            let actions = self.policy.decide(&observation);
+            self.rejected += self.host.apply(&actions);
+            let record = self
+                .host
+                .last_record(actions.len())
+                .expect("workload host records every tick");
+            if record.sensitive_active {
+                self.qos.record(record.qos_value, record.violated);
+                self.epoch_qos.record(record.qos_value, record.violated);
+            }
+            self.sum_utilization += record.utilization;
+            self.sum_batch_cpu += record.batch_cpu;
+            self.epoch_cpu_sum += record.sensitive_cpu + record.batch_cpu;
+            self.ticks += 1;
+        }
+    }
+
+    /// The host's epoch-boundary view for the cluster policy.
+    fn snapshot(&self, placed_jobs: Vec<usize>, registry: &TemplateRegistry) -> HostSnapshot {
+        HostSnapshot {
+            idx: self.idx,
+            name: self.host.scenario().name.clone(),
+            spec: self.host.scenario().host,
+            load: self.host.load(),
+            mean_cpu: if self.epoch_ticks > 0 {
+                self.epoch_cpu_sum / self.epoch_ticks as f64
+            } else {
+                0.0
+            },
+            epoch_qos: self.epoch_qos,
+            frozen_jobs: self.host.frozen_batch(),
+            placed_jobs,
+            template_violations: registry
+                .lookup(&self.sensitive_key)
+                .map(|e| e.template.violation_count() as u64),
+        }
+    }
+}
+
+/// Advances every cell one epoch. Serial for one worker; otherwise the
+/// cells are parked in slots and claimed by index from an atomic cursor —
+/// each cell is advanced exactly once, by exactly one worker, and the
+/// results are put back in index order, so scheduling cannot leak into
+/// the outcome.
+fn advance_all(cells: &mut Vec<HostCell>, ticks: u64, workers: usize) {
+    let workers = workers.min(cells.len());
+    if workers <= 1 {
+        for cell in cells.iter_mut() {
+            cell.advance_epoch(ticks);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<Option<HostCell>>> =
+        cells.drain(..).map(|c| Mutex::new(Some(c))).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let mut slot = slots[i].lock().expect("slot lock");
+                if let Some(cell) = slot.as_mut() {
+                    cell.advance_epoch(ticks);
+                }
+            });
+        }
+    });
+    cells.extend(slots.into_iter().map(|slot| {
+        slot.into_inner()
+            .expect("slot lock")
+            .expect("cell returned")
+    }));
+}
+
+/// A cluster of open hosts under one scheduling policy.
+pub struct Cluster {
+    config: ClusterConfig,
+    registry: Arc<TemplateRegistry>,
+}
+
+impl Cluster {
+    /// Builds a cluster with a fresh (empty) template registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] when the configuration is
+    /// inconsistent.
+    pub fn new(config: ClusterConfig) -> Result<Self, FleetError> {
+        Self::with_registry(config, Arc::new(TemplateRegistry::new()))
+    }
+
+    /// Like [`Cluster::new`] but starting from an existing registry, so
+    /// host controllers warm-start from templates captured earlier (and
+    /// the score policy sees their violation history from epoch 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] when the configuration is
+    /// inconsistent.
+    pub fn with_registry(
+        config: ClusterConfig,
+        registry: Arc<TemplateRegistry>,
+    ) -> Result<Self, FleetError> {
+        config.validate()?;
+        Ok(Cluster { config, registry })
+    }
+
+    /// The shared template registry.
+    pub fn registry(&self) -> &Arc<TemplateRegistry> {
+        &self.registry
+    }
+
+    fn build_cell(&self, idx: usize) -> Result<HostCell, FleetError> {
+        let scenario = self.config.scenario.hosts[idx].clone();
+        let seed = derive_cell_seed(self.config.seed, idx as u64);
+        let registry = self.config.collect_metrics.then(MetricsRegistry::new);
+        let mut host = WorkloadHost::new(scenario.clone(), seed)?;
+        if let Some(r) = &registry {
+            host = host.with_metrics(WorkloadMetrics::register(r));
+        }
+        let controller = ControllerConfig {
+            seed,
+            ..self.config.controller.clone()
+        };
+        let obs = match &registry {
+            Some(r) => Observability::enabled(r.clone()),
+            None => Observability::disabled(),
+        };
+        let mut policy =
+            self.config
+                .host_policy
+                .build_observed(&controller, &scenario.host, obs)?;
+        let sensitive_key = scenario
+            .tenants
+            .iter()
+            .find(|t| t.class == AppClass::Sensitive)
+            .map(|t| t.name.clone())
+            .expect("validated: every host has a sensitive tenant");
+        let mut imported_template = false;
+        if let Some(entry) = self.registry.lookup(&sensitive_key) {
+            imported_template = policy.import_template(&entry.template)?;
+        }
+        Ok(HostCell {
+            idx,
+            host,
+            policy,
+            registry,
+            sensitive_key,
+            seed,
+            cpu_capacity: scenario.host.cpu_cores,
+            imported_template,
+            qos: QosSummary::new(),
+            epoch_qos: QosSummary::new(),
+            epoch_cpu_sum: 0.0,
+            epoch_ticks: 0,
+            sum_utilization: 0.0,
+            sum_batch_cpu: 0.0,
+            ticks: 0,
+            rejected: 0,
+        })
+    }
+
+    /// Runs the cluster to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates host construction, controller and engine failures.
+    pub fn run(self) -> Result<ClusterOutcome, FleetError> {
+        let config = &self.config;
+        let tick_ns = config.scenario.tick_period_ns();
+        let epoch_ns = config.ticks_per_epoch * tick_ns;
+        let mut cells: Vec<HostCell> = (0..config.scenario.hosts.len())
+            .map(|idx| self.build_cell(idx))
+            .collect::<Result<_, _>>()?;
+        let mut jobs: Vec<JobState> = config
+            .scenario
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(id, spec)| JobState::new(id, spec.clone(), config.seed, tick_ns))
+            .collect();
+        let mut cluster_policy = config.cluster_policy.build(config.seed, config.migration);
+
+        let mut admissions = 0u64;
+        let mut migrations = 0u64;
+        let mut deferrals = 0u64;
+        let mut queue_actions = 0u64;
+        let mut invalid_actions = 0u64;
+        let mut max_queue_depth = 0u64;
+        let mut queue_depth_sum = 0u64;
+
+        for epoch in 0..config.epochs {
+            let start_ns = epoch * epoch_ns;
+            let start_tick = epoch * config.ticks_per_epoch;
+
+            // 1. Submissions reach the admission queue.
+            for job in &mut jobs {
+                if !job.arrived && job.spec.submit_tick <= start_tick {
+                    job.arrived = true;
+                }
+            }
+
+            // 2. Serial barrier: snapshots in host order, views in job
+            //    order, one policy decision.
+            let snapshots: Vec<HostSnapshot> = cells
+                .iter()
+                .map(|cell| {
+                    let placed = jobs
+                        .iter()
+                        .filter(|j| j.placement == Some(cell.idx) && !j.departed)
+                        .map(|j| j.id)
+                        .collect();
+                    cell.snapshot(placed, &self.registry)
+                })
+                .collect();
+            let views: Vec<JobView> = jobs
+                .iter()
+                .filter(|j| j.arrived && !j.departed)
+                .map(|j| JobView {
+                    id: j.id,
+                    name: j.spec.name.clone(),
+                    placement: j.placement,
+                    pending: match (j.placement, j.tenant_idx) {
+                        (Some(h), Some(ti)) => cells[h].host.tenant_pending(ti),
+                        _ => j.carried.len() as u64,
+                    },
+                    queued_epochs: j.queued_epochs,
+                    last_move_epoch: j.last_move_epoch,
+                    migrations: j.migrations,
+                    stream_done: j.stream_done(),
+                    est: JobView::estimate(&j.spec),
+                })
+                .collect();
+            let actions = cluster_policy.decide(epoch, &views, &snapshots);
+
+            // 3. Actuate in the policy's order; invalid verbs are counted
+            //    and dropped, never applied.
+            for action in actions {
+                let job_id = action.job();
+                let live = jobs.get(job_id).is_some_and(|j| j.arrived && !j.departed);
+                if !live {
+                    invalid_actions += 1;
+                    continue;
+                }
+                match action {
+                    ClusterAction::Admit { job, host } => {
+                        if jobs[job].placement.is_some() || host >= cells.len() {
+                            invalid_actions += 1;
+                            continue;
+                        }
+                        let ti = cells[host]
+                            .host
+                            .attach_tenant(jobs[job].spec.tenant.clone())?;
+                        jobs[job].placement = Some(host);
+                        jobs[job].tenant_idx = Some(ti);
+                        jobs[job].placements.push(host);
+                        jobs[job].last_move_epoch = epoch;
+                        admissions += 1;
+                    }
+                    ClusterAction::Queue { job } => {
+                        if jobs[job].placement.is_some() {
+                            invalid_actions += 1;
+                        } else {
+                            queue_actions += 1;
+                        }
+                    }
+                    ClusterAction::Defer { job } => {
+                        if jobs[job].placement.is_some() {
+                            invalid_actions += 1;
+                        } else {
+                            deferrals += 1;
+                        }
+                    }
+                    ClusterAction::Migrate { job, from, to } => {
+                        let valid = config.migration
+                            && jobs[job].placement == Some(from)
+                            && to != from
+                            && to < cells.len();
+                        if !valid {
+                            invalid_actions += 1;
+                            continue;
+                        }
+                        let ti = jobs[job].tenant_idx.expect("placed job has a tenant");
+                        let carried = cells[from].host.detach_tenant(ti)?;
+                        jobs[job].carry(carried);
+                        let ti = cells[to]
+                            .host
+                            .attach_tenant(jobs[job].spec.tenant.clone())?;
+                        jobs[job].placement = Some(to);
+                        jobs[job].tenant_idx = Some(ti);
+                        jobs[job].placements.push(to);
+                        jobs[job].last_move_epoch = epoch;
+                        jobs[job].migrations += 1;
+                        migrations += 1;
+                    }
+                }
+            }
+
+            // 4. Admission-queue depth accounting.
+            let depth = jobs
+                .iter_mut()
+                .filter(|j| j.arrived && !j.departed && j.placement.is_none())
+                .map(|j| j.queued_epochs += 1)
+                .count() as u64;
+            max_queue_depth = max_queue_depth.max(depth);
+            queue_depth_sum += depth;
+
+            // 5. Route this epoch's arrivals in job-id order. Generation
+            //    happens for every live job — placed or not — so the
+            //    streams are a pure function of the epoch grid.
+            for job in &mut jobs {
+                if !job.arrived || job.departed {
+                    continue;
+                }
+                let due = job.arrivals_before(start_ns + epoch_ns);
+                match (job.placement, job.tenant_idx) {
+                    (Some(h), Some(ti)) => {
+                        for (t, nominal) in job.carried.drain(..).chain(due) {
+                            // Past arrival times (carried backlog) are
+                            // clamped to the host's current tick boundary.
+                            cells[h].host.inject_arrival(ti, t, nominal)?;
+                        }
+                    }
+                    _ => job.carry(due),
+                }
+            }
+
+            // 6. Parallel section: each host advances alone.
+            advance_all(&mut cells, config.ticks_per_epoch, config.workers);
+
+            // 7. Departures, in job-id order at the epoch's end.
+            for job in &mut jobs {
+                if !job.arrived || job.departed || !job.stream_done() || !job.carried.is_empty() {
+                    continue;
+                }
+                match (job.placement, job.tenant_idx) {
+                    (Some(h), Some(ti)) => {
+                        if cells[h].host.tenant_pending(ti) == 0 {
+                            cells[h].host.detach_tenant(ti)?;
+                            job.placement = None;
+                            job.tenant_idx = None;
+                            job.departed = true;
+                        }
+                    }
+                    _ => job.departed = true,
+                }
+            }
+        }
+
+        // Publish learned templates in host order (order-independent
+        // conflict resolution lives in the registry, but fixed order keeps
+        // the walk deterministic anyway).
+        for cell in &cells {
+            if cell.policy.supports_templates() {
+                if let Some(template) = cell.policy.export_template(&cell.sensitive_key)? {
+                    self.registry.publish(template, cell.idx);
+                }
+            }
+        }
+
+        Ok(self.aggregate(
+            cells,
+            jobs,
+            admissions,
+            migrations,
+            deferrals,
+            queue_actions,
+            invalid_actions,
+            max_queue_depth,
+            queue_depth_sum,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate(
+        &self,
+        cells: Vec<HostCell>,
+        jobs: Vec<JobState>,
+        admissions: u64,
+        migrations: u64,
+        deferrals: u64,
+        queue_actions: u64,
+        invalid_actions: u64,
+        max_queue_depth: u64,
+        queue_depth_sum: u64,
+    ) -> ClusterOutcome {
+        let config = &self.config;
+        let mut qos = QosSummary::new();
+        let mut slo_met = 0u64;
+        let mut slo_total = 0u64;
+        let mut total_batch_work = 0.0;
+        let mut mean_utilization = 0.0;
+        let mut mean_gained = 0.0;
+        let mut throttles = 0u64;
+        let mut resumes = 0u64;
+        let mut events_dropped = 0u64;
+        let mut metrics: Option<stayaway_obs::MetricsSnapshot> = None;
+        let per_host: Vec<HostRollup> = cells
+            .iter()
+            .map(|cell| {
+                let totals = cell.host.totals();
+                let stats = cell.policy.stats();
+                qos.active_ticks += cell.qos.active_ticks;
+                qos.violations += cell.qos.violations;
+                qos.qos_sum += cell.qos.qos_sum;
+                qos.worst = qos.worst.min(cell.qos.worst);
+                slo_met += totals.sensitive_met;
+                slo_total += totals.sensitive_completed + totals.sensitive_dropped;
+                total_batch_work += cell.host.batch_work();
+                let ticks = cell.ticks.max(1) as f64;
+                mean_utilization += cell.sum_utilization / ticks;
+                let gained =
+                    cell.sum_batch_cpu / (ticks * cell.cpu_capacity.max(f64::MIN_POSITIVE));
+                mean_gained += gained;
+                throttles += stats.throttles;
+                resumes += stats.resumes;
+                events_dropped += stats.events_dropped;
+                if let Some(r) = &cell.registry {
+                    metrics
+                        .get_or_insert_with(stayaway_obs::MetricsSnapshot::default)
+                        .merge(&r.snapshot());
+                }
+                HostRollup {
+                    host: cell.idx,
+                    name: cell.host.scenario().name.clone(),
+                    sensitive: cell.sensitive_key.clone(),
+                    seed: cell.seed,
+                    qos: cell.qos,
+                    slo_violation_rate: totals.slo_violation_rate(),
+                    arrivals: totals.arrivals,
+                    completed: totals.completed,
+                    dropped: totals.dropped,
+                    mean_utilization: cell.sum_utilization / ticks,
+                    gained_utilization: gained,
+                    batch_work: cell.host.batch_work(),
+                    throttles: stats.throttles,
+                    resumes: stats.resumes,
+                    events_dropped: stats.events_dropped,
+                    rejected_actions: cell.rejected,
+                    imported_template: cell.imported_template,
+                    jobs_hosted: jobs
+                        .iter()
+                        .filter(|j| j.placements.contains(&cell.idx))
+                        .map(|j| j.id)
+                        .collect(),
+                    timeline_digest: cell.host.timeline_digest(),
+                }
+            })
+            .collect();
+        let per_job: Vec<JobRollup> = jobs
+            .iter()
+            .map(|j| JobRollup {
+                job: j.id,
+                name: j.spec.name.clone(),
+                generated: j.generated,
+                arrival_digest: j.digest,
+                dropped_unplaced: j.dropped_unplaced,
+                placements: j.placements.clone(),
+                migrations: j.migrations,
+                queued_epochs: j.queued_epochs,
+                arrived: j.arrived,
+                departed: j.departed,
+            })
+            .collect();
+        let hosts = cells.len().max(1) as f64;
+        ClusterOutcome {
+            scenario: config.scenario.name.clone(),
+            cluster_policy: config.cluster_policy.name().to_string(),
+            host_policy: config.host_policy.name().to_string(),
+            seed: config.seed,
+            epochs: config.epochs,
+            ticks_per_epoch: config.ticks_per_epoch,
+            migration: config.migration,
+            qos,
+            slo_violation_rate: if slo_total == 0 {
+                0.0
+            } else {
+                1.0 - slo_met as f64 / slo_total as f64
+            },
+            total_batch_work,
+            mean_utilization: mean_utilization / hosts,
+            mean_gained_utilization: mean_gained / hosts,
+            throttles,
+            resumes,
+            events_dropped,
+            admissions,
+            migrations,
+            deferrals,
+            queue_actions,
+            invalid_actions,
+            max_queue_depth,
+            mean_queue_depth: queue_depth_sum as f64 / config.epochs.max(1) as f64,
+            jobs_unfinished: jobs.iter().filter(|j| !j.departed).count(),
+            per_host,
+            per_job,
+            metrics: metrics.map(|m| m.stable_view()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::scenario::cluster_by_name;
+
+    fn config(name: &str, seed: u64) -> ClusterConfig {
+        let mut c = ClusterConfig::new(cluster_by_name(name).unwrap(), seed);
+        c.epochs = 10;
+        c.ticks_per_epoch = 4;
+        c
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut c = config("hotspot", 7);
+        c.epochs = 0;
+        assert!(Cluster::new(c).is_err());
+        let mut c = config("hotspot", 7);
+        c.ticks_per_epoch = 0;
+        assert!(Cluster::new(c).is_err());
+        let mut c = config("hotspot", 7);
+        c.workers = 0;
+        assert!(Cluster::new(c).is_err());
+        assert!(Cluster::new(config("hotspot", 7)).is_ok());
+    }
+
+    #[test]
+    fn a_short_run_admits_jobs_and_reports_rollups() {
+        // 16 epochs: enough for the last job (submitted at tick 32) to
+        // clear the score policy's bounded defer window.
+        let mut c = config("hotspot", 7);
+        c.epochs = 16;
+        let out = Cluster::new(c).unwrap().run().unwrap();
+        assert_eq!(out.scenario, "hotspot");
+        assert_eq!(out.per_host.len(), 3);
+        assert_eq!(out.per_job.len(), 4);
+        assert!(out.admissions >= 4, "all jobs should be placed eventually");
+        assert!(out.total_batch_work > 0.0);
+        assert!(out.qos.active_ticks > 0);
+        for job in &out.per_job {
+            assert!(job.arrived);
+            assert!(job.generated > 0);
+        }
+        // The worker count is not part of the document.
+        assert!(!out.to_json().unwrap().contains("workers"));
+    }
+
+    #[test]
+    fn throttle_only_round_robin_never_migrates() {
+        let mut c = config("hotspot", 7);
+        c.cluster_policy = ClusterPolicySpec::NoPlacement;
+        let out = Cluster::new(c).unwrap().run().unwrap();
+        assert_eq!(out.migrations, 0);
+        for job in &out.per_job {
+            assert_eq!(job.placements, vec![job.job % 3]);
+        }
+    }
+
+    #[test]
+    fn metrics_collection_is_decision_inert() {
+        let bare = Cluster::new(config("hotspot", 9)).unwrap().run().unwrap();
+        let mut c = config("hotspot", 9);
+        c.collect_metrics = true;
+        let observed = Cluster::new(c).unwrap().run().unwrap();
+        assert!(bare.metrics.is_none());
+        assert!(observed.metrics.is_some());
+        let strip = |mut o: ClusterOutcome| {
+            o.metrics = None;
+            o
+        };
+        assert_eq!(strip(bare), strip(observed));
+    }
+
+    #[test]
+    fn learned_templates_are_published_for_warm_starts() {
+        let cluster = Cluster::new(config("hotspot", 11)).unwrap();
+        let registry = Arc::clone(cluster.registry());
+        cluster.run().unwrap();
+        assert!(!registry.is_empty(), "stay-away hosts publish templates");
+    }
+}

@@ -4,6 +4,7 @@ use stayaway_core::CoreError;
 use stayaway_sim::SimError;
 use stayaway_statespace::StateSpaceError;
 use stayaway_telemetry::TelemetryError;
+use stayaway_workload::WorkloadError;
 
 /// Anything that can go wrong while planning or running a fleet.
 #[derive(Debug)]
@@ -19,6 +20,8 @@ pub enum FleetError {
     Core(CoreError),
     /// A cell's observation source failed.
     Telemetry(TelemetryError),
+    /// A cluster host's workload engine failed.
+    Workload(WorkloadError),
     /// Template registry (de)serialisation failed.
     Registry(String),
     /// A worker thread died without reporting a result.
@@ -37,6 +40,7 @@ impl std::fmt::Display for FleetError {
             FleetError::Sim(e) => write!(f, "cell simulator error: {e}"),
             FleetError::Core(e) => write!(f, "cell controller error: {e}"),
             FleetError::Telemetry(e) => write!(f, "cell observation source error: {e}"),
+            FleetError::Workload(e) => write!(f, "cluster host workload error: {e}"),
             FleetError::Registry(reason) => write!(f, "template registry error: {reason}"),
             FleetError::WorkerPanicked { cell } => {
                 write!(f, "worker panicked while running cell {cell}")
@@ -51,6 +55,7 @@ impl std::error::Error for FleetError {
             FleetError::Sim(e) => Some(e),
             FleetError::Core(e) => Some(e),
             FleetError::Telemetry(e) => Some(e),
+            FleetError::Workload(e) => Some(e),
             _ => None,
         }
     }
@@ -71,6 +76,12 @@ impl From<CoreError> for FleetError {
 impl From<TelemetryError> for FleetError {
     fn from(e: TelemetryError) -> Self {
         FleetError::Telemetry(e)
+    }
+}
+
+impl From<WorkloadError> for FleetError {
+    fn from(e: WorkloadError) -> Self {
+        FleetError::Workload(e)
     }
 }
 

@@ -48,6 +48,7 @@
 
 pub mod aggregate;
 pub mod cell;
+pub mod cluster;
 pub mod config;
 pub mod policy;
 pub mod registry;
@@ -59,6 +60,11 @@ mod error;
 
 pub use aggregate::{CellSummary, FleetOutcome, PolicyRollup};
 pub use cell::{CellOutcome, CellPlan};
+pub use cluster::{
+    cluster_by_name, cluster_library, cluster_names, derive_job_seed, Cluster, ClusterAction,
+    ClusterConfig, ClusterOutcome, ClusterPolicy, ClusterPolicySpec, ClusterScenario, HostRollup,
+    HostSnapshot, JobRollup, JobSpec, JobView,
+};
 pub use config::FleetConfig;
 pub use error::FleetError;
 pub use policy::PolicySpec;

@@ -142,7 +142,7 @@ impl PolicySpec {
         &self,
         config: &ControllerConfig,
         spec: &HostSpec,
-    ) -> Result<Box<dyn ControlPolicy>, CoreError> {
+    ) -> Result<Box<dyn ControlPolicy + Send>, CoreError> {
         self.build_observed(config, spec, Observability::disabled())
     }
 
@@ -158,7 +158,7 @@ impl PolicySpec {
         config: &ControllerConfig,
         spec: &HostSpec,
         obs: Observability,
-    ) -> Result<Box<dyn ControlPolicy>, CoreError> {
+    ) -> Result<Box<dyn ControlPolicy + Send>, CoreError> {
         Ok(match self {
             PolicySpec::StayAway => {
                 Box::new(Controller::for_host_observed(config.clone(), spec, obs)?)

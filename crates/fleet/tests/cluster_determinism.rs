@@ -1,0 +1,100 @@
+//! Cluster-plane determinism and placement-quality guarantees.
+//!
+//! The contract under test: a cluster run is bit-identical for any worker
+//! count (migration included), job request streams never depend on the
+//! cluster policy, and interference-aware scoring beats throttle-only
+//! Stay-Away on batch throughput without giving up sensitive SLO.
+
+use stayaway_fleet::{cluster_by_name, Cluster, ClusterConfig, ClusterOutcome, ClusterPolicySpec};
+
+fn run(
+    scenario: &str,
+    policy: ClusterPolicySpec,
+    workers: usize,
+    migration: bool,
+    seed: u64,
+) -> ClusterOutcome {
+    let mut config = ClusterConfig::new(cluster_by_name(scenario).unwrap(), seed);
+    config.cluster_policy = policy;
+    config.workers = workers;
+    config.migration = migration;
+    Cluster::new(config).unwrap().run().unwrap()
+}
+
+#[test]
+fn outcome_json_is_byte_identical_across_worker_counts_with_migration() {
+    // storm-cluster under scoring placement actually migrates, so this
+    // exercises the hardest case: detach/re-attach across the barrier.
+    let serial = run("storm-cluster", ClusterPolicySpec::Score, 1, true, 7);
+    assert!(
+        serial.migrations > 0,
+        "the scenario must exercise migration"
+    );
+    for workers in [2, 4, 8] {
+        let parallel = run("storm-cluster", ClusterPolicySpec::Score, workers, true, 7);
+        assert_eq!(
+            serial.to_json().unwrap(),
+            parallel.to_json().unwrap(),
+            "workers=1 vs workers={workers} diverged"
+        );
+    }
+}
+
+#[test]
+fn outcome_json_is_byte_identical_across_worker_counts_without_migration() {
+    let serial = run("hotspot", ClusterPolicySpec::Score, 1, false, 7);
+    assert_eq!(serial.migrations, 0);
+    let parallel = run("hotspot", ClusterPolicySpec::Score, 4, false, 7);
+    assert_eq!(serial.to_json().unwrap(), parallel.to_json().unwrap());
+}
+
+#[test]
+fn job_streams_are_identical_under_every_cluster_policy() {
+    for scenario in ["hotspot", "storm-cluster"] {
+        let outcomes: Vec<ClusterOutcome> = ClusterPolicySpec::all()
+            .iter()
+            .map(|p| run(scenario, *p, 4, true, 7))
+            .collect();
+        let reference = &outcomes[0];
+        for outcome in &outcomes[1..] {
+            for (a, b) in reference.per_job.iter().zip(&outcome.per_job) {
+                assert_eq!(
+                    a.arrival_digest, b.arrival_digest,
+                    "{scenario}: job '{}' stream differs between {} and {}",
+                    a.name, reference.cluster_policy, outcome.cluster_policy
+                );
+                assert_eq!(a.generated, b.generated);
+            }
+        }
+    }
+}
+
+#[test]
+fn scoring_beats_throttle_only_on_throughput_at_equal_or_better_slo() {
+    for scenario in ["hotspot", "storm-cluster"] {
+        let score = run(scenario, ClusterPolicySpec::Score, 4, true, 7);
+        let none = run(scenario, ClusterPolicySpec::NoPlacement, 4, true, 7);
+        assert!(
+            score.total_batch_work > none.total_batch_work,
+            "{scenario}: score batch work {} should beat throttle-only {}",
+            score.total_batch_work,
+            none.total_batch_work
+        );
+        assert!(
+            score.slo_violation_rate <= none.slo_violation_rate,
+            "{scenario}: score SLO violation rate {} should not exceed throttle-only {}",
+            score.slo_violation_rate,
+            none.slo_violation_rate
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let a = run("hotspot", ClusterPolicySpec::Score, 4, true, 13);
+    let b = run("hotspot", ClusterPolicySpec::Score, 4, true, 13);
+    assert_eq!(a, b);
+    // A different seed is a different experiment.
+    let c = run("hotspot", ClusterPolicySpec::Score, 4, true, 14);
+    assert_ne!(a.to_json().unwrap(), c.to_json().unwrap());
+}

@@ -1,0 +1,59 @@
+//! Property tests for the cluster seed space and stream independence.
+
+use proptest::prelude::*;
+use stayaway_fleet::{
+    cluster_by_name, derive_cell_seed, derive_job_seed, Cluster, ClusterConfig, ClusterPolicySpec,
+};
+use std::collections::BTreeSet;
+
+proptest! {
+    /// Host seeds stay collision-free at cluster scale for any cluster
+    /// seed — hosts never share randomness.
+    #[test]
+    fn host_seeds_are_distinct_at_cluster_scale(cluster_seed in any::<u64>()) {
+        let seeds: BTreeSet<u64> = (0..512).map(|i| derive_cell_seed(cluster_seed, i)).collect();
+        prop_assert_eq!(seeds.len(), 512);
+    }
+
+    /// Job stream seeds live in a disjoint index range: no job stream can
+    /// collide with any plausible host seed, for any cluster seed.
+    #[test]
+    fn job_seeds_never_collide_with_host_seeds(cluster_seed in any::<u64>(), job in 0u64..256) {
+        let hosts: BTreeSet<u64> = (0..1024).map(|i| derive_cell_seed(cluster_seed, i)).collect();
+        for stream in 0..2 {
+            let s = derive_job_seed(cluster_seed, job, stream);
+            prop_assert!(!hosts.contains(&s), "job ({job},{stream}) seed {s} collides");
+        }
+        prop_assert_ne!(
+            derive_job_seed(cluster_seed, job, 0),
+            derive_job_seed(cluster_seed, job, 1)
+        );
+    }
+}
+
+proptest! {
+    // Whole-cluster runs are expensive; a handful of random seeds is
+    // plenty on top of the deterministic integration tests.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For any cluster seed, every job's arrival digest is identical
+    /// under scoring placement and under throttle-only round-robin: the
+    /// request streams are placement-independent by construction.
+    #[test]
+    fn job_digests_are_policy_independent_for_any_seed(cluster_seed in any::<u64>()) {
+        let run = |policy: ClusterPolicySpec| {
+            let mut config =
+                ClusterConfig::new(cluster_by_name("hotspot").unwrap(), cluster_seed);
+            config.epochs = 6;
+            config.ticks_per_epoch = 4;
+            config.cluster_policy = policy;
+            Cluster::new(config).unwrap().run().unwrap()
+        };
+        let score = run(ClusterPolicySpec::Score);
+        let rr = run(ClusterPolicySpec::NoPlacement);
+        for (a, b) in score.per_job.iter().zip(&rr.per_job) {
+            prop_assert_eq!(a.arrival_digest, b.arrival_digest, "job {} diverged", a.name.clone());
+            prop_assert_eq!(a.generated, b.generated);
+        }
+    }
+}

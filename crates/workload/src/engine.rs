@@ -29,6 +29,7 @@ use crate::spec::WorkloadScenario;
 use crate::WorkloadError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use stayaway_telemetry::{
     Action, AppClass, ContainerId, ContainerObs, Observation, ResourceKind, ResourceVector,
     TickRecord,
@@ -64,6 +65,11 @@ enum EventKind {
         slot: usize,
         gen: u64,
     },
+    /// An externally generated request arrives at `tenant` (cluster-routed
+    /// job traffic). Carries its nominal service time, so processing it
+    /// consumes no host RNG stream: the request timeline stays a pure
+    /// function of whoever generated it, not of where it was routed.
+    Injected { tenant: usize, nominal_ns: u64 },
 }
 
 impl EventKind {
@@ -73,6 +79,7 @@ impl EventKind {
             EventKind::ContainerReady { .. } => 1,
             EventKind::Completion { .. } => 2,
             EventKind::IdleExpire { .. } => 3,
+            EventKind::Injected { .. } => 4,
         }
     }
 }
@@ -193,6 +200,10 @@ struct Tenant {
     name: String,
     class: AppClass,
     frozen: bool,
+    /// True once the tenant has been detached (migrated away): all its
+    /// containers are evicted, pending work was carried off, and the slot
+    /// remains only so container ids of later tenants stay stable.
+    detached: bool,
     arrival_rng: StdRng,
     service_rng: StdRng,
     containers: Vec<Container>,
@@ -218,6 +229,25 @@ impl Tenant {
             .filter(|c| c.state != ContainerState::Dead)
             .count() as u32
     }
+}
+
+/// An instantaneous load snapshot of the host, read by cluster placement
+/// policies at epoch boundaries. Pure accessors over the engine's running
+/// rate demands and container occupancy — taking one never mutates state.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HostLoad {
+    /// CPU cores demanded by running, unfrozen invocations.
+    pub cpu_rate: f64,
+    /// Memory bandwidth demanded, MB/s.
+    pub membw_rate: f64,
+    /// Disk bandwidth demanded, MB/s.
+    pub disk_rate: f64,
+    /// Network bandwidth demanded, MB/s.
+    pub net_rate: f64,
+    /// RAM occupied by alive containers (frozen included), MB.
+    pub mem_mb: f64,
+    /// LLC footprint of alive containers, MB.
+    pub cache_mb: f64,
 }
 
 /// The deterministic multi-tenant host engine.
@@ -295,6 +325,7 @@ impl WorkloadHost {
                 name: t.name.clone(),
                 class: t.class,
                 frozen: false,
+                detached: false,
                 arrival_rng: StdRng::seed_from_u64(arrival_seed),
                 service_rng: StdRng::seed_from_u64(service_seed),
                 containers: Vec::new(),
@@ -364,6 +395,186 @@ impl WorkloadHost {
     /// digest; any divergence in the timeline changes it.
     pub fn timeline_digest(&self) -> u64 {
         self.timeline_digest
+    }
+
+    /// Instantaneous load snapshot (cluster placement input).
+    pub fn load(&self) -> HostLoad {
+        HostLoad {
+            cpu_rate: self.total_cpu,
+            membw_rate: self.total_membw,
+            disk_rate: self.total_disk,
+            net_rate: self.total_net,
+            mem_mb: self.total_mem_mb,
+            cache_mb: self.total_cache_mb,
+        }
+    }
+
+    /// Number of tenants hosted (attached tenants included, detached
+    /// tombstones included — indices are stable for the whole run).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Requests of tenant `ti` still pending: queued plus in flight
+    /// (frozen invocations count — they finish after a resume).
+    pub fn tenant_pending(&self, ti: usize) -> u64 {
+        self.tenants
+            .get(ti)
+            .map_or(0, |t| t.queue.len() as u64 + u64::from(t.running_count))
+    }
+
+    /// True when tenant `ti` has been detached.
+    pub fn tenant_detached(&self, ti: usize) -> bool {
+        self.tenants.get(ti).is_some_and(|t| t.detached)
+    }
+
+    /// Batch tenants currently frozen (and not detached).
+    pub fn frozen_batch(&self) -> usize {
+        self.tenants
+            .iter()
+            .filter(|t| t.class == AppClass::Batch && t.frozen && !t.detached)
+            .count()
+    }
+
+    /// Attaches a new externally-driven tenant mid-run and returns its
+    /// index (= its stable [`ContainerId`]). The tenant receives **no**
+    /// native arrival stream — requests reach it only through
+    /// [`Self::inject_arrival`] — so attaching consumes no host RNG and
+    /// perturbs no resident tenant's timeline. Eager-keepalive tenants
+    /// start with one pre-warmed container; everyone else starts cold and
+    /// pays the cold start on first traffic (the migration cost).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidSpec`] when the tenant spec fails
+    /// validation.
+    pub fn attach_tenant(&mut self, spec: crate::spec::TenantSpec) -> Result<usize, WorkloadError> {
+        spec.validate()?;
+        let ti = self.tenants.len();
+        let mut tenant = Tenant {
+            name: spec.name.clone(),
+            class: spec.class,
+            frozen: false,
+            detached: false,
+            // Never consumed: attached tenants are externally driven.
+            arrival_rng: StdRng::seed_from_u64(splitmix64(ti as u64)),
+            service_rng: StdRng::seed_from_u64(splitmix64(ti as u64 + 1)),
+            containers: Vec::new(),
+            free_slots: Vec::new(),
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            running_free: Vec::new(),
+            running_count: 0,
+            inv_gen: 0,
+            run_cpu: 0.0,
+            run_membw: 0.0,
+            run_disk: 0.0,
+            run_net: 0.0,
+            stats: TickStats::default(),
+        };
+        if spec.keepalive.idle_window_ns().is_none() {
+            tenant.containers.push(Container {
+                state: ContainerState::Warm,
+                gen: 0,
+                active: 0,
+            });
+            self.total_mem_mb += spec.demand.container_mb;
+            self.total_cache_mb += spec.demand.cache_mb;
+        }
+        self.scenario.tenants.push(spec);
+        self.tenants.push(tenant);
+        Ok(ti)
+    }
+
+    /// Detaches a batch tenant (migration departure): aborts its in-flight
+    /// invocations, evicts all its containers (releasing RAM, cache and
+    /// rate demands), and returns the carried work — `(arrival_ns,
+    /// nominal_ns)` of every aborted in-flight invocation (slot order,
+    /// restarted from scratch wherever they land next) followed by every
+    /// queued request (FIFO). The slot stays as a tombstone so later
+    /// tenants keep their container ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidSpec`] for an unknown index, a
+    /// sensitive tenant (they are host-resident), or a double detach.
+    pub fn detach_tenant(&mut self, ti: usize) -> Result<Vec<(u64, u64)>, WorkloadError> {
+        let invalid = |reason: String| WorkloadError::InvalidSpec { reason };
+        match self.tenants.get(ti) {
+            None => return Err(invalid(format!("detach: unknown tenant {ti}"))),
+            Some(t) if t.class == AppClass::Sensitive => {
+                return Err(invalid(format!("detach: tenant {ti} is sensitive")))
+            }
+            Some(t) if t.detached => {
+                return Err(invalid(format!("detach: tenant {ti} already detached")))
+            }
+            Some(_) => {}
+        }
+        let now_ns = self.tick * self.tick_period_ns;
+        self.advance(now_ns);
+        let mut carried = Vec::new();
+        for i in 0..self.tenants[ti].running.len() {
+            let Some(r) = self.tenants[ti].running[i] else {
+                continue;
+            };
+            if r.frozen_remaining.is_none() {
+                self.sub_running_rates(ti);
+            }
+            carried.push((r.arrival_ns, r.nominal_ns));
+        }
+        let t = &mut self.tenants[ti];
+        t.running.clear();
+        t.running_free.clear();
+        t.running_count = 0;
+        t.inv_gen += 1; // pending Completion events are stale
+        carried.extend(t.queue.drain(..).map(|r| (r.arrival_ns, r.nominal_ns)));
+        for slot in 0..self.tenants[ti].containers.len() {
+            if self.tenants[ti].containers[slot].state != ContainerState::Dead {
+                self.evict_container(ti, slot);
+            }
+        }
+        let t = &mut self.tenants[ti];
+        t.frozen = false;
+        t.detached = true;
+        Ok(carried)
+    }
+
+    /// Schedules an externally generated request for tenant `ti` at
+    /// `time_ns` (clamped forward to the current tick boundary) with the
+    /// given nominal service time. Consumes no host RNG: the cluster's
+    /// job plane owns the arrival and service streams, so the same request
+    /// sequence lands wherever the job is placed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidSpec`] for an unknown or detached
+    /// tenant or a zero nominal service time.
+    pub fn inject_arrival(
+        &mut self,
+        ti: usize,
+        time_ns: u64,
+        nominal_ns: u64,
+    ) -> Result<(), WorkloadError> {
+        let invalid = |reason: String| WorkloadError::InvalidSpec { reason };
+        match self.tenants.get(ti) {
+            None => return Err(invalid(format!("inject: unknown tenant {ti}"))),
+            Some(t) if t.detached => {
+                return Err(invalid(format!("inject: tenant {ti} is detached")))
+            }
+            Some(_) => {}
+        }
+        if nominal_ns == 0 {
+            return Err(invalid("inject: nominal_ns must be positive".into()));
+        }
+        let time_ns = time_ns.max(self.tick * self.tick_period_ns);
+        self.push_event(
+            time_ns,
+            EventKind::Injected {
+                tenant: ti,
+                nominal_ns,
+            },
+        );
+        Ok(())
     }
 
     fn push_event(&mut self, time_ns: u64, kind: EventKind) {
@@ -749,7 +960,37 @@ impl WorkloadHost {
             EventKind::IdleExpire { tenant, slot, gen } => {
                 self.handle_idle_expire(tenant, slot, gen)
             }
+            EventKind::Injected { tenant, nominal_ns } => {
+                self.handle_injected(tenant, nominal_ns, event.time_ns)
+            }
         }
+    }
+
+    /// An externally routed request lands: same accounting as a native
+    /// arrival, but the nominal service time travels with the event
+    /// instead of being sampled, so no RNG stream moves.
+    fn handle_injected(&mut self, ti: usize, nominal_ns: u64, now_ns: u64) {
+        if self.tenants[ti].detached {
+            // The tenant left between injection and processing; the
+            // request is lost exactly like a queue overflow.
+            self.totals.dropped += 1;
+            if let Some(m) = &self.metrics {
+                m.dropped.inc();
+            }
+            return;
+        }
+        self.totals.arrivals += 1;
+        if let Some(m) = &self.metrics {
+            m.requests.inc();
+        }
+        self.dispatch(
+            ti,
+            Request {
+                arrival_ns: now_ns,
+                nominal_ns,
+            },
+            now_ns,
+        );
     }
 
     /// Freezes a batch tenant: in-flight invocations halt (remaining
@@ -829,7 +1070,9 @@ impl WorkloadHost {
                 Action::Resume(id) => (*id, false),
             };
             let ti = id.raw();
-            if ti >= self.tenants.len() || (pause && self.tenants[ti].class == AppClass::Sensitive)
+            if ti >= self.tenants.len()
+                || self.tenants[ti].detached
+                || (pause && self.tenants[ti].class == AppClass::Sensitive)
             {
                 rejected += 1;
                 continue;
@@ -925,7 +1168,7 @@ impl WorkloadHost {
                 class: t.class,
                 active,
                 paused: t.frozen,
-                finished: false,
+                finished: t.detached,
                 usage,
                 ipc,
                 priority: 0,
@@ -1114,6 +1357,110 @@ mod tests {
         let h = host("memcached-like", 1);
         assert_eq!(h.tenants[0].alive_containers(), 1); // eager kv-front
         assert_eq!(h.tenants[1].alive_containers(), 0); // fixed-keepalive batch
+    }
+
+    fn movable_job_spec(name: &str) -> crate::spec::TenantSpec {
+        crate::spec::TenantSpec {
+            name: name.into(),
+            class: AppClass::Batch,
+            arrival: crate::arrival::ArrivalProcess::Poisson { rps: 5.0 },
+            demand: crate::demand::DemandProfile {
+                service_ms: 200.0,
+                service_jitter: 0.1,
+                cpu_per_invocation: 1.0,
+                membw_per_invocation: 100.0,
+                disk_per_invocation: 0.0,
+                net_per_invocation: 0.0,
+                container_mb: 256.0,
+                cache_mb: 0.5,
+                concurrency: 2,
+                max_containers: 2,
+                cold_start_ms: 300.0,
+                queue_cap: 64,
+            },
+            keepalive: crate::demand::KeepalivePolicy::Fixed { idle_secs: 10.0 },
+        }
+    }
+
+    #[test]
+    fn attach_inject_detach_round_trips_work() {
+        let mut h = host("memcached-like", 31);
+        h.advance_tick();
+        let resident = h.tenant_count();
+        let ti = h.attach_tenant(movable_job_spec("mover")).unwrap();
+        assert_eq!(ti, resident);
+        // Route a burst in; the job runs and completes work.
+        let period = h.scenario().tick_period_ns();
+        for k in 0..8u64 {
+            h.inject_arrival(ti, h.tick() * period + k * period / 8, 200_000_000)
+                .unwrap();
+        }
+        let before = h.batch_work();
+        for _ in 0..5 {
+            h.advance_tick();
+        }
+        assert!(h.batch_work() > before, "injected work should complete");
+        // Inject more than completes, then detach: leftovers are carried.
+        for k in 0..32u64 {
+            h.inject_arrival(ti, h.tick() * period + k * period / 32, 400_000_000)
+                .unwrap();
+        }
+        h.advance_tick();
+        let pending = h.tenant_pending(ti);
+        assert!(pending > 0);
+        let mem_before = h.load().mem_mb;
+        let carried = h.detach_tenant(ti).unwrap();
+        assert_eq!(carried.len() as u64, pending);
+        assert!(h.tenant_detached(ti));
+        assert_eq!(h.tenant_pending(ti), 0);
+        assert!(h.load().mem_mb < mem_before, "detach releases RAM");
+        // Detached tenants reject further traffic and actions.
+        assert!(h.inject_arrival(ti, 0, 1).is_err());
+        assert!(h.detach_tenant(ti).is_err());
+        assert_eq!(h.apply(&[Action::Pause(ContainerId::from_raw(ti))]), 1);
+        // The host keeps running cleanly past the tombstone.
+        for _ in 0..5 {
+            let obs = h.advance_tick();
+            assert!(obs.containers[ti].finished);
+            assert!(!obs.containers[ti].active);
+        }
+    }
+
+    #[test]
+    fn detach_rejects_sensitive_tenants() {
+        let mut h = host("memcached-like", 33);
+        h.advance_tick();
+        assert!(h.detach_tenant(0).is_err()); // kv-front is sensitive
+        assert!(h.detach_tenant(99).is_err());
+    }
+
+    #[test]
+    fn injection_consumes_no_host_rng() {
+        // Two identical hosts; one also serves injected traffic on an
+        // attached tenant. The resident tenants' native arrival/service
+        // streams must be untouched: same arrivals, either way.
+        let mut bare = host("memcached-like", 35);
+        let mut fed = host("memcached-like", 35);
+        let ti = fed.attach_tenant(movable_job_spec("guest")).unwrap();
+        let period = fed.scenario().tick_period_ns();
+        for k in 0..40u64 {
+            fed.inject_arrival(ti, k * period / 4, 300_000_000).unwrap();
+        }
+        for _ in 0..20 {
+            bare.advance_tick();
+            fed.advance_tick();
+        }
+        assert_eq!(bare.totals().arrivals + 40, fed.totals().arrivals);
+        // Sensitive latency differs (the guest contends), but the
+        // sensitive request *count* is open-loop identical.
+        assert_eq!(
+            bare.totals().sensitive_completed
+                + bare.totals().sensitive_dropped
+                + bare.tenant_pending(0),
+            fed.totals().sensitive_completed
+                + fed.totals().sensitive_dropped
+                + fed.tenant_pending(0),
+        );
     }
 
     #[test]

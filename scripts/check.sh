@@ -4,12 +4,14 @@
 # fleet determinism suite, the parallel-mapping determinism suite at 1-8
 # workers, the staged-controller golden fixture, the
 # observability suites, the telemetry record→replay determinism
-# suite and the workload-engine determinism suite), a replay smoke run
+# suite, the workload-engine determinism suite and the cluster-plane
+# determinism suite at several worker counts), a replay smoke run
 # over the committed fixture trace, a metrics exposition smoke (64
 # instrumented ticks, output validated by the in-tree promlint), a
 # workload-scenario CLI smoke (library listing plus a short
-# request-driven run), and a compile check of every criterion bench
-# target. Run from anywhere inside the repository.
+# request-driven run), a bench-scenarios JSON smoke, a cluster CLI smoke
+# (single run plus the policy comparison table), and a compile check of
+# every criterion bench target. Run from anywhere inside the repository.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +33,13 @@ cargo test -q -p stayaway-core --test golden_fixture
 # and must uphold the fleet's worker-count-independence contract.
 cargo test -q -p stayaway-workload --test determinism
 cargo test -q -p stayaway-fleet --test determinism workload_cells_agree_across_worker_counts
+# Cluster determinism: the epoch loop must render byte-identical outcome
+# JSON for workers 1 vs 2/4/8 — with the migration verb exercised and
+# with it disabled — and job request streams must not depend on the
+# cluster policy (pinned both deterministically and by property tests
+# over random cluster seeds).
+cargo test -q -p stayaway-fleet --test cluster_determinism
+cargo test -q -p stayaway-fleet --test cluster_seed_props
 cargo test -q --test record_replay
 cargo test -q -p stayaway-obs
 cargo test -q --test observability
@@ -56,4 +65,23 @@ grep -q '"multi-tenant-storm"' <<<"$scenarios_out"
 workload_out="$(cargo run -q --release --bin stayaway -- \
     run --source workload:cpu-bomb --ticks 60)"
 grep -q '^latency: p50' <<<"$workload_out"
+# Bench-scenarios smoke: the scenario × policy grid must emit parseable
+# JSON rows carrying the per-request QoS fields downstream tooling keys
+# on (one row per scenario under the null policy keeps this fast).
+bench_out="$(cargo run -q --release --bin stayaway -- \
+    bench-scenarios --policy null --ticks 24 --json)"
+grep -q '"scenario": "cpu-bomb"' <<<"$bench_out"
+grep -q '"slo_violation_rate"' <<<"$bench_out"
+grep -q '"p99_ms"' <<<"$bench_out"
+# Cluster smoke: placement + admission queue + migration above per-host
+# controllers, end to end through the CLI; JSON must carry the per-job
+# rollups and must not leak the worker count into the document.
+cluster_out="$(cargo run -q --release --bin stayaway -- \
+    cluster --cluster-scenario hotspot --epochs 8 --epoch-ticks 4 --json)"
+grep -q '"cluster_policy": "score"' <<<"$cluster_out"
+grep -q '"arrival_digest"' <<<"$cluster_out"
+! grep -q '"workers"' <<<"$cluster_out"
+cluster_cmp="$(cargo run -q --release --bin stayaway -- \
+    cluster --compare --cluster-scenario hotspot --epochs 12 --epoch-ticks 4)"
+grep -q '^least-loaded' <<<"$cluster_cmp"
 cargo bench --workspace --no-run

@@ -13,6 +13,8 @@
 //! stayaway record --scenario vlc+cpu-bomb --out trace.jsonl
 //! stayaway replay --trace trace.jsonl
 //! stayaway fleet --cells 64 --workers 4 --seed 7 --share-templates --json
+//! stayaway cluster --cluster-scenario hotspot --cluster-policy score --json
+//! stayaway cluster --compare --cluster-scenario storm-cluster
 //! ```
 //!
 //! Scenario names are `<sensitive>+<batch>` with sensitive ∈ {vlc,
@@ -20,7 +22,10 @@
 //! twitter-analysis, vlc-transcode}.
 
 use stay_away::core::{ControlPolicy, ControllerConfig, ControllerStats, Observability};
-use stay_away::fleet::{Fleet, FleetConfig, PolicySpec, SourceSpec};
+use stay_away::fleet::{
+    cluster_by_name, cluster_library, Cluster, ClusterConfig, ClusterOutcome, ClusterPolicySpec,
+    Fleet, FleetConfig, PolicySpec, SourceSpec,
+};
 use stay_away::obs::{to_json, to_prometheus, MetricsRegistry, MetricsSnapshot};
 use stay_away::sim::apps::WebWorkload;
 use stay_away::sim::scenario::{BatchKind, Scenario, SensitiveKind};
@@ -43,6 +48,9 @@ commands:
                              stream to a JSONL trace file
   replay                     drive a policy from a recorded trace
   fleet                      run many co-location cells over a worker pool
+  cluster                    run movable batch jobs over an open cluster of
+                             workload hosts (placement + admission queue +
+                             migration above per-host controllers)
   metrics                    run one scenario with full instrumentation and
                              print the metrics exposition
   scenarios                  list the request-driven workload scenario
@@ -69,9 +77,19 @@ options:
   --out <path>               output path for capture (template.json) and
                              record (trace.jsonl)
   --cells <n>                fleet: number of co-location cells (default 8)
-  --workers <n>              fleet: worker threads (default 1; results are
-                             identical for any value)
+  --workers <n>              fleet/cluster: worker threads (default 1;
+                             results are identical for any value)
   --share-templates          fleet: warm-start cells from the registry
+  --cluster-scenario <name>  cluster: hotspot | storm-cluster
+                             (default hotspot)
+  --cluster-policy <name>    cluster: score | random | least-loaded | none
+                             (default score; none = throttle-only
+                             round-robin Stay-Away)
+  --epochs <n>               cluster: placement epochs (default 24)
+  --epoch-ticks <n>          cluster: control ticks per epoch (default 8)
+  --no-migration             cluster: disable the Migrate verb
+  --compare                  cluster: run every cluster policy and print
+                             the comparison table
   --metrics-out <path>       run/fleet/metrics: export the run's metrics
                              snapshot; `-` writes pretty JSON to stdout,
                              a `.json` path writes pretty JSON, any other
@@ -97,6 +115,14 @@ struct Args {
     cells: usize,
     workers: usize,
     share_templates: bool,
+    /// None means "not given": the cluster defaults to hotspot.
+    cluster_scenario: Option<String>,
+    /// None means "not given": the cluster defaults to scoring placement.
+    cluster_policy: Option<String>,
+    epochs: u64,
+    epoch_ticks: u64,
+    no_migration: bool,
+    compare: bool,
     metrics_out: Option<String>,
     json: bool,
 }
@@ -125,6 +151,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cells: 8,
         workers: 1,
         share_templates: false,
+        cluster_scenario: None,
+        cluster_policy: None,
+        epochs: 24,
+        epoch_ticks: 8,
+        no_migration: false,
+        compare: false,
         metrics_out: None,
         json: false,
     };
@@ -163,6 +195,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|_| "--workers expects an integer".to_string())?
             }
             "--share-templates" => args.share_templates = true,
+            "--cluster-scenario" => args.cluster_scenario = Some(value("--cluster-scenario")?),
+            "--cluster-policy" => args.cluster_policy = Some(value("--cluster-policy")?),
+            "--epochs" => {
+                args.epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|_| "--epochs expects an integer".to_string())?
+            }
+            "--epoch-ticks" => {
+                args.epoch_ticks = value("--epoch-ticks")?
+                    .parse()
+                    .map_err(|_| "--epoch-ticks expects an integer".to_string())?
+            }
+            "--no-migration" => args.no_migration = true,
+            "--compare" => args.compare = true,
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--json" => args.json = true,
             other => return Err(format!("unknown flag `{other}`")),
@@ -458,16 +504,105 @@ fn fleet_summary(outcome: &stay_away::fleet::FleetOutcome) {
     if outcome.per_policy.len() > 1 {
         for r in &outcome.per_policy {
             println!(
-                "  {:<16} {} cells  satisfaction {:>5.1}%  gained util {:>5.1}%  {} throttles / {} resumes",
+                "  {:<16} {} cells  satisfaction {:>5.1}%  gained util {:>5.1}%  {} throttles / {} resumes  {} log events dropped",
                 r.policy,
                 r.cells,
                 100.0 * r.satisfaction(),
                 100.0 * r.mean_gained_utilization,
                 r.throttles,
                 r.resumes,
+                r.events_dropped,
             );
         }
     }
+}
+
+fn cluster_summary(outcome: &ClusterOutcome) {
+    println!(
+        "cluster: {} ({} hosts, {} jobs), {} epochs x {} ticks, seed {}",
+        outcome.scenario,
+        outcome.per_host.len(),
+        outcome.per_job.len(),
+        outcome.epochs,
+        outcome.ticks_per_epoch,
+        outcome.seed,
+    );
+    println!(
+        "placement: {} above per-host {}, migration {}",
+        outcome.cluster_policy,
+        outcome.host_policy,
+        if outcome.migration { "on" } else { "off" },
+    );
+    println!(
+        "qos: {} violations / {} active ticks ({:.1}% satisfaction), pooled slo-violation {:.2}%",
+        outcome.qos.violations,
+        outcome.qos.active_ticks,
+        100.0 * outcome.satisfaction(),
+        100.0 * outcome.slo_violation_rate,
+    );
+    println!(
+        "utilization: mean {:.1}%, gained from batch {:.1}%, total batch work {:.0}",
+        100.0 * outcome.mean_utilization,
+        100.0 * outcome.mean_gained_utilization,
+        outcome.total_batch_work,
+    );
+    println!(
+        "scheduling: {} admissions, {} migrations, {} deferrals, {} queue actions \
+         (max depth {}, mean {:.2}), {} invalid, {} jobs unfinished",
+        outcome.admissions,
+        outcome.migrations,
+        outcome.deferrals,
+        outcome.queue_actions,
+        outcome.max_queue_depth,
+        outcome.mean_queue_depth,
+        outcome.invalid_actions,
+        outcome.jobs_unfinished,
+    );
+    println!(
+        "control: {} throttles, {} resumes, {} log events dropped",
+        outcome.throttles, outcome.resumes, outcome.events_dropped,
+    );
+    for h in &outcome.per_host {
+        println!(
+            "  host {:<12} satisfaction {:>5.1}%  slo-viol {:>5.2}%  batch work {:>6.0}  \
+             {} throttles  jobs {:?}",
+            h.name,
+            100.0 * h.qos.satisfaction(),
+            100.0 * h.slo_violation_rate,
+            h.batch_work,
+            h.throttles,
+            h.jobs_hosted,
+        );
+    }
+    for j in &outcome.per_job {
+        println!(
+            "  job  {:<14} {:>6} requests  hosts {:?}  {} migrations  {} queued epochs{}",
+            j.name,
+            j.generated,
+            j.placements,
+            j.migrations,
+            j.queued_epochs,
+            if j.departed { "  (departed)" } else { "" },
+        );
+    }
+}
+
+/// Runs one cluster configuration; the compare table and the single-run
+/// path share this builder so they measure exactly the same experiment.
+fn run_cluster_policy(args: &Args, policy: ClusterPolicySpec) -> Result<ClusterOutcome, String> {
+    let name = args.cluster_scenario.as_deref().unwrap_or("hotspot");
+    let scenario = cluster_by_name(name).map_err(|e| e.to_string())?;
+    let mut config = ClusterConfig::new(scenario, args.seed);
+    config.epochs = args.epochs;
+    config.ticks_per_epoch = args.epoch_ticks;
+    config.workers = args.workers.max(1);
+    config.cluster_policy = policy;
+    config.host_policy =
+        PolicySpec::parse(args.policy_or("stay-away")).map_err(|e| e.to_string())?;
+    config.migration = !args.no_migration;
+    config.collect_metrics = args.metrics_out.is_some();
+    let cluster = Cluster::new(config).map_err(|e| e.to_string())?;
+    cluster.run().map_err(|e| e.to_string())
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -482,6 +617,13 @@ fn run(argv: &[String]) -> Result<(), String> {
             );
             println!("policies:               stayaway, reactive, static, always, null");
             println!("workload scenarios:     see `stayaway scenarios`");
+            for c in cluster_library() {
+                println!("cluster scenario:       {:<14} {}", c.name, c.description);
+            }
+            println!(
+                "cluster policies:       {}",
+                ClusterPolicySpec::all().map(|p| p.name()).join(", ")
+            );
             Ok(())
         }
         "scenarios" => {
@@ -759,6 +901,69 @@ fn run(argv: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "cluster" => {
+            if args.compare {
+                let reference = run_cluster_policy(&args, ClusterPolicySpec::NoPlacement)?;
+                println!(
+                    "cluster comparison: {} ({} epochs x {} ticks, seed {}, host policy {}, migration {})\n",
+                    reference.scenario,
+                    reference.epochs,
+                    reference.ticks_per_epoch,
+                    reference.seed,
+                    reference.host_policy,
+                    if !args.no_migration { "on" } else { "off" },
+                );
+                println!(
+                    "{:<14} {:>10} {:>9} {:>8} {:>7} {:>6} {:>6} {:>7} {:>11}",
+                    "policy",
+                    "batch-work",
+                    "slo-viol",
+                    "satisf",
+                    "admits",
+                    "migr",
+                    "defer",
+                    "queued",
+                    "log-dropped",
+                );
+                for spec in ClusterPolicySpec::all() {
+                    let out = if spec == ClusterPolicySpec::NoPlacement {
+                        reference.clone()
+                    } else {
+                        run_cluster_policy(&args, spec)?
+                    };
+                    println!(
+                        "{:<14} {:>10.0} {:>8.2}% {:>7.1}% {:>7} {:>6} {:>6} {:>7} {:>11}",
+                        out.cluster_policy,
+                        out.total_batch_work,
+                        100.0 * out.slo_violation_rate,
+                        100.0 * out.satisfaction(),
+                        out.admissions,
+                        out.migrations,
+                        out.deferrals,
+                        out.queue_actions,
+                        out.events_dropped,
+                    );
+                }
+                return Ok(());
+            }
+            let policy =
+                ClusterPolicySpec::parse(args.cluster_policy.as_deref().unwrap_or("score"))
+                    .map_err(|e| e.to_string())?;
+            let outcome = run_cluster_policy(&args, policy)?;
+            if args.json {
+                println!("{}", outcome.to_json().map_err(|e| e.to_string())?);
+            } else {
+                cluster_summary(&outcome);
+            }
+            if let Some(path) = &args.metrics_out {
+                let rollup = outcome
+                    .metrics
+                    .as_ref()
+                    .ok_or("cluster produced no metrics rollup")?;
+                write_metrics(rollup, path)?;
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -818,6 +1023,63 @@ mod tests {
         assert!(parse_args(&argv("fleet --workers")).is_err());
         assert!(parse_args(&argv("replay --trace")).is_err());
         assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_cluster_flags() {
+        let a = parse_args(&argv(
+            "cluster --cluster-scenario storm-cluster --cluster-policy least-loaded \
+             --epochs 12 --epoch-ticks 4 --workers 4 --no-migration --json",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "cluster");
+        assert_eq!(a.cluster_scenario.as_deref(), Some("storm-cluster"));
+        assert_eq!(a.cluster_policy.as_deref(), Some("least-loaded"));
+        assert_eq!(a.epochs, 12);
+        assert_eq!(a.epoch_ticks, 4);
+        assert_eq!(a.workers, 4);
+        assert!(a.no_migration);
+        assert!(!a.compare);
+        assert!(a.json);
+        let a = parse_args(&argv("cluster --compare")).unwrap();
+        assert!(a.compare);
+        // Defaults when nothing is given: the library's standard shape.
+        assert_eq!(a.cluster_scenario, None);
+        assert_eq!(a.cluster_policy, None);
+        assert_eq!(a.epochs, 24);
+        assert_eq!(a.epoch_ticks, 8);
+        assert!(!a.no_migration);
+        assert!(parse_args(&argv("cluster --epochs abc")).is_err());
+        assert!(parse_args(&argv("cluster --cluster-policy")).is_err());
+        assert!(ClusterPolicySpec::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn cluster_command_runs_through_the_cli_path() {
+        // The same builder the `cluster` command uses, at smoke size.
+        let mut args = parse_args(&argv("cluster --epochs 4 --epoch-ticks 2 --seed 3")).unwrap();
+        let out = run_cluster_policy(&args, ClusterPolicySpec::Score).unwrap();
+        assert_eq!(out.scenario, "hotspot");
+        assert_eq!(out.cluster_policy, "score");
+        assert_eq!(out.host_policy, "stay-away");
+        assert_eq!(out.epochs, 4);
+        assert_eq!(out.per_host.len(), 3);
+        assert_eq!(out.per_job.len(), 4);
+        // --no-migration and the host-policy override flow through too.
+        args.no_migration = true;
+        args.policy = Some("reactive".into());
+        let out = run_cluster_policy(&args, ClusterPolicySpec::NoPlacement).unwrap();
+        assert!(!out.migration);
+        assert_eq!(out.migrations, 0);
+        assert_eq!(out.host_policy, "reactive");
+        assert!(run_cluster_policy(
+            &Args {
+                cluster_scenario: Some("warp-core".into()),
+                ..args
+            },
+            ClusterPolicySpec::Score,
+        )
+        .is_err());
     }
 
     #[test]
