@@ -1,0 +1,50 @@
+//! Per-tick cost of every prediction plane behind the [`Predictor`]
+//! trait, inside the full staged controller on the same scenario.
+//!
+//! The matrix puts the reference KDE plane next to its tournament
+//! competitors (xapp, denoise, last-tick) so the price of each forecast
+//! strategy is visible as a multiple of the (near-free) last-tick
+//! baseline rather than an absolute number. Criterion reports throughput
+//! in ticks, so the per-tick figure is the reciprocal of the element
+//! rate.
+//!
+//! [`Predictor`]: stayaway_core::predictors::Predictor
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stayaway_core::ControllerConfig;
+use stayaway_fleet::{PolicySpec, PredictorSpec};
+use stayaway_sim::scenario::Scenario;
+
+const TICKS: u64 = 200;
+
+fn bench_predictor_matrix(c: &mut Criterion) {
+    // Twitter-analysis keeps the verify loop busy (verdicts are checked,
+    // not all consumed by throttles), so every plane pays its full
+    // observe + forecast + verify cost.
+    let scenario = Scenario::vlc_with_twitter(42);
+
+    let mut group = c.benchmark_group("predictor_matrix");
+    group.sample_size(20);
+    for spec in PredictorSpec::all() {
+        // Each sample is one full 200-tick run including harness and
+        // controller construction; the setup cost is identical across
+        // rows, so differences between rows are pure per-tick predictor
+        // cost.
+        group.bench_function(format!("{}_{TICKS}_ticks", spec.name()), |b| {
+            b.iter(|| {
+                let mut harness = scenario.build_harness().expect("scenario builds");
+                let mut policy = PolicySpec::StayAway
+                    .build(
+                        &spec.apply(&ControllerConfig::default()),
+                        harness.host().spec(),
+                    )
+                    .expect("controller builds");
+                harness.run(policy.as_mut(), TICKS)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictor_matrix);
+criterion_main!(benches);

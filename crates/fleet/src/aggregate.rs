@@ -32,6 +32,9 @@ pub struct CellSummary {
     pub sensitive: String,
     /// Canonical name of the policy the cell ran.
     pub policy: String,
+    /// Predictor token the cell's controller ran, or `"-"` for baseline
+    /// policies (which carry no prediction plane).
+    pub predictor: String,
     /// Full source token the cell sensed through (`sim`, `trace:<path>`,
     /// `procfs` or `workload:<scenario>`).
     pub source: String,
@@ -70,6 +73,7 @@ impl CellSummary {
             scenario: o.scenario.clone(),
             sensitive: o.sensitive.clone(),
             policy: o.policy.clone(),
+            predictor: o.predictor.clone(),
             source: o.source.clone(),
             seed: o.seed,
             active_ticks: o.run.qos.active_ticks,
@@ -114,6 +118,9 @@ pub struct PolicyRollup {
     pub prediction_checks: u64,
     /// Total checked predictions that matched reality.
     pub prediction_hits: u64,
+    /// Total observation samples sanitised before they could poison a
+    /// model (sense-stage rejections plus predictor-reported ones).
+    pub samples_rejected: u64,
 }
 
 impl PolicyRollup {
@@ -129,6 +136,7 @@ impl PolicyRollup {
             events_dropped: 0,
             prediction_checks: 0,
             prediction_hits: 0,
+            samples_rejected: 0,
         }
     }
 
@@ -145,6 +153,7 @@ impl PolicyRollup {
         self.events_dropped += o.stats.events_dropped;
         self.prediction_checks += o.stats.prediction_checks;
         self.prediction_hits += o.stats.prediction_hits;
+        self.samples_rejected += o.stats.samples_rejected;
     }
 
     /// QoS satisfaction over this policy's pooled active ticks.
@@ -154,6 +163,91 @@ impl PolicyRollup {
 
     /// Prediction accuracy over this policy's pooled checks; `None` when
     /// no prediction was ever checked (non-predictive policies).
+    pub fn prediction_accuracy(&self) -> Option<f64> {
+        hit_ratio(self.prediction_hits, self.prediction_checks)
+    }
+}
+
+/// Per-predictor rollup of the Stay-Away cells that ran one prediction
+/// plane (DESIGN.md §15), for mixed-predictor fleets and the tournament.
+/// Baseline cells (predictor `"-"`) join no predictor rollup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictorRollup {
+    /// Canonical predictor token (`kde`, `xapp`, `denoise`, `last-tick`).
+    pub predictor: String,
+    /// Cells that ran this predictor.
+    pub cells: usize,
+    /// Pooled QoS accounting over those cells.
+    pub qos: QosSummary,
+    /// Mean of those cells' gained (batch) utilisations.
+    pub mean_gained_utilization: f64,
+    /// Total nominal batch work completed by those cells.
+    pub total_batch_work: f64,
+    /// Total throttle actions.
+    pub throttles: u64,
+    /// Total resume actions.
+    pub resumes: u64,
+    /// Total predicted violations.
+    pub violations_predicted: u64,
+    /// Total checked predictions.
+    pub prediction_checks: u64,
+    /// Total checked predictions that matched reality.
+    pub prediction_hits: u64,
+    /// Total observation samples sanitised before they could poison a
+    /// model (sense-stage rejections plus predictor-reported ones).
+    pub samples_rejected: u64,
+}
+
+impl PredictorRollup {
+    fn new(predictor: &str) -> Self {
+        PredictorRollup {
+            predictor: predictor.to_string(),
+            cells: 0,
+            qos: QosSummary::new(),
+            mean_gained_utilization: 0.0,
+            total_batch_work: 0.0,
+            throttles: 0,
+            resumes: 0,
+            violations_predicted: 0,
+            prediction_checks: 0,
+            prediction_hits: 0,
+            samples_rejected: 0,
+        }
+    }
+
+    fn fold(&mut self, o: &CellOutcome) {
+        self.cells += 1;
+        self.qos.active_ticks += o.run.qos.active_ticks;
+        self.qos.violations += o.run.qos.violations;
+        self.qos.qos_sum += o.run.qos.qos_sum;
+        self.qos.worst = self.qos.worst.min(o.run.qos.worst);
+        self.mean_gained_utilization += o.run.mean_gained_utilization(o.cpu_capacity);
+        self.total_batch_work += o.run.batch_work;
+        self.throttles += o.stats.throttles;
+        self.resumes += o.stats.resumes;
+        self.violations_predicted += o.stats.violations_predicted;
+        self.prediction_checks += o.stats.prediction_checks;
+        self.prediction_hits += o.stats.prediction_hits;
+        self.samples_rejected += o.stats.samples_rejected;
+    }
+
+    /// QoS satisfaction over this predictor's pooled active ticks.
+    pub fn satisfaction(&self) -> f64 {
+        self.qos.satisfaction()
+    }
+
+    /// Tick-level SLO-violation rate over this predictor's pooled active
+    /// ticks (0 when the cohort never ran).
+    pub fn slo_violation_rate(&self) -> f64 {
+        if self.qos.active_ticks == 0 {
+            0.0
+        } else {
+            self.qos.violations as f64 / self.qos.active_ticks as f64
+        }
+    }
+
+    /// Prediction accuracy over this predictor's pooled checks; `None`
+    /// when no verdict was ever checked.
     pub fn prediction_accuracy(&self) -> Option<f64> {
         hit_ratio(self.prediction_hits, self.prediction_checks)
     }
@@ -190,6 +284,9 @@ pub struct FleetOutcome {
     pub prediction_hits: u64,
     /// Total events evicted from bounded decision logs.
     pub events_dropped: u64,
+    /// Total observation samples sanitised fleet-wide (sense-stage
+    /// rejections plus predictor-reported ones).
+    pub samples_rejected: u64,
     /// Cells that warm-started from a registry template.
     pub cells_imported: usize,
     /// Cells whose *first* throttle was proactive — the §6 head-start
@@ -198,6 +295,9 @@ pub struct FleetOutcome {
     /// Per-policy rollups, in order of first appearance across cells
     /// (deterministic: cell plans are a pure function of the config).
     pub per_policy: Vec<PolicyRollup>,
+    /// Per-predictor rollups over the predictive (Stay-Away) cells, in
+    /// order of first appearance; empty when no cell ran a predictor.
+    pub per_predictor: Vec<PredictorRollup>,
     /// Per-cell summaries, in cell-index order.
     pub per_cell: Vec<CellSummary>,
     /// Fleet-wide metrics rollup: the per-cell registries merged in
@@ -222,9 +322,11 @@ impl FleetOutcome {
         let mut prediction_checks = 0;
         let mut prediction_hits = 0;
         let mut events_dropped = 0;
+        let mut samples_rejected = 0;
         let mut cells_imported = 0;
         let mut proactive_first_throttles = 0;
         let mut per_policy: Vec<PolicyRollup> = Vec::new();
+        let mut per_predictor: Vec<PredictorRollup> = Vec::new();
         let mut metrics: Option<MetricsSnapshot> = None;
         for o in outcomes {
             // Merge in cell-index order (outcomes arrive sorted), so the
@@ -242,6 +344,19 @@ impl FleetOutcome {
                     per_policy.push(rollup);
                 }
             }
+            if o.predictor != crate::predictor::PredictorSpec::NONE {
+                match per_predictor
+                    .iter_mut()
+                    .find(|r| r.predictor == o.predictor)
+                {
+                    Some(rollup) => rollup.fold(o),
+                    None => {
+                        let mut rollup = PredictorRollup::new(&o.predictor);
+                        rollup.fold(o);
+                        per_predictor.push(rollup);
+                    }
+                }
+            }
             qos.active_ticks += o.run.qos.active_ticks;
             qos.violations += o.run.qos.violations;
             qos.qos_sum += o.run.qos.qos_sum;
@@ -255,10 +370,14 @@ impl FleetOutcome {
             prediction_checks += o.stats.prediction_checks;
             prediction_hits += o.stats.prediction_hits;
             events_dropped += o.stats.events_dropped;
+            samples_rejected += o.stats.samples_rejected;
             cells_imported += usize::from(o.imported_template);
             proactive_first_throttles += usize::from(o.first_throttle_proactive);
         }
         for rollup in &mut per_policy {
+            rollup.mean_gained_utilization /= rollup.cells.max(1) as f64;
+        }
+        for rollup in &mut per_predictor {
             rollup.mean_gained_utilization /= rollup.cells.max(1) as f64;
         }
         let n = outcomes.len().max(1) as f64;
@@ -277,9 +396,11 @@ impl FleetOutcome {
             prediction_checks,
             prediction_hits,
             events_dropped,
+            samples_rejected,
             cells_imported,
             proactive_first_throttles,
             per_policy,
+            per_predictor,
             per_cell: outcomes.iter().map(CellSummary::from_outcome).collect(),
             metrics: metrics.map(|m| m.stable_view()),
         }

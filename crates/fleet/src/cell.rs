@@ -2,6 +2,7 @@
 //! "one host".
 
 use crate::policy::PolicySpec;
+use crate::predictor::PredictorSpec;
 use crate::seed::derive_cell_seed;
 use crate::source::SourceSpec;
 use crate::FleetError;
@@ -23,6 +24,9 @@ pub struct CellPlan {
     pub scenario: Scenario,
     /// The control plane this cell runs.
     pub policy: PolicySpec,
+    /// The prediction plane this cell's controller runs (ignored by
+    /// baseline policies, which carry no predictor).
+    pub predictor: PredictorSpec,
     /// The observation substrate this cell senses through.
     pub source: SourceSpec,
     /// When true, the cell records into its own [`MetricsRegistry`] and
@@ -39,6 +43,7 @@ impl CellPlan {
             seed: derive_cell_seed(fleet_seed, idx as u64),
             scenario,
             policy,
+            predictor: PredictorSpec::default(),
             source: SourceSpec::Sim,
             collect_metrics: false,
         }
@@ -48,6 +53,22 @@ impl CellPlan {
     pub fn with_source(mut self, source: SourceSpec) -> Self {
         self.source = source;
         self
+    }
+
+    /// Replaces the prediction plane (builder style).
+    pub fn with_predictor(mut self, predictor: PredictorSpec) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// The predictor name this cell reports: the canonical token for
+    /// predictive policies, [`PredictorSpec::NONE`] for baselines.
+    pub fn predictor_label(&self) -> &'static str {
+        if self.policy.uses_predictor() {
+            self.predictor.name()
+        } else {
+            PredictorSpec::NONE
+        }
     }
 
     /// Enables or disables per-cell metrics collection (builder style).
@@ -75,6 +96,9 @@ pub struct CellOutcome {
     pub sensitive: String,
     /// Canonical name of the policy the cell ran.
     pub policy: String,
+    /// Predictor token the cell's controller ran (`kde`, `xapp`,
+    /// `denoise`, `last-tick`), or `"-"` for baseline policies.
+    pub predictor: String,
     /// Full source token the cell sensed through (`sim`, `trace:<path>`,
     /// `procfs` or `workload:<scenario>`).
     pub source: String,
@@ -139,6 +163,7 @@ pub fn run_cell(
         .unwrap_or_else(|| *plan.scenario.host_spec());
     let config = ControllerConfig {
         seed: plan.seed,
+        predictor: plan.predictor.kind(),
         ..controller.clone()
     };
     let obs = match &registry {
@@ -171,6 +196,7 @@ pub fn run_cell(
         scenario: plan.scenario.name().to_string(),
         sensitive: plan.sensitive_key().to_string(),
         policy: plan.policy.name().to_string(),
+        predictor: plan.predictor_label().to_string(),
         source: plan.source.label(),
         seed: plan.seed,
         stats: policy.stats(),

@@ -3,7 +3,7 @@
 //! A [`JobSpec`] declares a batch tenant that exists *above* any single
 //! host: it is submitted to the cluster admission queue at a tick, streams
 //! open-loop arrivals for a bounded window, and departs once its work
-//! drains. The runtime [`JobState`] owns the job's arrival and service
+//! drains. The runtime `JobState` owns the job's arrival and service
 //! RNG streams — seeded from `(cluster_seed, job_id)` via
 //! [`derive_job_seed`], disjoint from the host-seed space — and generates
 //! `(arrival_ns, nominal_service_ns)` pairs against the cluster clock.

@@ -44,6 +44,14 @@ pub struct HostRollup {
     pub resumes: u64,
     /// Events evicted from the host controller's bounded decision log.
     pub events_dropped: u64,
+    /// Interference verdicts checked against observed outcomes on this
+    /// host.
+    pub prediction_checks: u64,
+    /// Checked verdicts the host controller got right.
+    pub prediction_hits: u64,
+    /// Observation samples the host's prediction plane sanitised before
+    /// learning (non-finite features).
+    pub samples_rejected: u64,
     /// Actions the engine rejected (e.g. pausing a detached tenant).
     pub rejected_actions: u64,
     /// True when the host controller warm-started from a registry
@@ -114,6 +122,13 @@ pub struct ClusterOutcome {
     pub resumes: u64,
     /// Total events evicted from bounded decision logs.
     pub events_dropped: u64,
+    /// Total interference verdicts checked against observed outcomes.
+    pub prediction_checks: u64,
+    /// Total checked verdicts the host controllers got right.
+    pub prediction_hits: u64,
+    /// Total observation samples the prediction planes sanitised before
+    /// learning.
+    pub samples_rejected: u64,
     /// Jobs admitted (first placements).
     pub admissions: u64,
     /// Completed migrations.
@@ -140,10 +155,26 @@ pub struct ClusterOutcome {
     pub metrics: Option<MetricsSnapshot>,
 }
 
+impl HostRollup {
+    /// Fraction of checked verdicts this host's controller got right;
+    /// `None` when no verdict was checked.
+    pub fn prediction_accuracy(&self) -> Option<f64> {
+        (self.prediction_checks > 0)
+            .then(|| self.prediction_hits as f64 / self.prediction_checks as f64)
+    }
+}
+
 impl ClusterOutcome {
     /// Pooled QoS satisfaction across hosts.
     pub fn satisfaction(&self) -> f64 {
         self.qos.satisfaction()
+    }
+
+    /// Pooled fraction of checked verdicts the host controllers got
+    /// right; `None` when no verdict was checked anywhere.
+    pub fn prediction_accuracy(&self) -> Option<f64> {
+        (self.prediction_checks > 0)
+            .then(|| self.prediction_hits as f64 / self.prediction_checks as f64)
     }
 
     /// Renders the outcome as pretty JSON. Deterministic: identical

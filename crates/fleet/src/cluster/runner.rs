@@ -523,6 +523,9 @@ impl Cluster {
         let mut throttles = 0u64;
         let mut resumes = 0u64;
         let mut events_dropped = 0u64;
+        let mut prediction_checks = 0u64;
+        let mut prediction_hits = 0u64;
+        let mut samples_rejected = 0u64;
         let mut metrics: Option<stayaway_obs::MetricsSnapshot> = None;
         let per_host: Vec<HostRollup> = cells
             .iter()
@@ -544,6 +547,9 @@ impl Cluster {
                 throttles += stats.throttles;
                 resumes += stats.resumes;
                 events_dropped += stats.events_dropped;
+                prediction_checks += stats.prediction_checks;
+                prediction_hits += stats.prediction_hits;
+                samples_rejected += stats.samples_rejected;
                 if let Some(r) = &cell.registry {
                     metrics
                         .get_or_insert_with(stayaway_obs::MetricsSnapshot::default)
@@ -565,6 +571,9 @@ impl Cluster {
                     throttles: stats.throttles,
                     resumes: stats.resumes,
                     events_dropped: stats.events_dropped,
+                    prediction_checks: stats.prediction_checks,
+                    prediction_hits: stats.prediction_hits,
+                    samples_rejected: stats.samples_rejected,
                     rejected_actions: cell.rejected,
                     imported_template: cell.imported_template,
                     jobs_hosted: jobs
@@ -612,6 +621,9 @@ impl Cluster {
             throttles,
             resumes,
             events_dropped,
+            prediction_checks,
+            prediction_hits,
+            samples_rejected,
             admissions,
             migrations,
             deferrals,

@@ -1,6 +1,7 @@
 //! Fleet configuration: how many cells, how many workers, which scenarios.
 
 use crate::policy::PolicySpec;
+use crate::predictor::PredictorSpec;
 use crate::source::SourceSpec;
 use crate::FleetError;
 use stayaway_core::ControllerConfig;
@@ -43,6 +44,13 @@ pub struct FleetConfig {
     /// list gives a homogeneous fleet; several entries run a mixed-policy
     /// population in one deterministic experiment.
     pub policies: Vec<PolicySpec>,
+    /// Prediction planes round-robined across Stay-Away cells (cell `i`
+    /// runs `predictors[i % predictors.len()]`); must be non-empty.
+    /// Baseline policies ignore the assignment. The default single-entry
+    /// KDE list keeps every cell on the paper's design; several entries
+    /// run a mixed-predictor population — the substrate of the predictor
+    /// tournament ([`crate::tournament`]).
+    pub predictors: Vec<PredictorSpec>,
     /// Observation substrates round-robined across cells (cell `i` senses
     /// through `sources[i % sources.len()]`); must be non-empty. The
     /// default single-entry `[SourceSpec::Sim]` list keeps every cell on
@@ -75,6 +83,7 @@ impl FleetConfig {
             collect_metrics: false,
             scenarios: Self::standard_mix(fleet_seed),
             policies: vec![PolicySpec::StayAway],
+            predictors: vec![PredictorSpec::default()],
             sources: vec![SourceSpec::Sim],
             controller: ControllerConfig::default(),
             mapping_workers: 1,
@@ -129,6 +138,11 @@ impl FleetConfig {
         for policy in &self.policies {
             policy.validate()?;
         }
+        if self.predictors.is_empty() {
+            return Err(FleetError::InvalidConfig {
+                reason: "predictor mix must not be empty".into(),
+            });
+        }
         if self.sources.is_empty() {
             return Err(FleetError::InvalidConfig {
                 reason: "source mix must not be empty".into(),
@@ -181,6 +195,10 @@ mod tests {
             },
             FleetConfig {
                 policies: Vec::new(),
+                ..base.clone()
+            },
+            FleetConfig {
+                predictors: Vec::new(),
                 ..base.clone()
             },
             FleetConfig {

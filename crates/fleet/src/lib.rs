@@ -51,14 +51,16 @@ pub mod cell;
 pub mod cluster;
 pub mod config;
 pub mod policy;
+pub mod predictor;
 pub mod registry;
 pub mod runner;
 pub mod seed;
 pub mod source;
+pub mod tournament;
 
 mod error;
 
-pub use aggregate::{CellSummary, FleetOutcome, PolicyRollup};
+pub use aggregate::{CellSummary, FleetOutcome, PolicyRollup, PredictorRollup};
 pub use cell::{CellOutcome, CellPlan};
 pub use cluster::{
     cluster_by_name, cluster_library, cluster_names, derive_job_seed, Cluster, ClusterAction,
@@ -68,7 +70,11 @@ pub use cluster::{
 pub use config::FleetConfig;
 pub use error::FleetError;
 pub use policy::PolicySpec;
+pub use predictor::PredictorSpec;
 pub use registry::{RegistryEntry, TemplateRegistry};
 pub use runner::Fleet;
 pub use seed::derive_cell_seed;
 pub use source::SourceSpec;
+pub use tournament::{
+    run_tournament, MeanCi, ScenarioScore, Standing, TournamentConfig, TournamentOutcome,
+};

@@ -109,6 +109,14 @@ impl PolicySpec {
         matches!(self, PolicySpec::StayAway)
     }
 
+    /// True when the policy runs a swappable prediction plane
+    /// (DESIGN.md §15) — i.e. consults
+    /// [`stayaway_core::ControllerConfig::predictor`]. Baselines do not;
+    /// their cells report no predictor and join no predictor rollup.
+    pub fn uses_predictor(&self) -> bool {
+        matches!(self, PolicySpec::StayAway)
+    }
+
     /// Validates the spec's parameters (so fleet configuration errors
     /// surface as errors, not as baseline constructor panics mid-run).
     ///

@@ -79,15 +79,17 @@ impl Fleet {
     }
 
     /// Builds the per-cell plans: scenario `i % mix`, policy
-    /// `i % policies` and source `i % sources`, reseeded with the derived
-    /// cell seed.
+    /// `i % policies`, predictor `i % predictors` and source
+    /// `i % sources`, reseeded with the derived cell seed.
     fn plans(&self) -> Vec<CellPlan> {
         (0..self.config.cells)
             .map(|idx| {
                 let scenario = self.config.scenarios[idx % self.config.scenarios.len()].clone();
                 let policy = self.config.policies[idx % self.config.policies.len()].clone();
+                let predictor = self.config.predictors[idx % self.config.predictors.len()];
                 let source = self.config.sources[idx % self.config.sources.len()].clone();
                 CellPlan::new(idx, self.config.fleet_seed, scenario, policy)
+                    .with_predictor(predictor)
                     .with_source(source)
                     .with_metrics_collection(self.config.collect_metrics)
             })

@@ -1,6 +1,7 @@
 //! Controller configuration.
 
 use crate::mapping::EmbeddingStrategy;
+use crate::predictors::PredictorKind;
 use crate::violation::ViolationDetection;
 use crate::CoreError;
 use stayaway_mds::SweepKernel;
@@ -46,8 +47,13 @@ pub struct ControllerConfig {
     pub violation_range_enabled: bool,
     /// Use one trajectory model per execution mode (the paper's design).
     /// `false` pools all modes into a single model — the ablation §3.2.3
-    /// argues against.
+    /// argues against. Consulted by the KDE prediction plane only.
     pub per_mode_models: bool,
+    /// Which prediction plane the controller runs (DESIGN.md §15): the
+    /// paper's KDE/trajectory predictor (default), the cross-application
+    /// interference scorer, the Alioth-style denoising monitor, or the
+    /// last-tick oracle baseline.
+    pub predictor: PredictorKind,
     /// How QoS violations are detected (§3.1): reported by the
     /// instrumented application, or inferred from the sensitive VM's IPC
     /// proxy.
@@ -96,6 +102,7 @@ impl Default for ControllerConfig {
             actions_enabled: true,
             violation_range_enabled: true,
             per_mode_models: true,
+            predictor: PredictorKind::Kde,
             violation_detection: ViolationDetection::AppReported,
             embedding_strategy: EmbeddingStrategy::Smacof,
             mapping_workers: 1,

@@ -77,7 +77,7 @@ impl Controller {
             rng: StdRng::seed_from_u64(config.seed ^ 0x517cc1b727220a95),
             sense: SenseStage::new(&config.metrics, config.violation_detection),
             map: MapStage::new(&config, spec)?.with_metrics(mapping_metrics),
-            predict: PredictStage::new(config.per_mode_models, config.prediction_samples),
+            predict: PredictStage::new(&config),
             act: ActStage::new(&config, spec.capacities()),
             events: EventLog::with_capacity(config.events_capacity),
             stats: ControllerStats::default(),
@@ -125,6 +125,9 @@ impl Controller {
     /// stage.
     pub fn stats(&self) -> ControllerStats {
         let mut s = self.stats;
+        // Features the prediction plane itself sanitised (zero for the
+        // KDE, which consumes already-clean mapped points only).
+        s.samples_rejected += self.predict.predictor_stats().rejected;
         s.states = self.map.repr_count();
         s.violation_states = self.map.state_map().violation_count();
         s.events_dropped = self.events.dropped();
@@ -183,7 +186,9 @@ impl Controller {
     /// Returns [`CoreError::Template`] on dimension mismatch and propagates
     /// embedding failures.
     pub fn import_template(&mut self, template: &Template) -> Result<(), CoreError> {
-        self.map.import_template(template)
+        self.map.import_template(template)?;
+        self.predict.on_template_imported(&self.map);
+        Ok(())
     }
 
     /// One control period; called by the [`Policy`] impl.
@@ -287,8 +292,16 @@ impl Controller {
                 let forecast =
                     self.predict
                         .forecast(&self.map, &sensed, mapped.point, &mut self.rng);
-                predict_span += span.elapsed();
+                let forecast_span = span.elapsed();
+                predict_span += forecast_span;
+                self.obs
+                    .forecast_latency
+                    .record(forecast_span.as_nanos() as u64);
                 if let Some(forecast) = forecast {
+                    self.obs.verdicts.inc();
+                    if forecast.predicted_violation {
+                        self.obs.violation_verdicts.inc();
+                    }
                     predicted_violation = forecast.predicted_violation;
                     if forecast.predicted_violation {
                         self.stats.violations_predicted += 1;

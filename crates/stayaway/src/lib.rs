@@ -12,11 +12,12 @@
 //!    normalised into `[0, 1]` per metric, deduplicated to a
 //!    representative sample set (§4), embedded into 2-D with warm-started
 //!    SMACOF and Procrustes-aligned to the previous period's map.
-//! 3. **Predict** ([`stages::predict`], backed by [`stayaway_trajectory`]):
-//!    the step is attributed to the current execution mode's trajectory
-//!    model; candidate future states are drawn by inverse-transform
-//!    sampling and tested against the violation-ranges of the state map
-//!    (§3.2).
+//! 3. **Predict** ([`stages::predict`], a shell over the swappable
+//!    [`predictors`] plane): the configured [`predictors::Predictor`] —
+//!    the paper's KDE/trajectory design by default, or a competitor
+//!    (`xapp`, `denoise`, `last-tick`) — feeds on the mapped observation
+//!    and forecasts whether the next co-located state violates (§3.2,
+//!    DESIGN.md §15).
 //! 4. **Act** ([`stages::act`], backed by [`action`]): a predicted (or
 //!    observed) violation pauses the batch applications holding the
 //!    majority resource share; the β-learned phase-change detector and a
@@ -66,6 +67,7 @@ pub mod events;
 pub mod mapping;
 pub mod obs;
 pub mod policy;
+pub mod predictors;
 pub mod stages;
 pub mod violation;
 
@@ -80,5 +82,6 @@ pub use events::{
 pub use mapping::EmbeddingStrategy;
 pub use obs::{MappingMetrics, Observability};
 pub use policy::ControlPolicy;
+pub use predictors::{Forecast, Predictor, PredictorKind, PredictorStats};
 pub use stayaway_mds::SweepKernel;
 pub use violation::{ViolationDetection, ViolationDetector};

@@ -99,6 +99,14 @@ pub(crate) struct ControllerMetrics {
     pub map_latency: Histogram,
     pub predict_latency: Histogram,
     pub act_latency: Histogram,
+    // Prediction-plane instruments (DESIGN.md §15): one record per
+    // forecast invocation of the configured predictor. Since a controller
+    // runs exactly one predictor, this histogram *is* per-predictor at
+    // cell granularity; fleet rollups attribute it via the per-predictor
+    // cohorts.
+    pub forecast_latency: Histogram,
+    pub verdicts: Counter,
+    pub violation_verdicts: Counter,
     pub periods: Counter,
     pub samples_rejected: Counter,
     pub violations_observed: Counter,
@@ -139,6 +147,18 @@ impl ControllerMetrics {
             act_latency: r.latency_histogram(
                 "stayaway_controller_act_latency_nanos",
                 "Wall time of the act stage per control period",
+            ),
+            forecast_latency: r.latency_histogram(
+                "stayaway_predict_forecast_latency_nanos",
+                "Wall time of one forecast invocation of the configured predictor",
+            ),
+            verdicts: r.counter(
+                "stayaway_predict_verdicts_total",
+                "Forecasts that produced a verdict (predictor past warm-up)",
+            ),
+            violation_verdicts: r.counter(
+                "stayaway_predict_violation_verdicts_total",
+                "Verdicts that predicted an impending violation",
             ),
             periods: r.counter(
                 "stayaway_controller_periods_total",

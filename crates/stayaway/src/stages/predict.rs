@@ -1,99 +1,60 @@
-//! Stage 3 — Predict: trajectory models and violation forecasts (§3.2.3).
+//! Stage 3 — Predict: the swappable prediction plane's stage shell.
 //!
-//! Owns the per-mode (or pooled, under the ablation) trajectory models,
-//! the previous-state cursor driving step attribution, and the pending
-//! verdict used to measure prediction accuracy against the actually
-//! reached next state.
+//! Since the prediction-plane refactor this stage owns no forecasting
+//! logic of its own: it holds one boxed [`Predictor`] implementation —
+//! the paper's KDE/trajectory design by default, or any competitor
+//! selected via [`crate::ControllerConfig::predictor`] — and adapts the
+//! controller's call sequence (verify → track → forecast →
+//! cancel-verdict) onto the trait. See [`crate::predictors`] for the
+//! trait contract and the shipped implementations (`kde`, `xapp`,
+//! `denoise`, `last-tick`).
 
 use super::map::MapStage;
 use super::sense::Sensed;
+use crate::config::ControllerConfig;
+use crate::predictors::{Predictor, PredictorKind, PredictorStats};
 use crate::CoreError;
 use rand::rngs::StdRng;
-use stayaway_statespace::{ExecutionMode, Point2};
-use stayaway_trajectory::{ModePredictor, Predictor, SingleModelPredictor, Step};
+use stayaway_statespace::Point2;
 
-/// Either of the two predictor designs, selected by
-/// [`crate::ControllerConfig::per_mode_models`].
-// One long-lived instance per controller: the size difference between the
-// variants is irrelevant, so no boxing.
-#[allow(clippy::large_enum_variant)]
-#[derive(Debug)]
-enum AnyPredictor {
-    PerMode(ModePredictor),
-    Single(SingleModelPredictor),
-}
+pub use crate::predictors::Forecast;
 
-impl AnyPredictor {
-    fn observe(&mut self, mode: ExecutionMode, step: Step) {
-        match self {
-            AnyPredictor::PerMode(p) => p.observe(mode, step),
-            AnyPredictor::Single(p) => p.observe(mode, step),
-        }
-    }
-
-    fn predict(
-        &self,
-        mode: ExecutionMode,
-        current: Point2,
-        n: usize,
-        rng: &mut StdRng,
-    ) -> Option<stayaway_trajectory::Prediction> {
-        match self {
-            AnyPredictor::PerMode(p) => p.predict(mode, current, n, rng),
-            AnyPredictor::Single(p) => p.predict(mode, current, n, rng),
-        }
-    }
-}
-
-/// One period's violation forecast.
-#[derive(Debug, Clone, Copy)]
-pub struct Forecast {
-    /// Majority of sampled candidates fell inside a violation-range.
-    pub predicted_violation: bool,
-    /// Candidates inside a violation-range.
-    pub votes: usize,
-    /// Total candidates drawn.
-    pub samples: usize,
-}
-
-/// The prediction stage: per-mode trajectory sampling over the state map.
-#[derive(Debug)]
+/// The prediction stage: a shell around the configured [`Predictor`].
 pub struct PredictStage {
-    predictor: AnyPredictor,
-    samples: usize,
-    prev: Option<(usize, ExecutionMode)>,
-    pending_verdict: Option<bool>,
+    predictor: Box<dyn Predictor>,
+}
+
+impl std::fmt::Debug for PredictStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictStage")
+            .field("predictor", &self.predictor.kind().name())
+            .finish()
+    }
 }
 
 impl PredictStage {
-    /// Creates the stage: one model per execution mode (the paper's
-    /// design) or a single pooled model (ablation), drawing `samples`
-    /// candidates per forecast.
-    pub fn new(per_mode_models: bool, samples: usize) -> Self {
-        let predictor = if per_mode_models {
-            AnyPredictor::PerMode(ModePredictor::new())
-        } else {
-            AnyPredictor::Single(SingleModelPredictor::new())
-        };
+    /// Creates the stage with the predictor the configuration selects
+    /// ([`ControllerConfig::predictor`], tuned by `per_mode_models` and
+    /// `prediction_samples` where the plane consults them).
+    pub fn new(config: &ControllerConfig) -> Self {
         PredictStage {
-            predictor,
-            samples,
-            prev: None,
-            pending_verdict: None,
+            predictor: config.predictor.build(config),
         }
+    }
+
+    /// Which prediction plane this stage runs.
+    pub fn kind(&self) -> PredictorKind {
+        self.predictor.kind()
     }
 
     /// Checks the previous period's forecast against the state actually
     /// reached. Returns `Some(hit)` when a verdict was pending.
     pub fn verify(&mut self, map: &MapStage, rep: usize, point: Point2) -> Option<bool> {
-        let predicted_in_range = self.pending_verdict.take()?;
-        let actually_in_range = map.in_violation_range(point) || map.is_violation_state(rep);
-        Some(predicted_in_range == actually_in_range)
+        self.predictor.verify(map, rep, point)
     }
 
-    /// Attributes the step from the previous representative's current
-    /// position to `point` to the sensed mode's trajectory model, and
-    /// advances the previous-state cursor.
+    /// Feeds this period's mapped observation into the predictor's model
+    /// and advances the previous-state cursor.
     ///
     /// # Errors
     ///
@@ -105,17 +66,12 @@ impl PredictStage {
         point: Point2,
         sensed: &Sensed,
     ) -> Result<(), CoreError> {
-        if let Some((prev_rep, _)) = self.prev {
-            let step = Step::between(map.point_of(prev_rep)?, point);
-            self.predictor.observe(sensed.mode, step);
-        }
-        self.prev = Some((rep, sensed.mode));
-        Ok(())
+        self.predictor.observe(map, rep, point, sensed)
     }
 
-    /// Draws candidate future states from the sensed mode's model and votes
-    /// them against the violation-ranges; records the verdict for next
-    /// period's accuracy check. `None` while the model has no samples yet.
+    /// Forecasts the next co-located state's violation verdict; records
+    /// the verdict for next period's accuracy check. `None` while the
+    /// predictor is still warming up.
     pub fn forecast(
         &mut self,
         map: &MapStage,
@@ -123,27 +79,27 @@ impl PredictStage {
         point: Point2,
         rng: &mut StdRng,
     ) -> Option<Forecast> {
-        let prediction = self
-            .predictor
-            .predict(sensed.mode, point, self.samples, rng)?;
-        let votes = prediction.count_where(|c| map.in_violation_range(c));
-        let predicted_violation = 2 * votes > prediction.len();
-        self.pending_verdict = Some(predicted_violation);
-        Some(Forecast {
-            predicted_violation,
-            votes,
-            samples: prediction.len(),
-        })
+        self.predictor.forecast(map, sensed, point, rng)
     }
 
     /// Drops the pending verdict: a throttle consumed the prediction, so
     /// its next state will not be observed under co-location.
     pub fn cancel_verdict(&mut self) {
-        self.pending_verdict = None;
+        self.predictor.cancel_verdict();
     }
 
     /// The representative the most recent observation mapped to.
     pub fn current_state(&self) -> Option<usize> {
-        self.prev.map(|(rep, _)| rep)
+        self.predictor.current_state()
+    }
+
+    /// The predictor's self-reported counters.
+    pub fn predictor_stats(&self) -> PredictorStats {
+        self.predictor.stats()
+    }
+
+    /// Notifies the predictor that the map warm-started from a template.
+    pub fn on_template_imported(&mut self, map: &MapStage) {
+        self.predictor.on_template_imported(map);
     }
 }

@@ -120,5 +120,36 @@ fn fully_instrumented_run_matches_the_golden_fixture_bit_for_bit() {
             .unwrap_or_else(|| panic!("{name} registered"));
         assert_eq!(hist.hist.count, 300, "{name} records one sample per period");
     }
+    // The prediction-plane instruments (DESIGN.md §15) are equally
+    // decision-inert: the run above matched the fixture bit-for-bit, yet
+    // the forecast latency histogram and verdict counters did record.
+    let forecast = snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "stayaway_predict_forecast_latency_nanos")
+        .expect("forecast latency histogram registered");
+    assert!(
+        forecast.hist.count > 0,
+        "forecast latency records one sample per forecast invocation"
+    );
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("{name} registered"))
+            .value
+    };
+    let verdicts = counter("stayaway_predict_verdicts_total");
+    let violation_verdicts = counter("stayaway_predict_violation_verdicts_total");
+    assert!(verdicts > 0, "the KDE issued verdicts on this scenario");
+    assert!(
+        violation_verdicts <= verdicts,
+        "violation verdicts are a subset of all verdicts"
+    );
+    assert!(
+        verdicts <= forecast.hist.count,
+        "every verdict came from a recorded forecast invocation"
+    );
     assert!(!sink.is_empty(), "span sink captured records");
 }

@@ -10,8 +10,10 @@
 # instrumented ticks, output validated by the in-tree promlint), a
 # workload-scenario CLI smoke (library listing plus a short
 # request-driven run), a bench-scenarios JSON smoke, a cluster CLI smoke
-# (single run plus the policy comparison table), and a compile check of
-# every criterion bench target. Run from anywhere inside the repository.
+# (single run plus the policy comparison table), the predictor-plane and
+# tournament determinism suites with a tournament CLI smoke (ranked
+# table, leak-free JSON), and a compile check of every criterion bench
+# target. Run from anywhere inside the repository.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +42,13 @@ cargo test -q -p stayaway-fleet --test determinism workload_cells_agree_across_w
 # over random cluster seeds).
 cargo test -q -p stayaway-fleet --test cluster_determinism
 cargo test -q -p stayaway-fleet --test cluster_seed_props
+# Predictor-plane determinism: the KDE reference through the Predictor
+# trait must stay bit-for-bit on the pre-refactor golden fixture, every
+# competitor plane must drive deterministic NaN-free runs, and the
+# tournament's ranked JSON — bootstrap confidence intervals included —
+# must be byte-identical for any worker count.
+cargo test -q -p stayaway-core --test predictor_plane
+cargo test -q -p stayaway-fleet --test tournament_determinism
 cargo test -q --test record_replay
 cargo test -q -p stayaway-obs
 cargo test -q --test observability
@@ -84,4 +93,20 @@ grep -q '"arrival_digest"' <<<"$cluster_out"
 cluster_cmp="$(cargo run -q --release --bin stayaway -- \
     cluster --compare --cluster-scenario hotspot --epochs 12 --epoch-ticks 4)"
 grep -q '^least-loaded' <<<"$cluster_cmp"
+# Tournament smoke: the predictor × scenario sweep must print a ranked
+# table naming every plane, and its JSON contract must hold — standings
+# with bootstrap CIs present, no worker count and no wall-clock latency
+# leaked into the document.
+tournament_out="$(cargo run -q --release --bin stayaway -- \
+    tournament --cells 1 --ticks 64 --resamples 100)"
+grep -q '^rank' <<<"$tournament_out"
+for plane in kde xapp denoise last-tick; do
+    grep -q "$plane" <<<"$tournament_out"
+done
+tournament_json="$(cargo run -q --release --bin stayaway -- \
+    tournament --cells 1 --ticks 64 --resamples 100 --workers 4 --json)"
+grep -q '"standings"' <<<"$tournament_json"
+grep -q '"lo"' <<<"$tournament_json"
+! grep -q '"workers"' <<<"$tournament_json"
+! grep -q 'decide_nanos' <<<"$tournament_json"
 cargo bench --workspace --no-run

@@ -13,6 +13,9 @@
 //! stayaway record --scenario vlc+cpu-bomb --out trace.jsonl
 //! stayaway replay --trace trace.jsonl
 //! stayaway fleet --cells 64 --workers 4 --seed 7 --share-templates --json
+//! stayaway fleet --predictor kde,xapp,denoise,last-tick --json
+//! stayaway tournament --json
+//! stayaway tournament --scenario cpu-bomb,flash-crowd --predictor kde,xapp
 //! stayaway cluster --cluster-scenario hotspot --cluster-policy score --json
 //! stayaway cluster --compare --cluster-scenario storm-cluster
 //! ```
@@ -23,8 +26,9 @@
 
 use stay_away::core::{ControlPolicy, ControllerConfig, ControllerStats, Observability};
 use stay_away::fleet::{
-    cluster_by_name, cluster_library, Cluster, ClusterConfig, ClusterOutcome, ClusterPolicySpec,
-    Fleet, FleetConfig, PolicySpec, SourceSpec,
+    cluster_by_name, cluster_library, run_tournament, Cluster, ClusterConfig, ClusterOutcome,
+    ClusterPolicySpec, Fleet, FleetConfig, PolicySpec, PredictorSpec, SourceSpec, TournamentConfig,
+    TournamentOutcome,
 };
 use stay_away::obs::{to_json, to_prometheus, MetricsRegistry, MetricsSnapshot};
 use stay_away::sim::apps::WebWorkload;
@@ -48,6 +52,10 @@ commands:
                              stream to a JSONL trace file
   replay                     drive a policy from a recorded trace
   fleet                      run many co-location cells over a worker pool
+  tournament                 rank every prediction plane over a set of
+                             workload scenarios (the full predictor x
+                             scenario cross-product, with bootstrap
+                             confidence intervals)
   cluster                    run movable batch jobs over an open cluster of
                              workload hosts (placement + admission queue +
                              migration above per-host controllers)
@@ -60,11 +68,20 @@ commands:
 
 options:
   --scenario <sens>+<batch>  e.g. vlc+cpu-bomb, web-mem+twitter-analysis
-                             (fleet default: a 4-scenario mix)
+                             (fleet default: a 4-scenario mix; tournament:
+                             comma-separated workload scenario names,
+                             default cpu-bomb,memory-bomb,flash-crowd)
   --policy <name>            stayaway | reactive | static | always | null
                              (fleet/bench-scenarios: comma-separated list,
                              e.g. stayaway,reactive; bench-scenarios
                              default stayaway,reactive,null)
+  --predictor <name>         prediction plane for the stay-away controller:
+                             kde | xapp | denoise | last-tick (default kde;
+                             fleet/tournament: comma-separated list — the
+                             fleet round-robins it across cells, the
+                             tournament enters every listed plane)
+  --resamples <n>            tournament: bootstrap resamples behind each
+                             confidence interval (default 1000)
   --source <spec>            observation substrate for run/compare/fleet:
                              sim | trace:<path> | procfs |
                              workload:<scenario> (default sim; fleet:
@@ -76,7 +93,9 @@ options:
   --template <path>          template file for capture/reuse
   --out <path>               output path for capture (template.json) and
                              record (trace.jsonl)
-  --cells <n>                fleet: number of co-location cells (default 8)
+  --cells <n>                fleet: number of co-location cells (default 8);
+                             tournament: cells per predictor x scenario
+                             combination (default 3)
   --workers <n>              fleet/cluster: worker threads (default 1;
                              results are identical for any value)
   --share-templates          fleet: warm-start cells from the registry
@@ -106,14 +125,20 @@ struct Args {
     /// None means "not given on the command line": most commands default
     /// to stay-away, bench-scenarios to its baseline-comparison list.
     policy: Option<String>,
+    /// None means "not given": every predictive command defaults to the
+    /// reference KDE plane.
+    predictor: Option<String>,
     source: String,
     trace: Option<String>,
     ticks: u64,
     seed: u64,
     template: Option<String>,
     out: Option<String>,
-    cells: usize,
+    /// None means "not given": the fleet defaults to 8 cells, the
+    /// tournament to 3 cells per predictor × scenario combination.
+    cells: Option<usize>,
     workers: usize,
+    resamples: usize,
     share_templates: bool,
     /// None means "not given": the cluster defaults to hotspot.
     cluster_scenario: Option<String>,
@@ -135,6 +160,18 @@ impl Args {
     fn policy_or<'a>(&'a self, default: &'a str) -> &'a str {
         self.policy.as_deref().unwrap_or(default)
     }
+
+    /// The controller configuration single-run commands build policies
+    /// with: the defaults, with `--predictor` applied when given.
+    fn controller_config(&self) -> Result<ControllerConfig, String> {
+        let config = ControllerConfig::default();
+        match &self.predictor {
+            Some(token) => Ok(PredictorSpec::parse(token)
+                .map_err(|e| e.to_string())?
+                .apply(&config)),
+            None => Ok(config),
+        }
+    }
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -142,14 +179,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         command: argv.first().cloned().ok_or("missing command")?,
         scenario: None,
         policy: None,
+        predictor: None,
         source: "sim".into(),
         trace: None,
         ticks: 384,
         seed: 7,
         template: None,
         out: None,
-        cells: 8,
+        cells: None,
         workers: 1,
+        resamples: 1000,
         share_templates: false,
         cluster_scenario: None,
         cluster_policy: None,
@@ -170,6 +209,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match flag.as_str() {
             "--scenario" => args.scenario = Some(value("--scenario")?),
             "--policy" => args.policy = Some(value("--policy")?),
+            "--predictor" => args.predictor = Some(value("--predictor")?),
+            "--resamples" => {
+                args.resamples = value("--resamples")?
+                    .parse()
+                    .map_err(|_| "--resamples expects an integer".to_string())?
+            }
             "--source" => args.source = value("--source")?,
             "--trace" => args.trace = Some(value("--trace")?),
             "--ticks" => {
@@ -185,9 +230,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--template" => args.template = Some(value("--template")?),
             "--out" => args.out = Some(value("--out")?),
             "--cells" => {
-                args.cells = value("--cells")?
-                    .parse()
-                    .map_err(|_| "--cells expects an integer".to_string())?
+                args.cells = Some(
+                    value("--cells")?
+                        .parse()
+                        .map_err(|_| "--cells expects an integer".to_string())?,
+                )
             }
             "--workers" => {
                 args.workers = value("--workers")?
@@ -356,6 +403,7 @@ fn write_metrics(snapshot: &MetricsSnapshot, path: &str) -> Result<(), String> {
 fn run_policy_by_name(
     scenario: &Scenario,
     policy: &str,
+    config: &ControllerConfig,
     source_spec: &SourceSpec,
     seed: u64,
     ticks: u64,
@@ -371,7 +419,7 @@ fn run_policy_by_name(
         None => Observability::disabled(),
     };
     let mut policy = spec
-        .build_observed(&ControllerConfig::default(), &host_spec, obs)
+        .build_observed(config, &host_spec, obs)
         .map_err(|e| e.to_string())?;
     let out = drive(source.as_mut(), policy.as_mut(), ticks).map_err(|e| e.to_string())?;
     Ok((out, policy, host_spec.cpu_cores))
@@ -390,7 +438,7 @@ fn run_workload(name: &str, args: &Args) -> Result<(), String> {
         None => Observability::disabled(),
     };
     let mut policy = spec
-        .build_observed(&ControllerConfig::default(), &host_spec, obs)
+        .build_observed(&args.controller_config()?, &host_spec, obs)
         .map_err(|e| e.to_string())?;
     let mut source = WorkloadSource::new(scenario, args.seed).map_err(|e| e.to_string())?;
     if let Some(registry) = &registry {
@@ -491,10 +539,11 @@ fn fleet_summary(outcome: &stay_away::fleet::FleetOutcome) {
         outcome.total_batch_work,
     );
     println!(
-        "control: {} throttles, {} resumes, prediction accuracy {}, {} log events dropped",
+        "control: {} throttles, {} resumes, prediction accuracy {}, {} samples rejected, {} log events dropped",
         outcome.throttles,
         outcome.resumes,
         format_accuracy(outcome.prediction_accuracy()),
+        outcome.samples_rejected,
         outcome.events_dropped,
     );
     println!(
@@ -514,6 +563,78 @@ fn fleet_summary(outcome: &stay_away::fleet::FleetOutcome) {
                 r.events_dropped,
             );
         }
+    }
+    if outcome.per_predictor.len() > 1 {
+        for r in &outcome.per_predictor {
+            println!(
+                "  predictor {:<10} {} cells  satisfaction {:>5.1}%  slo-viol {:>5.2}%  accuracy {:>6}  {} samples rejected",
+                r.predictor,
+                r.cells,
+                100.0 * r.satisfaction(),
+                100.0 * r.slo_violation_rate(),
+                format_accuracy(r.prediction_accuracy()),
+                r.samples_rejected,
+            );
+        }
+    }
+}
+
+fn tournament_summary(outcome: &TournamentOutcome) {
+    println!(
+        "tournament: {} predictors x {} scenarios x {} cells/combo = {} cells, {} ticks each, seed {}",
+        outcome.predictors.len(),
+        outcome.scenarios.len(),
+        outcome.cells_per_combo,
+        outcome.cells,
+        outcome.ticks,
+        outcome.seed,
+    );
+    println!(
+        "scenarios: {} ({} bootstrap resamples per interval)",
+        outcome.scenarios.join(", "),
+        outcome.bootstrap_resamples,
+    );
+    println!(
+        "{:<5} {:<10} {:>5} {:>24} {:>22} {:>10} {:>8} {:>8} {:>9}",
+        "rank",
+        "predictor",
+        "cells",
+        "satisfaction [95% ci]",
+        "slo-viol [95% ci]",
+        "batch",
+        "accuracy",
+        "rejected",
+        "decide",
+    );
+    for s in &outcome.standings {
+        println!(
+            "{:<5} {:<10} {:>5} {:>7.1}% [{:>4.1}, {:>5.1}] {:>6.2}% [{:>4.2}, {:>5.2}] {:>10.0} {:>8} {:>8} {:>9}",
+            s.rank,
+            s.predictor,
+            s.cells,
+            100.0 * s.satisfaction.mean,
+            100.0 * s.satisfaction.lo,
+            100.0 * s.satisfaction.hi,
+            100.0 * s.slo_violation_rate.mean,
+            100.0 * s.slo_violation_rate.lo,
+            100.0 * s.slo_violation_rate.hi,
+            s.batch_work.mean,
+            format_accuracy(s.prediction_accuracy),
+            s.samples_rejected,
+            match s.decide_nanos {
+                Some(nanos) => format!("{:.1}µs", nanos / 1_000.0),
+                None => "n/a".to_string(),
+            },
+        );
+    }
+    println!("per-scenario satisfaction:");
+    for s in &outcome.standings {
+        let row: Vec<String> = s
+            .per_scenario
+            .iter()
+            .map(|sc| format!("{} {:>5.1}%", sc.scenario, 100.0 * sc.satisfaction))
+            .collect();
+        println!("  {:<10} {}", s.predictor, row.join("  "));
     }
 }
 
@@ -559,8 +680,12 @@ fn cluster_summary(outcome: &ClusterOutcome) {
         outcome.jobs_unfinished,
     );
     println!(
-        "control: {} throttles, {} resumes, {} log events dropped",
-        outcome.throttles, outcome.resumes, outcome.events_dropped,
+        "control: {} throttles, {} resumes, prediction accuracy {}, {} samples rejected, {} log events dropped",
+        outcome.throttles,
+        outcome.resumes,
+        format_accuracy(outcome.prediction_accuracy()),
+        outcome.samples_rejected,
+        outcome.events_dropped,
     );
     for h in &outcome.per_host {
         println!(
@@ -616,6 +741,14 @@ fn run(argv: &[String]) -> Result<(), String> {
                 BatchKind::ALL.map(|k| k.name()).join(", ")
             );
             println!("policies:               stayaway, reactive, static, always, null");
+            println!(
+                "predictors:             {}",
+                PredictorSpec::all()
+                    .iter()
+                    .map(|p| p.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
             println!("workload scenarios:     see `stayaway scenarios`");
             for c in cluster_library() {
                 println!("cluster scenario:       {:<14} {}", c.name, c.description);
@@ -697,6 +830,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let (out, policy, cap) = run_policy_by_name(
                 &scenario,
                 args.policy_or("stay-away"),
+                &args.controller_config()?,
                 &source,
                 args.seed,
                 args.ticks,
@@ -719,6 +853,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             run_policy_by_name(
                 &scenario,
                 args.policy_or("stay-away"),
+                &args.controller_config()?,
                 &source,
                 args.seed,
                 args.ticks,
@@ -747,9 +882,11 @@ fn run(argv: &[String]) -> Result<(), String> {
                 args.seed,
                 source.name(),
             );
+            let config = args.controller_config()?;
             for policy in ["null", "always", "reactive", "static", "stayaway"] {
-                let (out, built, cap) =
-                    run_policy_by_name(&scenario, policy, &source, args.seed, args.ticks, None)?;
+                let (out, built, cap) = run_policy_by_name(
+                    &scenario, policy, &config, &source, args.seed, args.ticks, None,
+                )?;
                 summarize(built.name(), scenario.name(), cap, &out, None, args.json);
             }
             Ok(())
@@ -759,6 +896,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let (out, policy, cap) = run_policy_by_name(
                 &scenario,
                 "stay-away",
+                &args.controller_config()?,
                 &SourceSpec::Sim,
                 args.seed,
                 args.ticks,
@@ -780,12 +918,13 @@ fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         "reuse" => {
+            let config = args.controller_config()?;
             let path = args.template.ok_or("reuse requires --template <path>")?;
             let template = Template::load_from_path(&path).map_err(|e| e.to_string())?;
             let scenario = parse_scenario(&scenario_name, args.seed)?;
             let mut harness = scenario.build_harness().map_err(|e| e.to_string())?;
             let mut policy = PolicySpec::StayAway
-                .build(&ControllerConfig::default(), harness.host().spec())
+                .build(&config, harness.host().spec())
                 .map_err(|e| e.to_string())?;
             policy
                 .import_template(&template)
@@ -812,7 +951,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let harness = scenario.build_harness().map_err(|e| e.to_string())?;
             let host_spec = *harness.host().spec();
             let mut policy = spec
-                .build(&ControllerConfig::default(), &host_spec)
+                .build(&args.controller_config()?, &host_spec)
                 .map_err(|e| e.to_string())?;
             let path = args.out.unwrap_or_else(|| "trace.jsonl".into());
             let file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
@@ -845,7 +984,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let host_spec = source.header().host.unwrap_or_default();
             let spec = PolicySpec::parse(args.policy_or("stay-away")).map_err(|e| e.to_string())?;
             let mut policy = spec
-                .build(&ControllerConfig::default(), &host_spec)
+                .build(&args.controller_config()?, &host_spec)
                 .map_err(|e| e.to_string())?;
             let out = drive(&mut source, policy.as_mut(), args.ticks).map_err(|e| e.to_string())?;
             println!(
@@ -871,15 +1010,18 @@ fn run(argv: &[String]) -> Result<(), String> {
             };
             let policies =
                 PolicySpec::parse_list(args.policy_or("stay-away")).map_err(|e| e.to_string())?;
+            let predictors = PredictorSpec::parse_list(args.predictor.as_deref().unwrap_or("kde"))
+                .map_err(|e| e.to_string())?;
             let sources = SourceSpec::parse_list(&args.source).map_err(|e| e.to_string())?;
             let config = FleetConfig {
-                cells: args.cells,
+                cells: args.cells.unwrap_or(8),
                 workers: args.workers,
                 ticks: args.ticks,
                 fleet_seed: args.seed,
                 share_templates: args.share_templates,
                 scenarios,
                 policies,
+                predictors,
                 sources,
                 controller: ControllerConfig::default(),
                 collect_metrics: args.metrics_out.is_some(),
@@ -898,6 +1040,34 @@ fn run(argv: &[String]) -> Result<(), String> {
                     .as_ref()
                     .ok_or("fleet produced no metrics rollup")?;
                 write_metrics(rollup, path)?;
+            }
+            Ok(())
+        }
+        "tournament" => {
+            let mut config = TournamentConfig::new(args.seed);
+            if let Some(tokens) = &args.predictor {
+                config.predictors = PredictorSpec::parse_list(tokens).map_err(|e| e.to_string())?;
+            }
+            if let Some(names) = &args.scenario {
+                config.scenarios = names
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|t| !t.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            config.cells_per_combo = args.cells.unwrap_or(3);
+            config.ticks = args.ticks;
+            config.workers = args.workers.max(1);
+            config.bootstrap_resamples = args.resamples;
+            // Latency calibration is wall-clock and text-only; JSON output
+            // is the deterministic contract, so skip the extra runs there.
+            config.calibrate_latency = !args.json;
+            let outcome = run_tournament(&config).map_err(|e| e.to_string())?;
+            if args.json {
+                println!("{}", outcome.to_json().map_err(|e| e.to_string())?);
+            } else {
+                tournament_summary(&outcome);
             }
             Ok(())
         }
@@ -997,7 +1167,7 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(a.command, "fleet");
-        assert_eq!(a.cells, 64);
+        assert_eq!(a.cells, Some(64));
         assert_eq!(a.workers, 4);
         assert_eq!(a.seed, 7);
         assert!(a.share_templates);
@@ -1009,9 +1179,45 @@ mod tests {
     #[test]
     fn fleet_defaults_are_modest() {
         let a = parse_args(&argv("fleet")).unwrap();
-        assert_eq!(a.cells, 8);
+        // No --cells on the command line: the fleet defaults to 8, the
+        // tournament to 3 per combination.
+        assert_eq!(a.cells, None);
         assert_eq!(a.workers, 1);
         assert!(!a.share_templates);
+        assert_eq!(a.predictor, None);
+        assert_eq!(a.resamples, 1000);
+    }
+
+    #[test]
+    fn parses_predictor_and_tournament_flags() {
+        let a = parse_args(&argv(
+            "tournament --predictor kde,xapp --scenario cpu-bomb,flash-crowd \
+             --cells 2 --resamples 250 --workers 4 --json",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "tournament");
+        assert_eq!(a.predictor.as_deref(), Some("kde,xapp"));
+        assert_eq!(a.scenario.as_deref(), Some("cpu-bomb,flash-crowd"));
+        assert_eq!(a.cells, Some(2));
+        assert_eq!(a.resamples, 250);
+        assert!(a.json);
+        let specs = PredictorSpec::parse_list(a.predictor.as_deref().unwrap()).unwrap();
+        assert_eq!(specs.len(), 2);
+        // A single --predictor flows into the controller configuration.
+        let a = parse_args(&argv("run --predictor last-tick")).unwrap();
+        let config = a.controller_config().unwrap();
+        assert_eq!(
+            config.predictor,
+            PredictorSpec::parse("last-tick").unwrap().kind()
+        );
+        assert!(parse_args(&argv("run --predictor")).is_err());
+        assert!(parse_args(&argv("tournament --resamples abc")).is_err());
+        assert!(Args {
+            predictor: Some("warp-core".into()),
+            ..a
+        }
+        .controller_config()
+        .is_err());
     }
 
     #[test]
@@ -1145,9 +1351,10 @@ mod tests {
     #[test]
     fn run_policy_by_name_covers_all_policies() {
         let scenario = parse_scenario("vlc+soplex", 1).unwrap();
+        let config = ControllerConfig::default();
         for p in ["stay-away", "none", "always", "reactive", "static", "null"] {
             let (out, policy, cap) =
-                run_policy_by_name(&scenario, p, &SourceSpec::Sim, 1, 30, None).unwrap();
+                run_policy_by_name(&scenario, p, &config, &SourceSpec::Sim, 1, 30, None).unwrap();
             assert_eq!(out.timeline.len(), 30);
             assert_eq!(cap, scenario.host_spec().cpu_cores);
             // Only the controller counts its periods and learns templates.
@@ -1155,7 +1362,9 @@ mod tests {
             assert_eq!(policy.stats().periods > 0, is_stayaway);
             assert_eq!(policy.supports_templates(), is_stayaway);
         }
-        assert!(run_policy_by_name(&scenario, "bogus", &SourceSpec::Sim, 1, 10, None).is_err());
+        assert!(
+            run_policy_by_name(&scenario, "bogus", &config, &SourceSpec::Sim, 1, 10, None).is_err()
+        );
     }
 
     #[test]
