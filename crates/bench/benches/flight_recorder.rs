@@ -1,0 +1,79 @@
+//! Flight-recorder overhead (DESIGN.md §16) — the cost of recording the
+//! causal event timeline, isolated from the rest of the observability
+//! plane.
+//!
+//! Compares a full 256-tick closed loop of the default controller with
+//! no instrumentation at all (the `Controller::for_host` path) against
+//! the same loop with only the flight recorder attached, and against
+//! the whole introspection plane (registry + spans + recorder + live
+//! `/state` cell). The recorder's budget is <5% wall-clock overhead;
+//! each event is one mutex push into a bounded ring and events only
+//! fire on state changes, so the real cost should be far below that.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stayaway_core::{Controller, ControllerConfig, Observability};
+use stayaway_obs::{FlightRecorder, MetricsRegistry, SpanSink, StateCell};
+use stayaway_sim::scenario::Scenario;
+
+const TICKS: u64 = 256;
+
+fn bench_flight_recorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flight_recorder");
+    group.sample_size(10);
+
+    group.bench_function("baseline_256_ticks", |b| {
+        b.iter(|| {
+            let scenario = Scenario::vlc_with_cpubomb(91);
+            let mut harness = scenario.build_harness().expect("harness");
+            let mut controller =
+                Controller::for_host(ControllerConfig::default(), harness.host().spec())
+                    .expect("controller");
+            let out = harness.run(&mut controller, TICKS);
+            std::hint::black_box(out);
+        });
+    });
+
+    group.bench_function("recorder_only_256_ticks", |b| {
+        b.iter(|| {
+            let scenario = Scenario::vlc_with_cpubomb(91);
+            let mut harness = scenario.build_harness().expect("harness");
+            let recorder = FlightRecorder::for_scope(0, "bench");
+            let obs = Observability::disabled().with_recorder(recorder.clone());
+            let mut controller = Controller::for_host_observed(
+                ControllerConfig::default(),
+                harness.host().spec(),
+                obs,
+            )
+            .expect("controller");
+            let out = harness.run(&mut controller, TICKS);
+            std::hint::black_box((out, recorder.events()));
+        });
+    });
+
+    group.bench_function("full_introspection_256_ticks", |b| {
+        b.iter(|| {
+            let scenario = Scenario::vlc_with_cpubomb(91);
+            let mut harness = scenario.build_harness().expect("harness");
+            let registry = MetricsRegistry::new();
+            let recorder = FlightRecorder::for_scope(0, "bench");
+            let state = StateCell::new();
+            let obs = Observability::enabled(registry.clone())
+                .with_sink(SpanSink::bounded(4096))
+                .with_recorder(recorder.clone())
+                .with_state(state.clone());
+            let mut controller = Controller::for_host_observed(
+                ControllerConfig::default(),
+                harness.host().spec(),
+                obs,
+            )
+            .expect("controller");
+            let out = harness.run(&mut controller, TICKS);
+            std::hint::black_box((out, registry.snapshot(), recorder.events(), state.get()));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_flight_recorder);
+criterion_main!(benches);

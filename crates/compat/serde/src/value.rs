@@ -128,11 +128,19 @@ impl Value {
             Value::Number(Number::I64(n)) => out.push_str(&n.to_string()),
             Value::Number(Number::F64(n)) => {
                 // Rust's shortest round-trip float formatting; integral
-                // floats keep a ".0" so they re-parse as F64.
+                // floats keep a ".0" so they re-parse as F64. Rust never
+                // emits exponent notation, so huge integral floats
+                // (|n| ≥ 1e15, fract 0) would otherwise print as bare
+                // digit runs and re-parse down the integer path.
                 if n.fract() == 0.0 && n.abs() < 1e15 {
                     out.push_str(&format!("{n:.1}"));
                 } else {
-                    out.push_str(&format!("{n}"));
+                    let text = format!("{n}");
+                    let floaty = text.contains(['.', 'e', 'E']);
+                    out.push_str(&text);
+                    if !floaty {
+                        out.push_str(".0");
+                    }
                 }
             }
             Value::String(s) => write_json_string(out, s),

@@ -18,7 +18,7 @@ use crate::config::FleetConfig;
 use crate::FleetError;
 use serde::{Deserialize, Serialize};
 use stayaway_core::hit_ratio;
-use stayaway_obs::MetricsSnapshot;
+use stayaway_obs::{merge_streams, EventRecord, MetricsSnapshot};
 use stayaway_sim::QosSummary;
 
 /// The distilled result of one cell, embedded in the fleet outcome.
@@ -306,6 +306,17 @@ pub struct FleetOutcome {
     /// byte-identical for any worker count); `None` unless
     /// [`FleetConfig::collect_metrics`] was set.
     pub metrics: Option<MetricsSnapshot>,
+    /// Same-name histograms skipped during the metrics rollup because
+    /// their units disagreed (see
+    /// [`stayaway_obs::hist::MergeOutcome`]); zero for
+    /// identically-registered cells. Always zero when metrics
+    /// collection is off.
+    pub metric_unit_mismatches: u64,
+    /// The canonical fleet-wide event stream: per-cell flight-recorder
+    /// streams merged into `(tick, layer, seq, scope)` order —
+    /// byte-identical for any worker count; `None` unless
+    /// [`FleetConfig::collect_events`] was set.
+    pub events: Option<Vec<EventRecord>>,
 }
 
 impl FleetOutcome {
@@ -328,13 +339,20 @@ impl FleetOutcome {
         let mut per_policy: Vec<PolicyRollup> = Vec::new();
         let mut per_predictor: Vec<PredictorRollup> = Vec::new();
         let mut metrics: Option<MetricsSnapshot> = None;
+        let mut metric_unit_mismatches = 0u64;
+        let mut event_streams: Option<Vec<Vec<EventRecord>>> = None;
         for o in outcomes {
             // Merge in cell-index order (outcomes arrive sorted), so the
             // rollup is a fixed-order fold regardless of scheduling.
             if let Some(cell_metrics) = &o.metrics {
-                metrics
+                metric_unit_mismatches += metrics
                     .get_or_insert_with(MetricsSnapshot::default)
                     .merge(cell_metrics);
+            }
+            if let Some(cell_events) = &o.events {
+                event_streams
+                    .get_or_insert_with(Vec::new)
+                    .push(cell_events.clone());
             }
             match per_policy.iter_mut().find(|r| r.policy == o.policy) {
                 Some(rollup) => rollup.fold(o),
@@ -403,6 +421,8 @@ impl FleetOutcome {
             per_predictor,
             per_cell: outcomes.iter().map(CellSummary::from_outcome).collect(),
             metrics: metrics.map(|m| m.stable_view()),
+            metric_unit_mismatches,
+            events: event_streams.map(merge_streams),
         }
     }
 

@@ -7,7 +7,9 @@ use crate::seed::derive_cell_seed;
 use crate::source::SourceSpec;
 use crate::FleetError;
 use stayaway_core::{ControllerConfig, ControllerEvent, ControllerStats, Observability};
-use stayaway_obs::{MetricsRegistry, MetricsSnapshot, Span};
+use stayaway_obs::{
+    attr, EventKind, EventRecord, FlightRecorder, Layer, MetricsRegistry, MetricsSnapshot, Span,
+};
 use stayaway_sim::scenario::Scenario;
 use stayaway_sim::RunOutcome;
 use stayaway_statespace::Template;
@@ -32,6 +34,10 @@ pub struct CellPlan {
     /// When true, the cell records into its own [`MetricsRegistry`] and
     /// reports the snapshot in [`CellOutcome::metrics`]. Decision-inert.
     pub collect_metrics: bool,
+    /// When true, the cell records typed flight-recorder events (scope =
+    /// cell index) and reports them in [`CellOutcome::events`].
+    /// Decision-inert.
+    pub collect_events: bool,
 }
 
 impl CellPlan {
@@ -46,6 +52,7 @@ impl CellPlan {
             predictor: PredictorSpec::default(),
             source: SourceSpec::Sim,
             collect_metrics: false,
+            collect_events: false,
         }
     }
 
@@ -74,6 +81,13 @@ impl CellPlan {
     /// Enables or disables per-cell metrics collection (builder style).
     pub fn with_metrics_collection(mut self, collect: bool) -> Self {
         self.collect_metrics = collect;
+        self
+    }
+
+    /// Enables or disables per-cell flight-recorder event collection
+    /// (builder style).
+    pub fn with_event_collection(mut self, collect: bool) -> Self {
+        self.collect_events = collect;
         self
     }
 
@@ -126,6 +140,10 @@ pub struct CellOutcome {
     /// substrate instruments plus the cell runtime span); `None` unless
     /// [`CellPlan::collect_metrics`] was set.
     pub metrics: Option<MetricsSnapshot>,
+    /// The cell's flight-recorder event stream (scope = cell index,
+    /// already in canonical order); `None` unless
+    /// [`CellPlan::collect_events`] was set.
+    pub events: Option<Vec<EventRecord>>,
 }
 
 /// Runs one cell to completion: build the observation source from the
@@ -145,15 +163,21 @@ pub fn run_cell(
     ticks: u64,
 ) -> Result<CellOutcome, FleetError> {
     let registry = plan.collect_metrics.then(MetricsRegistry::new);
+    let recorder = plan
+        .collect_events
+        .then(|| FlightRecorder::for_scope(plan.idx as u32, format!("cell:{}", plan.idx)));
     let cell_runtime = registry.as_ref().map(|r| {
         Span::new("fleet.cell").with_histogram(r.latency_histogram(
             "stayaway_fleet_cell_runtime_nanos",
             "Wall time of one fleet cell's closed-loop run",
         ))
     });
-    let mut source = plan
-        .source
-        .build_observed(&plan.scenario, plan.seed, registry.as_ref())?;
+    let mut source = plan.source.build_instrumented(
+        &plan.scenario,
+        plan.seed,
+        registry.as_ref(),
+        recorder.as_ref(),
+    )?;
     // Trace cells take the controller's host spec from the trace header
     // (the capacities the recording was made against); cells without one
     // fall back to the scenario prototype's host.
@@ -166,14 +190,31 @@ pub fn run_cell(
         predictor: plan.predictor.kind(),
         ..controller.clone()
     };
-    let obs = match &registry {
+    let mut obs = match &registry {
         Some(registry) => Observability::enabled(registry.clone()),
         None => Observability::disabled(),
     };
+    if let Some(recorder) = &recorder {
+        obs = obs.with_recorder(recorder.clone());
+    }
     let mut policy = plan.policy.build_observed(&config, &host_spec, obs)?;
     let mut imported_template = false;
     if let Some(template) = import {
         imported_template = policy.import_template(template)?;
+        if imported_template {
+            if let Some(recorder) = &recorder {
+                recorder.record(
+                    0,
+                    Layer::Fleet,
+                    EventKind::TemplateImport,
+                    None,
+                    vec![
+                        attr("states", template.len() as u64),
+                        attr("violations", template.violation_count() as u64),
+                    ],
+                );
+            }
+        }
     }
     let run = {
         let _guard = cell_runtime.as_ref().map(|span| span.start(0));
@@ -206,6 +247,7 @@ pub fn run_cell(
         first_throttle_tick,
         first_throttle_proactive,
         metrics: registry.map(|r| r.snapshot()),
+        events: recorder.map(|r| r.events()),
         run,
     })
 }

@@ -8,7 +8,7 @@
 
 use crate::FleetError;
 use serde::{Deserialize, Serialize};
-use stayaway_obs::MetricsSnapshot;
+use stayaway_obs::{EventRecord, MetricsSnapshot};
 use stayaway_telemetry::QosSummary;
 
 /// The distilled result of one cluster host.
@@ -153,6 +153,14 @@ pub struct ClusterOutcome {
     /// order, reduced to the stable view); `None` unless metrics
     /// collection was enabled.
     pub metrics: Option<MetricsSnapshot>,
+    /// Same-name histograms skipped during the metrics rollup because
+    /// their units disagreed; zero for identically-registered hosts.
+    pub metric_unit_mismatches: u64,
+    /// The canonical cluster-wide event stream: per-host recorders plus
+    /// the cluster plane's own recorder (scope = host count), merged
+    /// into `(tick, layer, seq, scope)` order — byte-identical for any
+    /// worker count; `None` unless event collection was enabled.
+    pub events: Option<Vec<EventRecord>>,
 }
 
 impl HostRollup {

@@ -19,7 +19,7 @@ use crate::registry::TemplateRegistry;
 use crate::seed::derive_cell_seed;
 use crate::FleetError;
 use stayaway_core::{ControlPolicy, ControllerConfig, Observability};
-use stayaway_obs::MetricsRegistry;
+use stayaway_obs::{attr, merge_streams, EventKind, FlightRecorder, Layer, MetricsRegistry};
 use stayaway_telemetry::{AppClass, QosSummary};
 use stayaway_workload::{WorkloadHost, WorkloadMetrics};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,6 +49,11 @@ pub struct ClusterConfig {
     /// When true, every host records into its own registry and the
     /// outcome carries the merged stable view. Decision-inert.
     pub collect_metrics: bool,
+    /// When true, every host (and the cluster plane itself) records
+    /// typed flight-recorder events and the outcome carries their
+    /// canonical merged stream. Decision-inert and worker-count
+    /// independent.
+    pub collect_events: bool,
     /// Controller configuration for Stay-Away host policies (each host
     /// overrides the seed with its derived one).
     pub controller: ControllerConfig,
@@ -68,6 +73,7 @@ impl ClusterConfig {
             host_policy: PolicySpec::StayAway,
             migration: true,
             collect_metrics: false,
+            collect_events: false,
             controller: ControllerConfig::default(),
         }
     }
@@ -102,6 +108,7 @@ struct HostCell {
     host: WorkloadHost,
     policy: Box<dyn ControlPolicy + Send>,
     registry: Option<MetricsRegistry>,
+    recorder: Option<FlightRecorder>,
     sensitive_key: String,
     seed: u64,
     cpu_capacity: f64,
@@ -134,6 +141,23 @@ impl HostCell {
             if record.sensitive_active {
                 self.qos.record(record.qos_value, record.violated);
                 self.epoch_qos.record(record.qos_value, record.violated);
+                if record.violated {
+                    if let Some(rec) = &self.recorder {
+                        // Link back to the verdict that was in force when
+                        // the request missed its bound (if any).
+                        let cause = rec.last_id_of_kind(EventKind::PredictorVerdict);
+                        rec.record(
+                            record.tick,
+                            Layer::Workload,
+                            EventKind::SloViolation,
+                            cause,
+                            vec![
+                                attr("qos", record.qos_value),
+                                attr("batch_active", record.batch_active as u64),
+                            ],
+                        );
+                    }
+                }
             }
             self.sum_utilization += record.utilization;
             self.sum_batch_cpu += record.batch_cpu;
@@ -243,6 +267,10 @@ impl Cluster {
         let scenario = self.config.scenario.hosts[idx].clone();
         let seed = derive_cell_seed(self.config.seed, idx as u64);
         let registry = self.config.collect_metrics.then(MetricsRegistry::new);
+        let recorder = self
+            .config
+            .collect_events
+            .then(|| FlightRecorder::for_scope(idx as u32, format!("host:{idx}")));
         let mut host = WorkloadHost::new(scenario.clone(), seed)?;
         if let Some(r) = &registry {
             host = host.with_metrics(WorkloadMetrics::register(r));
@@ -251,10 +279,13 @@ impl Cluster {
             seed,
             ..self.config.controller.clone()
         };
-        let obs = match &registry {
+        let mut obs = match &registry {
             Some(r) => Observability::enabled(r.clone()),
             None => Observability::disabled(),
         };
+        if let Some(rec) = &recorder {
+            obs = obs.with_recorder(rec.clone());
+        }
         let mut policy =
             self.config
                 .host_policy
@@ -268,12 +299,27 @@ impl Cluster {
         let mut imported_template = false;
         if let Some(entry) = self.registry.lookup(&sensitive_key) {
             imported_template = policy.import_template(&entry.template)?;
+            if imported_template {
+                if let Some(rec) = &recorder {
+                    rec.record(
+                        0,
+                        Layer::Fleet,
+                        EventKind::TemplateImport,
+                        None,
+                        vec![
+                            attr("states", entry.template.len() as u64),
+                            attr("violations", entry.template.violation_count() as u64),
+                        ],
+                    );
+                }
+            }
         }
         Ok(HostCell {
             idx,
             host,
             policy,
             registry,
+            recorder,
             sensitive_key,
             seed,
             cpu_capacity: scenario.host.cpu_cores,
@@ -309,6 +355,12 @@ impl Cluster {
             .map(|(id, spec)| JobState::new(id, spec.clone(), config.seed, tick_ns))
             .collect();
         let mut cluster_policy = config.cluster_policy.build(config.seed, config.migration);
+        // The cluster plane records under its own scope, one past the
+        // host indices; verbs are recorded only in the serial barrier,
+        // so the stream is worker-count independent by construction.
+        let cluster_recorder = config
+            .collect_events
+            .then(|| FlightRecorder::for_scope(cells.len() as u32, "cluster"));
 
         let mut admissions = 0u64;
         let mut migrations = 0u64;
@@ -385,12 +437,32 @@ impl Cluster {
                         jobs[job].placements.push(host);
                         jobs[job].last_move_epoch = epoch;
                         admissions += 1;
+                        if let Some(rec) = &cluster_recorder {
+                            rec.record_for(
+                                start_tick,
+                                Layer::Cluster,
+                                EventKind::Admit,
+                                format!("job:{job}"),
+                                None,
+                                vec![attr("host", host as u64), attr("epoch", epoch)],
+                            );
+                        }
                     }
                     ClusterAction::Queue { job } => {
                         if jobs[job].placement.is_some() {
                             invalid_actions += 1;
                         } else {
                             queue_actions += 1;
+                            if let Some(rec) = &cluster_recorder {
+                                rec.record_for(
+                                    start_tick,
+                                    Layer::Cluster,
+                                    EventKind::Queue,
+                                    format!("job:{job}"),
+                                    None,
+                                    vec![attr("queued_epochs", jobs[job].queued_epochs)],
+                                );
+                            }
                         }
                     }
                     ClusterAction::Defer { job } => {
@@ -398,6 +470,16 @@ impl Cluster {
                             invalid_actions += 1;
                         } else {
                             deferrals += 1;
+                            if let Some(rec) = &cluster_recorder {
+                                rec.record_for(
+                                    start_tick,
+                                    Layer::Cluster,
+                                    EventKind::Defer,
+                                    format!("job:{job}"),
+                                    None,
+                                    vec![attr("epoch", epoch)],
+                                );
+                            }
                         }
                     }
                     ClusterAction::Migrate { job, from, to } => {
@@ -421,6 +503,24 @@ impl Cluster {
                         jobs[job].last_move_epoch = epoch;
                         jobs[job].migrations += 1;
                         migrations += 1;
+                        if let Some(rec) = &cluster_recorder {
+                            // Causal link across layers: the migration is
+                            // the cluster's answer to interference on the
+                            // source host, so point at its most recent
+                            // workload-layer SLO violation.
+                            let cause = cells[from]
+                                .recorder
+                                .as_ref()
+                                .and_then(|r| r.last_id_of_kind(EventKind::SloViolation));
+                            rec.record_for(
+                                start_tick,
+                                Layer::Cluster,
+                                EventKind::Migrate,
+                                format!("job:{job}"),
+                                cause,
+                                vec![attr("from", from as u64), attr("to", to as u64)],
+                            );
+                        }
                     }
                 }
             }
@@ -490,6 +590,7 @@ impl Cluster {
         Ok(self.aggregate(
             cells,
             jobs,
+            cluster_recorder,
             admissions,
             migrations,
             deferrals,
@@ -505,6 +606,7 @@ impl Cluster {
         &self,
         cells: Vec<HostCell>,
         jobs: Vec<JobState>,
+        cluster_recorder: Option<FlightRecorder>,
         admissions: u64,
         migrations: u64,
         deferrals: u64,
@@ -527,6 +629,7 @@ impl Cluster {
         let mut prediction_hits = 0u64;
         let mut samples_rejected = 0u64;
         let mut metrics: Option<stayaway_obs::MetricsSnapshot> = None;
+        let mut metric_unit_mismatches = 0u64;
         let per_host: Vec<HostRollup> = cells
             .iter()
             .map(|cell| {
@@ -551,7 +654,7 @@ impl Cluster {
                 prediction_hits += stats.prediction_hits;
                 samples_rejected += stats.samples_rejected;
                 if let Some(r) = &cell.registry {
-                    metrics
+                    metric_unit_mismatches += metrics
                         .get_or_insert_with(stayaway_obs::MetricsSnapshot::default)
                         .merge(&r.snapshot());
                 }
@@ -635,6 +738,14 @@ impl Cluster {
             per_host,
             per_job,
             metrics: metrics.map(|m| m.stable_view()),
+            metric_unit_mismatches,
+            events: cluster_recorder.map(|cluster_rec| {
+                let streams = cells
+                    .iter()
+                    .filter_map(|cell| cell.recorder.as_ref().map(|r| r.events()))
+                    .chain(std::iter::once(cluster_rec.events()));
+                merge_streams(streams)
+            }),
         }
     }
 }

@@ -37,6 +37,10 @@ pub struct FleetConfig {
     /// fixed-order rollup of those registries. Decision-inert: the run's
     /// actions and statistics are identical either way.
     pub collect_metrics: bool,
+    /// When true, every cell records typed flight-recorder events
+    /// (DESIGN.md §16) and the fleet outcome carries their canonical
+    /// merged stream. Decision-inert and worker-count independent.
+    pub collect_events: bool,
     /// Scenario prototypes round-robined across cells; must be non-empty.
     pub scenarios: Vec<Scenario>,
     /// Control planes round-robined across cells (cell `i` runs
@@ -81,6 +85,7 @@ impl FleetConfig {
             fleet_seed,
             share_templates: false,
             collect_metrics: false,
+            collect_events: false,
             scenarios: Self::standard_mix(fleet_seed),
             policies: vec![PolicySpec::StayAway],
             predictors: vec![PredictorSpec::default()],

@@ -92,6 +92,7 @@ impl Fleet {
                     .with_predictor(predictor)
                     .with_source(source)
                     .with_metrics_collection(self.config.collect_metrics)
+                    .with_event_collection(self.config.collect_events)
             })
             .collect()
     }

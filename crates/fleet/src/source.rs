@@ -9,7 +9,7 @@
 //! run.
 
 use crate::FleetError;
-use stayaway_obs::MetricsRegistry;
+use stayaway_obs::{FlightRecorder, MetricsRegistry};
 use stayaway_sim::scenario::Scenario;
 use stayaway_sim::SimSource;
 use stayaway_telemetry::{ObservationSource, ProcfsSource, TraceSource};
@@ -171,6 +171,25 @@ impl SourceSpec {
         seed: u64,
         registry: Option<&MetricsRegistry>,
     ) -> Result<Box<dyn ObservationSource>, FleetError> {
+        self.build_instrumented(scenario, seed, registry, None)
+    }
+
+    /// Like [`SourceSpec::build_observed`], additionally attaching a
+    /// [`FlightRecorder`] to substrates that emit workload-layer events
+    /// (currently the workload engine's SLO violations). Substrates
+    /// without an event surface ignore the recorder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness construction, trace-open and procfs-probe
+    /// failures.
+    pub fn build_instrumented(
+        &self,
+        scenario: &Scenario,
+        seed: u64,
+        registry: Option<&MetricsRegistry>,
+        recorder: Option<&FlightRecorder>,
+    ) -> Result<Box<dyn ObservationSource>, FleetError> {
         Ok(match self {
             SourceSpec::Sim => {
                 let mut harness = scenario.build_harness()?;
@@ -199,15 +218,19 @@ impl SourceSpec {
                         reason: e.to_string(),
                     }
                 })?;
-                let source = stayaway_workload::WorkloadSource::new(spec, seed).map_err(|e| {
-                    FleetError::InvalidConfig {
-                        reason: e.to_string(),
-                    }
-                })?;
-                Box::new(match registry {
-                    Some(registry) => source.with_metrics(registry),
-                    None => source,
-                })
+                let mut source =
+                    stayaway_workload::WorkloadSource::new(spec, seed).map_err(|e| {
+                        FleetError::InvalidConfig {
+                            reason: e.to_string(),
+                        }
+                    })?;
+                if let Some(registry) = registry {
+                    source = source.with_metrics(registry);
+                }
+                if let Some(recorder) = recorder {
+                    source = source.with_recorder(recorder.clone());
+                }
+                Box::new(source)
             }
         })
     }

@@ -31,7 +31,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use stayaway_core::{Controller, ControllerConfig, Observability};
-use stayaway_obs::MetricsRegistry;
+use stayaway_obs::{MetricsRegistry, MetricsSnapshot};
 use stayaway_sim::scenario::Scenario;
 
 /// Seed-space tag separating tournament bootstrap streams from every
@@ -65,6 +65,11 @@ pub struct TournamentConfig {
     /// forecast latency (reported text-only; never serialised, never
     /// ranked on). Off by default in tests, on in the CLI.
     pub calibrate_latency: bool,
+    /// When true, every underlying fleet cell records into its own
+    /// metrics registry and the outcome carries the deterministic
+    /// fixed-order rollup (DESIGN.md §11). Decision-inert: standings are
+    /// identical either way.
+    pub collect_metrics: bool,
     /// Controller tunables shared by every cell (per-cell seed and
     /// predictor are overridden by the plan).
     pub controller: ControllerConfig,
@@ -88,6 +93,7 @@ impl TournamentConfig {
             workers: 4,
             bootstrap_resamples: 1000,
             calibrate_latency: false,
+            collect_metrics: false,
             controller: ControllerConfig::default(),
         }
     }
@@ -165,6 +171,7 @@ impl TournamentConfig {
         config.predictors = expanded;
         config.sources = sources;
         config.controller = self.controller.clone();
+        config.collect_metrics = self.collect_metrics;
         config
     }
 }
@@ -284,6 +291,15 @@ pub struct TournamentOutcome {
     /// The underlying fleet's per-predictor rollups, in order of first
     /// appearance across cells.
     pub per_predictor: Vec<PredictorRollup>,
+    /// Tournament-wide metrics rollup: the per-cell registries merged in
+    /// cell-index order and reduced to the stable view (latency
+    /// histograms — the only wall-clock content — stripped); `None`
+    /// unless [`TournamentConfig::collect_metrics`] was set.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Same-name histograms skipped during the metrics rollup because
+    /// their units disagreed; always zero for identically-registered
+    /// cells.
+    pub metric_unit_mismatches: u64,
 }
 
 impl TournamentOutcome {
@@ -323,6 +339,8 @@ impl TournamentOutcome {
             "bootstrap_resamples": self.bootstrap_resamples,
             "standings": standings,
             "per_predictor": serde_json::to_value(&self.per_predictor),
+            "metrics": serde_json::to_value(&self.metrics),
+            "metric_unit_mismatches": self.metric_unit_mismatches,
         });
         serde_json::to_string_pretty(&doc).map_err(|e| FleetError::Registry(e.to_string()))
     }
@@ -451,6 +469,8 @@ pub fn run_tournament(config: &TournamentConfig) -> Result<TournamentOutcome, Fl
         bootstrap_resamples: config.bootstrap_resamples,
         standings,
         per_predictor: fleet_outcome.per_predictor,
+        metrics: fleet_outcome.metrics,
+        metric_unit_mismatches: fleet_outcome.metric_unit_mismatches,
     })
 }
 
@@ -582,6 +602,23 @@ mod tests {
         assert_eq!((single.lo, single.hi), (single.mean, single.mean));
         let empty = MeanCi::bootstrap(&[], 100, &mut rng);
         assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn metrics_collection_is_decision_inert_and_carried() {
+        let bare = run_tournament(&tiny_config()).unwrap();
+        let mut config = tiny_config();
+        config.collect_metrics = true;
+        let observed = run_tournament(&config).unwrap();
+        let snapshot = observed.metrics.as_ref().expect("metrics requested");
+        assert!(!snapshot.counters.is_empty());
+        assert_eq!(observed.metric_unit_mismatches, 0);
+        assert!(bare.metrics.is_none());
+        let strip = |mut o: TournamentOutcome| {
+            o.metrics = None;
+            o
+        };
+        assert_eq!(strip(bare), strip(observed));
     }
 
     #[test]

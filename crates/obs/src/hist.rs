@@ -157,6 +157,24 @@ impl Histogram {
     }
 }
 
+/// What [`HistogramSnapshot::merge`] did. Unit mismatches are typed
+/// and counted rather than debug-asserted: a release build must never
+/// silently fold nanoseconds into dimensionless buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// Units matched; `other` was folded into `self`.
+    Merged,
+    /// Units disagreed; `self` was left untouched.
+    SkippedUnitMismatch,
+}
+
+impl MergeOutcome {
+    /// True when the merge was refused over a unit mismatch.
+    pub fn skipped(self) -> bool {
+        self == MergeOutcome::SkippedUnitMismatch
+    }
+}
+
 /// One non-empty bucket in a sparse snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BucketCount {
@@ -202,17 +220,24 @@ impl HistogramSnapshot {
     /// Folds `other` into `self`. Bucket counts and totals use
     /// saturating adds, so the operation is associative and
     /// commutative for any sequence of merges.
-    pub fn merge(&mut self, other: &HistogramSnapshot) {
-        debug_assert_eq!(
-            self.unit, other.unit,
-            "merging histograms of different units"
-        );
+    ///
+    /// Unit mismatches (nanos folded into a dimensionless histogram,
+    /// or vice versa) are refused, not silently merged: `self` is left
+    /// untouched and [`MergeOutcome::SkippedUnitMismatch`] reports the
+    /// skip so callers can count it
+    /// ([`MetricsSnapshot::merge`](crate::MetricsSnapshot::merge)
+    /// does).
+    #[must_use = "a skipped merge means the snapshots disagree on units"]
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> MergeOutcome {
+        if self.unit != other.unit {
+            return MergeOutcome::SkippedUnitMismatch;
+        }
         if other.count == 0 {
-            return;
+            return MergeOutcome::Merged;
         }
         if self.count == 0 {
             *self = other.clone();
-            return;
+            return MergeOutcome::Merged;
         }
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -253,6 +278,7 @@ impl HistogramSnapshot {
             }
         }
         self.buckets = merged;
+        MergeOutcome::Merged
     }
 
     /// Estimated value at quantile `q ∈ [0, 1]`: the midpoint of the
@@ -401,8 +427,32 @@ mod tests {
             all.record(v);
         }
         let mut merged = a.snapshot();
-        merged.merge(&b.snapshot());
+        assert_eq!(merged.merge(&b.snapshot()), MergeOutcome::Merged);
         assert!(merged.bitwise_eq(&all.snapshot()));
+    }
+
+    #[test]
+    fn unit_mismatch_is_skipped_and_reported() {
+        let timing = Histogram::new(Unit::Nanos);
+        timing.record(123_456);
+        let dimensionless = Histogram::new(Unit::None);
+        dimensionless.record(7);
+        let mut target = dimensionless.snapshot();
+        let before = target.clone();
+        // Release builds used to fold nanos into dimensionless buckets
+        // here; the mismatch must now leave the target untouched.
+        let outcome = target.merge(&timing.snapshot());
+        assert!(outcome.skipped());
+        assert!(target.bitwise_eq(&before));
+        // Same refusal in the other direction, and for empty operands:
+        // the unit check comes before the emptiness fast paths.
+        let mut timing_snap = timing.snapshot();
+        assert!(timing_snap.merge(&before).skipped());
+        let mut empty = HistogramSnapshot::empty(Unit::None);
+        assert!(empty
+            .merge(&HistogramSnapshot::empty(Unit::Nanos))
+            .skipped());
+        assert_eq!(empty.count, 0);
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //!   atomic handles.
 //! - [`Span`] / [`SpanGuard`] / [`SpanSink`] — lightweight wall-time
 //!   tracing into latency histograms and a bounded JSONL record ring.
+//! - [`FlightRecorder`] — a typed, causally-linked structured-event
+//!   ring (the flight recorder, DESIGN.md §16): throttles, predictor
+//!   verdicts, cluster verbs, and SLO violations in one logical-time
+//!   stream, byte-identical across worker counts.
+//! - [`HttpServer`] / [`Introspection`] — a std-only live HTTP view
+//!   (`/metrics`, `/state`, `/events`, `/health`).
 //! - [`export`] — Prometheus text exposition and pretty JSON
 //!   snapshots; [`promlint`] validates the former in CI.
 //!
@@ -20,15 +26,26 @@
 //! [`MetricsSnapshot::stable_view`] so merged JSON stays byte-identical
 //! across worker counts.
 
+pub mod event;
 pub mod export;
 pub mod hist;
+pub mod http;
 pub mod promlint;
+pub mod recorder;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
 
+pub use event::{
+    attr, events_from_jsonl, events_to_jsonl, sort_events, AttrValue, EventId, EventKind,
+    EventRecord, Layer,
+};
 pub use export::{to_json, to_prometheus};
-pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, Unit, NUM_BUCKETS};
+pub use hist::{
+    bucket_bounds, bucket_index, Histogram, HistogramSnapshot, MergeOutcome, Unit, NUM_BUCKETS,
+};
+pub use http::{HttpServer, Introspection, StateCell};
+pub use recorder::{merge_streams, FlightRecorder, DEFAULT_EVENT_CAPACITY};
 pub use registry::{valid_metric_name, Counter, Gauge, MetricsRegistry};
 pub use snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
 pub use span::{Span, SpanGuard, SpanRecord, SpanSink};

@@ -55,11 +55,11 @@ pub struct MetricsSnapshot {
 
 /// Merges two sorted-by-name sample lists, combining same-name entries
 /// with `combine` and keeping the result sorted.
-fn merge_by_name<T, K, C>(a: &[T], b: &[T], key: K, combine: C) -> Vec<T>
+fn merge_by_name<T, K, C>(a: &[T], b: &[T], key: K, mut combine: C) -> Vec<T>
 where
     T: Clone,
     K: Fn(&T) -> &str,
-    C: Fn(&T, &T) -> T,
+    C: FnMut(&T, &T) -> T,
 {
     let mut out = Vec::with_capacity(a.len().max(b.len()));
     let (mut i, mut j) = (0, 0);
@@ -96,7 +96,14 @@ impl MetricsSnapshot {
     /// a fleet-wide total, not an average; callers wanting means divide
     /// by the cell count. Fleet aggregation calls this in fixed cell
     /// order, so even float gauge sums are byte-deterministic.
-    pub fn merge(&mut self, other: &MetricsSnapshot) {
+    ///
+    /// Same-name histograms whose units disagree are **not** merged:
+    /// the left-hand sample wins untouched and the skip is counted in
+    /// the returned total (see
+    /// [`MergeOutcome`](crate::hist::MergeOutcome)). Zero whenever both
+    /// snapshots come from identically-registered registries.
+    pub fn merge(&mut self, other: &MetricsSnapshot) -> u64 {
+        let mut unit_mismatches = 0u64;
         self.counters = merge_by_name(
             &self.counters,
             &other.counters,
@@ -123,7 +130,9 @@ impl MetricsSnapshot {
             |h| h.name.as_str(),
             |x, y| {
                 let mut hist = x.hist.clone();
-                hist.merge(&y.hist);
+                if hist.merge(&y.hist).skipped() {
+                    unit_mismatches += 1;
+                }
                 HistogramSample {
                     name: x.name.clone(),
                     help: x.help.clone(),
@@ -131,6 +140,7 @@ impl MetricsSnapshot {
                 }
             },
         );
+        unit_mismatches
     }
 
     /// The deterministic projection of this snapshot: every timing
@@ -174,10 +184,22 @@ mod tests {
     fn merge_unions_by_name() {
         let mut a = sample_snapshot(3, 0.5, &[1, 2]);
         let b = sample_snapshot(4, 0.25, &[3]);
-        a.merge(&b);
+        assert_eq!(a.merge(&b), 0);
         assert_eq!(a.counters[0].value, 7);
         assert_eq!(a.gauges[0].value, 0.75);
         assert_eq!(a.histograms[0].hist.count, 3);
+    }
+
+    #[test]
+    fn merge_counts_unit_mismatches_and_keeps_the_left_sample() {
+        let reg_a = MetricsRegistry::new();
+        reg_a.histogram("h", "dimensionless here").record(7);
+        let reg_b = MetricsRegistry::new();
+        reg_b.latency_histogram("h", "timing there").record(123_456);
+        let mut merged = reg_a.snapshot();
+        let before = merged.histograms[0].hist.clone();
+        assert_eq!(merged.merge(&reg_b.snapshot()), 1);
+        assert!(merged.histograms[0].hist.bitwise_eq(&before));
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Property-based tests for the flight-recorder event algebra: JSONL
+//! round-trips losslessly (attrs, causes and causal links included), the
+//! `(tick, layer, seq, scope)` sort is a total order independent of
+//! input permutation, and `merge_streams` is partition-invariant — the
+//! guarantees behind byte-identical streams at any worker count.
+
+use proptest::prelude::*;
+use stayaway_obs::{
+    events_from_jsonl, events_to_jsonl, merge_streams, sort_events, AttrValue, EventId, EventKind,
+    EventRecord, Layer,
+};
+
+const LAYERS: [Layer; 5] = [
+    Layer::Controller,
+    Layer::Predictor,
+    Layer::Workload,
+    Layer::Fleet,
+    Layer::Cluster,
+];
+
+fn layer_strategy() -> impl Strategy<Value = Layer> {
+    prop::sample::select(LAYERS.to_vec())
+}
+
+fn kind_strategy() -> impl Strategy<Value = EventKind> {
+    prop::sample::select(EventKind::ALL.to_vec())
+}
+
+/// NaN-free attribute values: the recorder sanitises non-finite floats
+/// at the source, so the serialisable domain is exactly this.
+fn attr_value_strategy() -> impl Strategy<Value = AttrValue> {
+    (
+        0usize..5,
+        any::<u64>(),
+        -1_000_000_000i64..1_000_000_000,
+        -1e12f64..1e12,
+        any::<bool>(),
+    )
+        .prop_map(|(pick, u, i, f, b)| match pick {
+            0 => AttrValue::U64(u),
+            1 => AttrValue::I64(i),
+            2 => AttrValue::F64(f),
+            3 => AttrValue::Bool(b),
+            _ => AttrValue::Str(format!("s{}", u % 1000)),
+        })
+}
+
+fn attr_strategy() -> impl Strategy<Value = (String, AttrValue)> {
+    (
+        prop::sample::select(vec!["qos", "beta", "count", "host", "epoch", "state"]),
+        attr_value_strategy(),
+    )
+        .prop_map(|(name, value)| (name.to_string(), value))
+}
+
+fn event_strategy() -> impl Strategy<Value = EventRecord> {
+    (
+        (
+            0u64..10_000,
+            layer_strategy(),
+            0u64..100_000,
+            0u32..256,
+            kind_strategy(),
+        ),
+        (
+            prop::sample::select(vec!["cell", "host", "job", "cluster"]),
+            0u32..100,
+        ),
+        (any::<bool>(), 0u32..256, 0u64..100_000),
+        prop::collection::vec(attr_strategy(), 0..5),
+    )
+        .prop_map(
+            |((tick, layer, seq, scope, kind), (prefix, n), (linked, cscope, cseq), attrs)| {
+                EventRecord {
+                    tick,
+                    layer,
+                    seq,
+                    scope,
+                    kind,
+                    subject: format!("{prefix}:{n}"),
+                    cause: linked.then_some(EventId {
+                        scope: cscope,
+                        seq: cseq,
+                    }),
+                    attrs,
+                }
+            },
+        )
+}
+
+fn events_strategy(max_len: usize) -> impl Strategy<Value = Vec<EventRecord>> {
+    prop::collection::vec(event_strategy(), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// JSONL is lossless: parse(render(events)) == events.
+    #[test]
+    fn jsonl_round_trips(events in events_strategy(16)) {
+        let text = events_to_jsonl(&events);
+        let back = events_from_jsonl(&text).expect("rendered JSONL parses");
+        prop_assert_eq!(back, events);
+    }
+
+    /// The canonical sort is permutation-invariant: any rotation of the
+    /// same records sorts to the same sequence — the property that makes
+    /// the merged stream independent of scheduling order.
+    #[test]
+    fn sort_is_a_total_order(events in events_strategy(24), rotation in 0usize..24) {
+        let mut sorted = events.clone();
+        sort_events(&mut sorted);
+        let mut rotated = events;
+        let len = rotated.len();
+        if len > 0 {
+            rotated.rotate_left(rotation % len);
+        }
+        sort_events(&mut rotated);
+        prop_assert_eq!(events_to_jsonl(&sorted), events_to_jsonl(&rotated));
+        for pair in sorted.windows(2) {
+            prop_assert!(
+                (pair[0].tick, pair[0].layer, pair[0].seq, pair[0].scope)
+                    <= (pair[1].tick, pair[1].layer, pair[1].seq, pair[1].scope)
+            );
+        }
+    }
+
+    /// Merging is partition-invariant: however the records are split
+    /// into per-recorder streams, the merged stream is identical.
+    #[test]
+    fn merge_is_partition_invariant(events in events_strategy(24), split in 0usize..24) {
+        let whole = merge_streams([events.clone()]);
+        let cut = split.min(events.len());
+        let (left, right) = events.split_at(cut);
+        let halves = merge_streams([left.to_vec(), right.to_vec()]);
+        prop_assert_eq!(events_to_jsonl(&whole), events_to_jsonl(&halves));
+        // Reversed partition order too — merge must not care.
+        let swapped = merge_streams([right.to_vec(), left.to_vec()]);
+        prop_assert_eq!(events_to_jsonl(&whole), events_to_jsonl(&swapped));
+    }
+
+    /// Non-finite floats never reach the stream through the sanitising
+    /// constructor, so every rendered line stays valid JSON.
+    #[test]
+    fn sanitised_floats_always_serialise(raw in any::<f64>(), scale in -2i64..16) {
+        // Push values far outside the bounded Arbitrary range, including
+        // overflow to infinity.
+        let value = AttrValue::float(raw * 10f64.powi(scale as i32 * 64));
+        let record = EventRecord {
+            tick: 1,
+            layer: Layer::Controller,
+            seq: 0,
+            scope: 0,
+            kind: EventKind::Throttle,
+            subject: "cell:0".into(),
+            cause: None,
+            attrs: vec![("x".into(), value)],
+        };
+        let text = events_to_jsonl(std::slice::from_ref(&record));
+        let back = events_from_jsonl(&text).expect("sanitised record parses");
+        prop_assert_eq!(back, vec![record]);
+    }
+}

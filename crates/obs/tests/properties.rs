@@ -19,7 +19,7 @@ fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
 
 fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
     let mut out = a.clone();
-    out.merge(b);
+    assert!(!out.merge(b).skipped(), "same-unit merge must not skip");
     out
 }
 

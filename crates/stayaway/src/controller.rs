@@ -2,13 +2,15 @@
 //! (sense → map → predict → act), every period.
 
 use crate::config::ControllerConfig;
+use crate::events::ResumeReason;
 use crate::events::{ControllerEvent, ControllerStats, EventLog, StageClock, StageTiming};
 use crate::obs::{ControllerMetrics, MappingMetrics, Observability};
 use crate::stages::{ActStage, MapStage, PredictStage, ResumeDecision, SenseStage};
 use crate::CoreError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use stayaway_obs::MetricsSnapshot;
+use serde_json::json;
+use stayaway_obs::{attr, EventId, EventKind, Layer, MetricsSnapshot};
 use stayaway_statespace::{ExecutionMode, Point2, StateMap, Template};
 use stayaway_telemetry::{Action, HostSpec, Observation, Policy};
 use std::time::{Duration, Instant};
@@ -242,6 +244,20 @@ impl Controller {
                 tick,
                 state: mapped.rep,
             });
+            if let Some(rec) = &self.obs.recorder {
+                // The causal link points at the verdict that was in force
+                // when the violation slipped through (the forecast that
+                // should have caught it — last period's, since this
+                // period's forecast has not run yet).
+                let cause = rec.last_id_of_kind(EventKind::PredictorVerdict);
+                rec.record(
+                    tick,
+                    Layer::Controller,
+                    EventKind::SloViolation,
+                    cause,
+                    vec![attr("state", mapped.rep as u64)],
+                );
+            }
             let span = Instant::now();
             let beta_increased = self.act.note_violation(tick);
             act_span += span.elapsed();
@@ -250,6 +266,16 @@ impl Controller {
                     tick,
                     beta: self.act.beta(),
                 });
+                if let Some(rec) = &self.obs.recorder {
+                    let cause = rec.last_id_of_kind(EventKind::SloViolation);
+                    rec.record(
+                        tick,
+                        Layer::Controller,
+                        EventKind::BetaChange,
+                        cause,
+                        vec![attr("beta", self.act.beta())],
+                    );
+                }
             }
         }
 
@@ -274,6 +300,18 @@ impl Controller {
                 &mut self.rng,
             );
             act_span += span.elapsed();
+            if let Some(anchor) = self.act.take_anchor_established() {
+                if let Some(rec) = &self.obs.recorder {
+                    let cause = rec.last_id_of_kind(EventKind::Throttle);
+                    rec.record(
+                        tick,
+                        Layer::Controller,
+                        EventKind::DriftAnchor,
+                        cause,
+                        vec![attr("x", anchor.x), attr("y", anchor.y)],
+                    );
+                }
+            }
             if let ResumeDecision::Resumed {
                 reason,
                 actions: resumes,
@@ -283,10 +321,25 @@ impl Controller {
                 self.stats.resumes += 1;
                 self.obs.resumes.inc();
                 self.events.push(ControllerEvent::Resumed { tick, reason });
+                if let Some(rec) = &self.obs.recorder {
+                    let cause = rec.last_id_of_kind(EventKind::Throttle);
+                    let why = match reason {
+                        ResumeReason::PhaseChange => "phase-change",
+                        ResumeReason::Optimistic => "optimistic",
+                    };
+                    rec.record(
+                        tick,
+                        Layer::Controller,
+                        EventKind::Resume,
+                        cause,
+                        vec![attr("reason", why)],
+                    );
+                }
             }
         } else {
             // Not throttled: predict the next state while co-located.
             let mut predicted_violation = false;
+            let mut verdict_event: Option<EventId> = None;
             if sensed.mode == ExecutionMode::CoLocated {
                 let span = Instant::now();
                 let forecast =
@@ -303,6 +356,19 @@ impl Controller {
                         self.obs.violation_verdicts.inc();
                     }
                     predicted_violation = forecast.predicted_violation;
+                    if let Some(rec) = &self.obs.recorder {
+                        verdict_event = Some(rec.record(
+                            tick,
+                            Layer::Predictor,
+                            EventKind::PredictorVerdict,
+                            None,
+                            vec![
+                                attr("predicted", forecast.predicted_violation),
+                                attr("votes", forecast.votes as u64),
+                                attr("samples", forecast.samples as u64),
+                            ],
+                        ));
+                    }
                     if forecast.predicted_violation {
                         self.stats.violations_predicted += 1;
                         self.obs.violations_predicted.inc();
@@ -331,11 +397,29 @@ impl Controller {
                 if !targets.is_empty() {
                     self.stats.throttles += 1;
                     self.obs.throttles.inc();
+                    let proactive = (predicted_violation || current_in_range) && !sensed.violated;
                     self.events.push(ControllerEvent::Throttled {
                         tick,
                         count: targets.len(),
-                        proactive: (predicted_violation || current_in_range) && !sensed.violated,
+                        proactive,
                     });
+                    if let Some(rec) = &self.obs.recorder {
+                        // Cause: the forecast verdict in force this period
+                        // when one exists (proactive path); a reactive
+                        // throttle links back to the violation it answers.
+                        let cause =
+                            verdict_event.or_else(|| rec.last_id_of_kind(EventKind::SloViolation));
+                        rec.record(
+                            tick,
+                            Layer::Controller,
+                            EventKind::Throttle,
+                            cause,
+                            vec![
+                                attr("count", targets.len() as u64),
+                                attr("proactive", proactive),
+                            ],
+                        );
+                    }
                     let span = Instant::now();
                     let (engaged, pauses) = self.act.engage(tick, targets);
                     act_span += span.elapsed();
@@ -349,7 +433,14 @@ impl Controller {
             }
         }
 
-        self.finish_period(tick, sense_span, map_span, predict_span, act_span);
+        self.finish_period(
+            tick,
+            mapped.point,
+            sense_span,
+            map_span,
+            predict_span,
+            act_span,
+        );
         Ok(actions)
     }
 
@@ -359,6 +450,7 @@ impl Controller {
     fn finish_period(
         &mut self,
         tick: u64,
+        point: Point2,
         sense: Duration,
         map: Duration,
         predict: Duration,
@@ -391,6 +483,23 @@ impl Controller {
             self.obs.set_hit_ratio(
                 self.stats.prediction_hits as f64 / self.stats.prediction_checks as f64,
             );
+        }
+        if let Some(state) = &self.obs.state {
+            state.set(json!({
+                "tick": tick,
+                "beta": self.act.beta(),
+                "throttling": self.act.is_throttling(),
+                "duty_cycle": self.obs.throttled_periods.get() as f64
+                    / self.stats.periods as f64,
+                "point_x": point.x,
+                "point_y": point.y,
+                "states": self.map.repr_count() as u64,
+                "violation_states": self.map.state_map().violation_count() as u64,
+                "periods": self.stats.periods,
+                "violations_observed": self.stats.violations_observed,
+                "throttles": self.stats.throttles,
+                "resumes": self.stats.resumes,
+            }));
         }
     }
 }

@@ -12,7 +12,9 @@
 //! never branches control logic — so an instrumented run's actions,
 //! events, β, and state map are bit-for-bit those of a bare run.
 
-use stayaway_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanSink};
+use stayaway_obs::{
+    Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, SpanSink, StateCell,
+};
 
 /// Observability options for a controller instance.
 ///
@@ -26,6 +28,8 @@ use stayaway_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanSink};
 pub struct Observability {
     registry: MetricsRegistry,
     sink: Option<SpanSink>,
+    recorder: Option<FlightRecorder>,
+    state: Option<StateCell>,
     deep: bool,
 }
 
@@ -42,6 +46,8 @@ impl Observability {
         Observability {
             registry: MetricsRegistry::new(),
             sink: None,
+            recorder: None,
+            state: None,
             deep: false,
         }
     }
@@ -52,6 +58,8 @@ impl Observability {
         Observability {
             registry,
             sink: None,
+            recorder: None,
+            state: None,
             deep: true,
         }
     }
@@ -59,6 +67,21 @@ impl Observability {
     /// Mirrors per-stage spans into `sink` as structured records.
     pub fn with_sink(mut self, sink: SpanSink) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Records typed controller decisions (throttle, resume, β change,
+    /// predictor verdicts, drift anchors, learned violations) into the
+    /// flight recorder's bounded event ring (DESIGN.md §16).
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Publishes a live controller-state JSON document into `state`
+    /// after every control period, for the `/state` HTTP endpoint.
+    pub fn with_state(mut self, state: StateCell) -> Self {
+        self.state = Some(state);
         self
     }
 
@@ -80,6 +103,16 @@ impl Observability {
         self.sink.as_ref()
     }
 
+    /// The flight recorder, when configured.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// The live-state cell, when configured.
+    pub fn state(&self) -> Option<&StateCell> {
+        self.state.as_ref()
+    }
+
     /// Whether deep derived metrics are computed.
     pub fn is_deep(&self) -> bool {
         self.deep
@@ -92,6 +125,8 @@ impl Observability {
 pub(crate) struct ControllerMetrics {
     pub registry: MetricsRegistry,
     pub sink: Option<SpanSink>,
+    pub recorder: Option<FlightRecorder>,
+    pub state: Option<StateCell>,
     // Per-stage wall-time, one record per control period per stage —
     // the primary store behind the `ControllerStats::stage_timing`
     // compatibility view.
@@ -220,6 +255,8 @@ impl ControllerMetrics {
             hit_ratio: None,
             registry: obs.registry.clone(),
             sink: obs.sink.clone(),
+            recorder: obs.recorder.clone(),
+            state: obs.state.clone(),
         }
     }
 

@@ -45,6 +45,10 @@ pub struct ActStage {
     /// throttle; resume drift is measured against this anchor ("the states
     /// that follow roughly map to the same vicinity", §3.3).
     throttle_anchor: Option<Point2>,
+    /// Set when `maybe_resume` establishes a fresh drift anchor; the
+    /// controller drains it to emit a flight-recorder event. Pure
+    /// bookkeeping — never read by the stage's own decisions.
+    anchor_established: Option<Point2>,
     paused_by_us: Vec<ContainerId>,
 }
 
@@ -66,6 +70,7 @@ impl ActStage {
             violation_range_enabled: config.violation_range_enabled,
             dedup_epsilon: config.dedup_epsilon,
             throttle_anchor: None,
+            anchor_established: None,
             paused_by_us: Vec::new(),
         }
     }
@@ -84,6 +89,13 @@ impl ActStage {
     /// incremented (a premature phase-change resume took the blame).
     pub fn note_violation(&mut self, tick: u64) -> bool {
         self.throttle.note_violation(tick)
+    }
+
+    /// Drains the drift anchor established by the last
+    /// [`ActStage::maybe_resume`] call, if any. Observability-only: the
+    /// flag never feeds back into stage decisions.
+    pub fn take_anchor_established(&mut self) -> Option<Point2> {
+        self.anchor_established.take()
     }
 
     /// While throttled: watches the sensitive application's isolated
@@ -109,6 +121,7 @@ impl ActStage {
             match self.throttle_anchor {
                 None => {
                     self.throttle_anchor = Some(point);
+                    self.anchor_established = Some(point);
                     0.0
                 }
                 Some(anchor) => anchor.distance(point),

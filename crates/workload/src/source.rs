@@ -13,7 +13,7 @@ use crate::latency::LatencyHistogram;
 use crate::metrics::WorkloadMetrics;
 use crate::spec::WorkloadScenario;
 use crate::WorkloadError;
-use stayaway_obs::MetricsRegistry;
+use stayaway_obs::{attr, EventKind, FlightRecorder, Layer, MetricsRegistry};
 use stayaway_telemetry::{
     Action, Observation, ObservationSource, ResourceKind, SourceKind, SourceMeta, TelemetryError,
     TickRecord,
@@ -23,6 +23,7 @@ use stayaway_telemetry::{
 #[derive(Debug)]
 pub struct WorkloadSource {
     host: WorkloadHost,
+    recorder: Option<FlightRecorder>,
 }
 
 impl WorkloadSource {
@@ -35,12 +36,22 @@ impl WorkloadSource {
     pub fn new(scenario: WorkloadScenario, seed: u64) -> Result<Self, WorkloadError> {
         Ok(WorkloadSource {
             host: WorkloadHost::new(scenario, seed)?,
+            recorder: None,
         })
     }
 
     /// Attaches decision-inert instrumentation from `registry`.
     pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
         self.host = self.host.with_metrics(WorkloadMetrics::register(registry));
+        self
+    }
+
+    /// Records workload-layer SLO violations into the flight recorder
+    /// (one [`EventKind::SloViolation`] per violated tick with the
+    /// sensitive tenant active). Decision-inert: the engine never reads
+    /// the recorder back.
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -84,13 +95,29 @@ impl ObservationSource for WorkloadSource {
     }
 
     fn record_for(&self, observation: &Observation, actions: &[Action]) -> TickRecord {
-        self.host.last_record(actions.len()).unwrap_or_else(|| {
+        let record = self.host.last_record(actions.len()).unwrap_or_else(|| {
             stayaway_telemetry::derive_record(
                 observation,
                 actions.len(),
                 Some(&self.host.scenario().host),
             )
-        })
+        });
+        if record.violated && record.sensitive_active {
+            if let Some(rec) = &self.recorder {
+                let cause = rec.last_id_of_kind(EventKind::PredictorVerdict);
+                rec.record(
+                    record.tick,
+                    Layer::Workload,
+                    EventKind::SloViolation,
+                    cause,
+                    vec![
+                        attr("qos", record.qos_value),
+                        attr("batch_active", record.batch_active as u64),
+                    ],
+                );
+            }
+        }
+        record
     }
 
     fn batch_work(&self) -> f64 {

@@ -12,7 +12,11 @@
 # request-driven run), a bench-scenarios JSON smoke, a cluster CLI smoke
 # (single run plus the policy comparison table), the predictor-plane and
 # tournament determinism suites with a tournament CLI smoke (ranked
-# table, leak-free JSON), and a compile check of every criterion bench
+# table, leak-free JSON), the flight-recorder determinism suite, an
+# introspection smoke (live HTTP /health /metrics /state /events,
+# promlint through the CLI, event export/import, and the metrics-diff
+# regression gate passing a snapshot against itself while flagging a
+# perturbed-seed run), and a compile check of every criterion bench
 # target. Run from anywhere inside the repository.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -42,6 +46,11 @@ cargo test -q -p stayaway-fleet --test determinism workload_cells_agree_across_w
 # over random cluster seeds).
 cargo test -q -p stayaway-fleet --test cluster_determinism
 cargo test -q -p stayaway-fleet --test cluster_seed_props
+# Flight-recorder determinism: the canonical event stream must be
+# byte-identical for any worker count at fleet and cluster scale,
+# recording must be decision-inert, and the causal links must
+# reconstruct the cluster ← host ← predictor chain from the stream alone.
+cargo test -q -p stayaway-fleet --test event_determinism
 # Predictor-plane determinism: the KDE reference through the Predictor
 # trait must stay bit-for-bit on the pre-refactor golden fixture, every
 # competitor plane must drive deterministic NaN-free runs, and the
@@ -109,4 +118,56 @@ grep -q '"standings"' <<<"$tournament_json"
 grep -q '"lo"' <<<"$tournament_json"
 ! grep -q '"workers"' <<<"$tournament_json"
 ! grep -q 'decide_nanos' <<<"$tournament_json"
+# Introspection smoke: a short instrumented run serving /health /metrics
+# /state /events over --http (ephemeral port, scraped from the printed
+# address via bash /dev/tcp). The live exposition must pass the in-tree
+# promlint through the new CLI path, the exported event stream must read
+# back through `stayaway events`, and the metrics-regression gate must
+# pass a snapshot against itself and flag a perturbed-seed run.
+intro_dir="$(mktemp -d)"
+trap 'rm -f "$metrics_tmp"; rm -rf "$intro_dir"' EXIT
+cargo run -q --release --bin stayaway -- \
+    run --ticks 64 --metrics-out "$intro_dir/a.json" \
+    --events-out "$intro_dir/events.jsonl" \
+    --http 127.0.0.1:0 --http-linger 6 > "$intro_dir/run.log" &
+run_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'listening on http://' "$intro_dir/run.log" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(grep -o 'http://[0-9.:]*' "$intro_dir/run.log" | head -1)"
+hostport="${addr#http://}"
+http_get() {
+    exec 3<>"/dev/tcp/${hostport%:*}/${hostport##*:}"
+    printf 'GET %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' "$1" >&3
+    sed '1,/^\r$/d' <&3
+    exec 3<&- 3>&-
+}
+[ "$(http_get /health)" = "ok" ]
+http_get /metrics > "$intro_dir/metrics.prom"
+cargo run -q --release --bin stayaway -- promlint "$intro_dir/metrics.prom"
+http_get /state | grep -q '"tick"'
+wait "$run_pid"
+events_cli="$(cargo run -q --release --bin stayaway -- \
+    events --events-in "$intro_dir/events.jsonl" --kind throttle)"
+grep -q 'throttle' <<<"$events_cli"
+cargo run -q --release --bin stayaway -- \
+    metrics-diff "$intro_dir/a.json" "$intro_dir/a.json"
+cargo run -q --release --bin stayaway -- \
+    run --ticks 64 --seed 9 --metrics-out "$intro_dir/b.json" > /dev/null
+if cargo run -q --release --bin stayaway -- \
+    metrics-diff "$intro_dir/a.json" "$intro_dir/b.json" > /dev/null; then
+    echo "metrics-diff failed to flag a perturbed-seed run" >&2
+    exit 1
+fi
+# --metrics-out now reaches every plane: the cluster and tournament
+# rollups must export (and the cluster exposition must lint clean).
+cargo run -q --release --bin stayaway -- \
+    cluster --cluster-scenario hotspot --epochs 6 --epoch-ticks 4 \
+    --metrics-out "$intro_dir/cluster.prom" > /dev/null
+cargo run -q --release --bin stayaway -- promlint "$intro_dir/cluster.prom"
+cargo run -q --release --bin stayaway -- \
+    tournament --cells 1 --ticks 48 --resamples 50 \
+    --metrics-out "$intro_dir/tournament.json" > /dev/null
+grep -q '"histograms"' "$intro_dir/tournament.json"
 cargo bench --workspace --no-run

@@ -30,7 +30,11 @@ use stay_away::fleet::{
     ClusterPolicySpec, Fleet, FleetConfig, PolicySpec, PredictorSpec, SourceSpec, TournamentConfig,
     TournamentOutcome,
 };
-use stay_away::obs::{to_json, to_prometheus, MetricsRegistry, MetricsSnapshot};
+use stay_away::obs::{
+    events_from_jsonl, events_to_jsonl, promlint, to_json, to_prometheus, EventId, EventKind,
+    EventRecord, FlightRecorder, HttpServer, Introspection, MetricsRegistry, MetricsSnapshot,
+    StateCell,
+};
 use stay_away::sim::apps::WebWorkload;
 use stay_away::sim::scenario::{BatchKind, Scenario, SensitiveKind};
 use stay_away::sim::workload::{DiurnalParams, Trace};
@@ -61,6 +65,15 @@ commands:
                              migration above per-host controllers)
   metrics                    run one scenario with full instrumentation and
                              print the metrics exposition
+  events                     run with the flight recorder on and print the
+                             causal event timeline (or inspect a JSONL file
+                             via --events-in); --cause <scope:seq> renders
+                             one event's causal chain
+  metrics-diff <a> <b>       compare two metrics snapshot JSON files (as
+                             written by --metrics-out x.json) with relative
+                             per-metric thresholds; exits 1 on regression
+  promlint <file>            validate a Prometheus text exposition file
+                             (`-` reads stdin); exits 1 on lint errors
   scenarios                  list the request-driven workload scenario
                              library (use with run --source workload:<name>)
   bench-scenarios            run every workload scenario under a list of
@@ -109,10 +122,30 @@ options:
   --no-migration             cluster: disable the Migrate verb
   --compare                  cluster: run every cluster policy and print
                              the comparison table
-  --metrics-out <path>       run/fleet/metrics: export the run's metrics
-                             snapshot; `-` writes pretty JSON to stdout,
-                             a `.json` path writes pretty JSON, any other
-                             path writes Prometheus text exposition
+  --metrics-out <path>       run/fleet/cluster/tournament/metrics: export
+                             the run's metrics snapshot; `-` writes pretty
+                             JSON to stdout, a `.json` path writes pretty
+                             JSON, any other path writes Prometheus text
+                             exposition
+  --events-out <path>        run/fleet/cluster: write the canonical event
+                             stream as JSON Lines (`-` writes to stdout)
+  --events-in <path>         events: read a recorded JSONL stream instead
+                             of running a scenario
+  --http <addr>              run/fleet/cluster: serve /health /metrics
+                             /state /events?tail=N on <addr> (port 0 binds
+                             an ephemeral port; the bound address is
+                             printed)
+  --http-linger <secs>       keep the HTTP server up this many seconds
+                             after the run completes (default 0)
+  --kind <name>              events: only show this event kind
+  --host <n>                 events: only show this recorder scope
+  --tick-from <n>            events: drop events before this tick
+  --tick-to <n>              events: drop events after this tick
+  --cause <scope:seq>        events: render the causal chain ending at
+                             this event id
+  --threshold <f>            metrics-diff: relative tolerance applied to
+                             every metric (default 0, exact match)
+  --threshold-for <m=f>      metrics-diff: per-metric override, repeatable
   --json                     print a JSON summary instead of text
 ";
 
@@ -149,6 +182,25 @@ struct Args {
     no_migration: bool,
     compare: bool,
     metrics_out: Option<String>,
+    events_out: Option<String>,
+    events_in: Option<String>,
+    /// None means "don't serve": `--http <addr>` starts the introspection
+    /// server (DESIGN.md §16) for the duration of the run.
+    http: Option<String>,
+    /// Seconds the HTTP server outlives the run (0 = stop immediately).
+    http_linger: u64,
+    kind: Option<String>,
+    host: Option<u32>,
+    tick_from: Option<u64>,
+    tick_to: Option<u64>,
+    cause: Option<String>,
+    /// metrics-diff: global relative tolerance (0 = exact).
+    threshold: f64,
+    /// metrics-diff: per-metric overrides, `name=tolerance`.
+    threshold_for: Vec<(String, f64)>,
+    /// Non-flag operands after the command (metrics-diff paths, a
+    /// promlint file).
+    positional: Vec<String>,
     json: bool,
 }
 
@@ -197,6 +249,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         no_migration: false,
         compare: false,
         metrics_out: None,
+        events_out: None,
+        events_in: None,
+        http: None,
+        http_linger: 0,
+        kind: None,
+        host: None,
+        tick_from: None,
+        tick_to: None,
+        cause: None,
+        threshold: 0.0,
+        threshold_for: Vec::new(),
+        positional: Vec::new(),
         json: false,
     };
     let mut it = argv[1..].iter();
@@ -257,7 +321,54 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--no-migration" => args.no_migration = true,
             "--compare" => args.compare = true,
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--events-out" => args.events_out = Some(value("--events-out")?),
+            "--events-in" => args.events_in = Some(value("--events-in")?),
+            "--http" => args.http = Some(value("--http")?),
+            "--http-linger" => {
+                args.http_linger = value("--http-linger")?
+                    .parse()
+                    .map_err(|_| "--http-linger expects seconds".to_string())?
+            }
+            "--kind" => args.kind = Some(value("--kind")?),
+            "--host" => {
+                args.host = Some(
+                    value("--host")?
+                        .parse()
+                        .map_err(|_| "--host expects an integer scope".to_string())?,
+                )
+            }
+            "--tick-from" => {
+                args.tick_from = Some(
+                    value("--tick-from")?
+                        .parse()
+                        .map_err(|_| "--tick-from expects an integer".to_string())?,
+                )
+            }
+            "--tick-to" => {
+                args.tick_to = Some(
+                    value("--tick-to")?
+                        .parse()
+                        .map_err(|_| "--tick-to expects an integer".to_string())?,
+                )
+            }
+            "--cause" => args.cause = Some(value("--cause")?),
+            "--threshold" => {
+                args.threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|_| "--threshold expects a number".to_string())?
+            }
+            "--threshold-for" => {
+                let spec = value("--threshold-for")?;
+                let (name, tol) = spec.split_once('=').ok_or_else(|| {
+                    format!("--threshold-for `{spec}` is not <metric>=<tolerance>")
+                })?;
+                let tol: f64 = tol
+                    .parse()
+                    .map_err(|_| format!("--threshold-for tolerance `{tol}` is not a number"))?;
+                args.threshold_for.push((name.to_string(), tol));
+            }
             "--json" => args.json = true,
+            other if !other.starts_with('-') => args.positional.push(other.to_string()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -394,12 +505,388 @@ fn write_metrics(snapshot: &MetricsSnapshot, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The live observability handles a single-host run shares between the
+/// controller, the workload source and the HTTP introspection server:
+/// one flight recorder (scope 0), the `/state` cell the controller
+/// publishes into, and — when `--http` was given — the running server.
+struct RunIntrospection {
+    recorder: FlightRecorder,
+    state: StateCell,
+    server: Option<HttpServer>,
+}
+
+/// Builds the single-run introspection plane when `--http` or
+/// `--events-out` asks for it. With `--http` the server starts before
+/// the run (live observation) and the bound address is printed —
+/// ephemeral ports resolve here, scripts scrape this line.
+fn run_introspection(
+    args: &Args,
+    registry: Option<&MetricsRegistry>,
+) -> Result<Option<RunIntrospection>, String> {
+    if args.http.is_none() && args.events_out.is_none() {
+        return Ok(None);
+    }
+    let recorder = FlightRecorder::for_scope(0, "run");
+    let (state, server) = match &args.http {
+        Some(addr) => {
+            let mut intro = Introspection::new().with_recorder(recorder.clone());
+            if let Some(registry) = registry {
+                intro = intro.with_registry(registry.clone());
+            }
+            // The server's own cell doubles as the controller's `/state`
+            // sink — one handle, no copying.
+            let state = intro.state();
+            let server = HttpServer::serve(addr, intro)
+                .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+            println!(
+                "introspection server listening on http://{}",
+                server.local_addr()
+            );
+            (state, Some(server))
+        }
+        None => (StateCell::new(), None),
+    };
+    Ok(Some(RunIntrospection {
+        recorder,
+        state,
+        server,
+    }))
+}
+
+/// Post-run: exports the event stream when `--events-out` asked for it,
+/// honours `--http-linger`, then stops the server.
+fn finish_introspection(
+    args: &Args,
+    introspection: Option<RunIntrospection>,
+) -> Result<(), String> {
+    let Some(intro) = introspection else {
+        return Ok(());
+    };
+    if let Some(path) = &args.events_out {
+        write_events(&intro.recorder.events(), path)?;
+    }
+    linger_and_shutdown(args, intro.server);
+    Ok(())
+}
+
+/// Honours `--http-linger`, then stops the server.
+fn linger_and_shutdown(args: &Args, server: Option<HttpServer>) {
+    let Some(server) = server else { return };
+    if args.http_linger > 0 {
+        println!(
+            "introspection server lingering for {}s (ctrl-c to abort)",
+            args.http_linger
+        );
+        std::thread::sleep(std::time::Duration::from_secs(args.http_linger));
+    }
+    server.shutdown();
+}
+
+/// Writes the canonical event stream to `path` as JSON Lines (`-`
+/// prints to stdout).
+fn write_events(events: &[EventRecord], path: &str) -> Result<(), String> {
+    let jsonl = events_to_jsonl(events);
+    if path == "-" {
+        print!("{jsonl}");
+        return Ok(());
+    }
+    std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("{} events written to {path}", events.len());
+    Ok(())
+}
+
+/// Reads a whole text input: `-` means stdin, anything else a path.
+fn read_text_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+}
+
+/// Serves a *completed* fleet or cluster outcome over `--http`: the
+/// frozen metrics rollup on `/metrics`, a summary document on `/state`
+/// and the merged canonical event stream on `/events`. The server only
+/// exists for the `--http-linger` window — multi-cell planes publish
+/// after the run rather than live, so their streams stay canonical.
+fn serve_outcome_http(
+    args: &Args,
+    metrics: Option<&MetricsSnapshot>,
+    events: Option<Vec<EventRecord>>,
+    state: serde_json::Value,
+) -> Result<(), String> {
+    let Some(addr) = &args.http else {
+        return Ok(());
+    };
+    let intro = Introspection::new();
+    if let Some(snapshot) = metrics {
+        intro.set_metrics(snapshot.clone());
+    }
+    if let Some(events) = events {
+        intro.set_events(events);
+    }
+    intro.state().set(state);
+    let server =
+        HttpServer::serve(addr, intro).map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+    println!(
+        "introspection server listening on http://{}",
+        server.local_addr()
+    );
+    linger_and_shutdown(args, Some(server));
+    Ok(())
+}
+
+/// The `/state` summary a post-run fleet server publishes.
+fn fleet_state_json(outcome: &stay_away::fleet::FleetOutcome) -> serde_json::Value {
+    serde_json::json!({
+        "plane": "fleet",
+        "cells": outcome.cells as u64,
+        "ticks_per_cell": outcome.ticks_per_cell,
+        "fleet_seed": outcome.fleet_seed,
+        "total_batch_work": outcome.total_batch_work,
+        "mean_utilization": outcome.mean_utilization,
+        "mean_gained_utilization": outcome.mean_gained_utilization,
+        "throttles": outcome.throttles,
+        "resumes": outcome.resumes,
+        "violations_predicted": outcome.violations_predicted,
+        "events_dropped": outcome.events_dropped,
+        "metric_unit_mismatches": outcome.metric_unit_mismatches
+    })
+}
+
+/// The `/state` summary a post-run cluster server publishes.
+fn cluster_state_json(outcome: &ClusterOutcome) -> serde_json::Value {
+    serde_json::json!({
+        "plane": "cluster",
+        "scenario": outcome.scenario.clone(),
+        "cluster_policy": outcome.cluster_policy.clone(),
+        "host_policy": outcome.host_policy.clone(),
+        "seed": outcome.seed,
+        "epochs": outcome.epochs,
+        "ticks_per_epoch": outcome.ticks_per_epoch,
+        "slo_violation_rate": outcome.slo_violation_rate,
+        "total_batch_work": outcome.total_batch_work,
+        "admissions": outcome.admissions,
+        "migrations": outcome.migrations,
+        "deferrals": outcome.deferrals,
+        "queue_actions": outcome.queue_actions,
+        "metric_unit_mismatches": outcome.metric_unit_mismatches
+    })
+}
+
+/// One human-readable timeline line:
+/// `scope:seq t=<tick> [layer] kind subject k=v ... <- cause`.
+fn render_event(e: &EventRecord) -> String {
+    let mut line = format!(
+        "{} t={} [{}] {} {}",
+        e.id(),
+        e.tick,
+        e.layer,
+        e.kind,
+        e.subject
+    );
+    for (name, value) in &e.attrs {
+        line.push_str(&format!(" {name}={}", value.render()));
+    }
+    if let Some(cause) = e.cause {
+        line.push_str(&format!(" <- {cause}"));
+    }
+    line
+}
+
+/// The event stream the `events` command inspects: `--events-in` reads
+/// a JSONL export, otherwise a demo cluster run records one live.
+/// storm-cluster is the demo default because it exercises every cluster
+/// verb including migration (hotspot under scoring placement admits
+/// cleanly and never migrates).
+fn load_or_record_events(args: &Args) -> Result<Vec<EventRecord>, String> {
+    if let Some(path) = &args.events_in {
+        let text = read_text_input(path)?;
+        return events_from_jsonl(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    let mut demo = args.clone();
+    if demo.cluster_scenario.is_none() {
+        demo.cluster_scenario = Some("storm-cluster".into());
+    }
+    let policy = ClusterPolicySpec::parse(demo.cluster_policy.as_deref().unwrap_or("score"))
+        .map_err(|e| e.to_string())?;
+    let outcome = run_cluster_policy(&demo, policy)?;
+    outcome
+        .events
+        .ok_or_else(|| "cluster run recorded no events".to_string())
+}
+
+/// Walks `--cause` links from `id` back to the root, printing each hop.
+fn print_causal_chain(events: &[EventRecord], id: EventId) -> Result<(), String> {
+    let find = |id: EventId| {
+        events
+            .iter()
+            .find(|e| e.scope == id.scope && e.seq == id.seq)
+    };
+    let mut next = Some(id);
+    let mut depth = 0usize;
+    while let Some(id) = next {
+        let event = find(id).ok_or_else(|| format!("event {id} not found in the stream"))?;
+        if depth == 0 {
+            println!("{}", render_event(event));
+        } else {
+            println!(
+                "{:indent$}caused by {}",
+                "",
+                render_event(event),
+                indent = depth * 2
+            );
+        }
+        next = event.cause;
+        depth += 1;
+    }
+    Ok(())
+}
+
+/// One comparable series extracted from a metrics snapshot JSON:
+/// histograms expand to one series per statistic; `metric` names the
+/// owning metric so `--threshold-for` overrides attach to all of them.
+struct MetricSeries {
+    key: String,
+    metric: String,
+    value: f64,
+}
+
+/// A numeric JSON field, whatever integer/float shape it parsed as.
+fn number_field(value: &serde_json::Value) -> Option<f64> {
+    value
+        .as_f64()
+        .or_else(|| value.as_u64().map(|u| u as f64))
+        .or_else(|| value.as_i64().map(|i| i as f64))
+}
+
+/// Wall-clock series are nondeterministic by nature and excluded from
+/// the regression gate.
+fn is_wall_clock(name: &str, unit: Option<&str>) -> bool {
+    name.ends_with("_nanos") || name.contains("_nanos_") || unit == Some("nanos")
+}
+
+/// Extracts the comparable series from a `--metrics-out *.json`
+/// snapshot, skipping wall-clock series and null quantiles.
+fn load_metric_values(path: &str) -> Result<Vec<MetricSeries>, String> {
+    let text = read_text_input(path)?;
+    let doc: serde_json::Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for section in ["counters", "gauges"] {
+        let Some(entries) = doc.get(section).and_then(|v| v.as_array()) else {
+            continue;
+        };
+        for entry in entries {
+            let Some(name) = entry.get("name").and_then(|v| v.as_str()) else {
+                continue;
+            };
+            if is_wall_clock(name, None) {
+                continue;
+            }
+            let Some(value) = entry.get("value").and_then(number_field) else {
+                continue;
+            };
+            out.push(MetricSeries {
+                key: name.to_string(),
+                metric: name.to_string(),
+                value,
+            });
+        }
+    }
+    if let Some(entries) = doc.get("histograms").and_then(|v| v.as_array()) {
+        for entry in entries {
+            let Some(name) = entry.get("name").and_then(|v| v.as_str()) else {
+                continue;
+            };
+            let unit = entry.get("unit").and_then(|v| v.as_str());
+            if is_wall_clock(name, unit) {
+                continue;
+            }
+            for stat in ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"] {
+                let Some(value) = entry.get(stat).and_then(number_field) else {
+                    continue;
+                };
+                out.push(MetricSeries {
+                    key: format!("{name}/{stat}"),
+                    metric: name.to_string(),
+                    value,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One row of the regression-gate comparison.
+struct DiffRow {
+    key: String,
+    metric: String,
+    a: f64,
+    b: f64,
+    rel: f64,
+}
+
+/// Symmetric relative difference: `|a-b| / max(|a|,|b|)`; 0 when equal.
+fn relative_difference(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+/// Compares two extracted series sets over the union of keys. A series
+/// present on only one side diffs as infinite — a missing metric is a
+/// regression, not a skip.
+fn diff_metric_values(a: &[MetricSeries], b: &[MetricSeries]) -> Vec<DiffRow> {
+    use std::collections::BTreeMap;
+    let index = |series: &[MetricSeries]| -> BTreeMap<String, (String, f64)> {
+        series
+            .iter()
+            .map(|m| (m.key.clone(), (m.metric.clone(), m.value)))
+            .collect()
+    };
+    let left = index(a);
+    let right = index(b);
+    let mut keys: Vec<String> = left.keys().chain(right.keys()).cloned().collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .map(|key| {
+            let l = left.get(&key);
+            let r = right.get(&key);
+            let metric = l.or(r).map(|(m, _)| m.clone()).unwrap_or_default();
+            let (a, b, rel) = match (l, r) {
+                (Some((_, a)), Some((_, b))) => (*a, *b, relative_difference(*a, *b)),
+                (Some((_, a)), None) => (*a, f64::NAN, f64::INFINITY),
+                (None, Some((_, b))) => (f64::NAN, *b, f64::INFINITY),
+                (None, None) => unreachable!("key came from one of the maps"),
+            };
+            DiffRow {
+                key,
+                metric,
+                a,
+                b,
+                rel,
+            }
+        })
+        .collect()
+}
+
 /// Runs the named policy against the selected observation substrate via
 /// the unified [`ControlPolicy`] surface; returns the outcome, the
 /// post-run policy (for introspection: stats, template export) and the
 /// CPU capacity of the sensed host (for utilisation summaries). When a
 /// `registry` is given, the policy and substrate register their
 /// instruments into it (decision-inert).
+#[allow(clippy::too_many_arguments)]
 fn run_policy_by_name(
     scenario: &Scenario,
     policy: &str,
@@ -408,16 +895,27 @@ fn run_policy_by_name(
     seed: u64,
     ticks: u64,
     registry: Option<&MetricsRegistry>,
+    introspection: Option<&RunIntrospection>,
 ) -> Result<(RunOutcome, Box<dyn ControlPolicy>, f64), String> {
     let spec = PolicySpec::parse(policy).map_err(|e| e.to_string())?;
     let mut source = source_spec
-        .build_observed(scenario, seed, registry)
+        .build_instrumented(
+            scenario,
+            seed,
+            registry,
+            introspection.map(|intro| &intro.recorder),
+        )
         .map_err(|e| e.to_string())?;
     let host_spec = source.meta().host.unwrap_or_else(|| *scenario.host_spec());
-    let obs = match registry {
+    let mut obs = match registry {
         Some(registry) => Observability::enabled(registry.clone()),
         None => Observability::disabled(),
     };
+    if let Some(intro) = introspection {
+        obs = obs
+            .with_recorder(intro.recorder.clone())
+            .with_state(intro.state.clone());
+    }
     let mut policy = spec
         .build_observed(config, &host_spec, obs)
         .map_err(|e| e.to_string())?;
@@ -431,18 +929,27 @@ fn run_policy_by_name(
 fn run_workload(name: &str, args: &Args) -> Result<(), String> {
     let scenario = stay_away::workload::by_name(name).map_err(|e| e.to_string())?;
     let host_spec = scenario.host;
-    let registry = args.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+    let registry = (args.metrics_out.is_some() || args.http.is_some()).then(MetricsRegistry::new);
+    let introspection = run_introspection(args, registry.as_ref())?;
     let spec = PolicySpec::parse(args.policy_or("stay-away")).map_err(|e| e.to_string())?;
-    let obs = match &registry {
+    let mut obs = match &registry {
         Some(registry) => Observability::enabled(registry.clone()),
         None => Observability::disabled(),
     };
+    if let Some(intro) = &introspection {
+        obs = obs
+            .with_recorder(intro.recorder.clone())
+            .with_state(intro.state.clone());
+    }
     let mut policy = spec
         .build_observed(&args.controller_config()?, &host_spec, obs)
         .map_err(|e| e.to_string())?;
     let mut source = WorkloadSource::new(scenario, args.seed).map_err(|e| e.to_string())?;
     if let Some(registry) = &registry {
         source = source.with_metrics(registry);
+    }
+    if let Some(intro) = &introspection {
+        source = source.with_recorder(intro.recorder.clone());
     }
     let out = drive(&mut source, policy.as_mut(), args.ticks).map_err(|e| e.to_string())?;
     let latency = source.latency();
@@ -501,6 +1008,7 @@ fn run_workload(name: &str, args: &Args) -> Result<(), String> {
     if let (Some(path), Some(registry)) = (&args.metrics_out, &registry) {
         write_metrics(&registry.snapshot(), path)?;
     }
+    finish_introspection(args, introspection)?;
     Ok(())
 }
 
@@ -725,7 +1233,9 @@ fn run_cluster_policy(args: &Args, policy: ClusterPolicySpec) -> Result<ClusterO
     config.host_policy =
         PolicySpec::parse(args.policy_or("stay-away")).map_err(|e| e.to_string())?;
     config.migration = !args.no_migration;
-    config.collect_metrics = args.metrics_out.is_some();
+    config.collect_metrics = args.metrics_out.is_some() || args.http.is_some();
+    config.collect_events =
+        args.events_out.is_some() || args.http.is_some() || args.command == "events";
     let cluster = Cluster::new(config).map_err(|e| e.to_string())?;
     cluster.run().map_err(|e| e.to_string())
 }
@@ -826,7 +1336,11 @@ fn run(argv: &[String]) -> Result<(), String> {
                 return run_workload(scenario, &args);
             }
             let scenario = parse_scenario(&scenario_name, args.seed)?;
-            let registry = args.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+            // `--http` wants a live registry behind `/metrics` even when
+            // no snapshot export was requested.
+            let registry =
+                (args.metrics_out.is_some() || args.http.is_some()).then(MetricsRegistry::new);
+            let introspection = run_introspection(&args, registry.as_ref())?;
             let (out, policy, cap) = run_policy_by_name(
                 &scenario,
                 args.policy_or("stay-away"),
@@ -835,6 +1349,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 args.seed,
                 args.ticks,
                 registry.as_ref(),
+                introspection.as_ref(),
             )?;
             let stats = policy.stats();
             // Baselines track nothing; only show controller internals when
@@ -844,6 +1359,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             if let (Some(path), Some(registry)) = (&args.metrics_out, &registry) {
                 write_metrics(&registry.snapshot(), path)?;
             }
+            finish_introspection(&args, introspection)?;
             Ok(())
         }
         "metrics" => {
@@ -858,6 +1374,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 args.seed,
                 args.ticks,
                 Some(&registry),
+                None,
             )?;
             let snapshot = registry.snapshot();
             match &args.metrics_out {
@@ -885,7 +1402,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             let config = args.controller_config()?;
             for policy in ["null", "always", "reactive", "static", "stayaway"] {
                 let (out, built, cap) = run_policy_by_name(
-                    &scenario, policy, &config, &source, args.seed, args.ticks, None,
+                    &scenario, policy, &config, &source, args.seed, args.ticks, None, None,
                 )?;
                 summarize(built.name(), scenario.name(), cap, &out, None, args.json);
             }
@@ -900,6 +1417,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 &SourceSpec::Sim,
                 args.seed,
                 args.ticks,
+                None,
                 None,
             )?;
             let sens_name = scenario_name.split('+').next().unwrap_or("sensitive");
@@ -1024,7 +1542,8 @@ fn run(argv: &[String]) -> Result<(), String> {
                 predictors,
                 sources,
                 controller: ControllerConfig::default(),
-                collect_metrics: args.metrics_out.is_some(),
+                collect_metrics: args.metrics_out.is_some() || args.http.is_some(),
+                collect_events: args.events_out.is_some() || args.http.is_some(),
                 mapping_workers: 1,
             };
             let fleet = Fleet::new(config).map_err(|e| e.to_string())?;
@@ -1041,6 +1560,19 @@ fn run(argv: &[String]) -> Result<(), String> {
                     .ok_or("fleet produced no metrics rollup")?;
                 write_metrics(rollup, path)?;
             }
+            if let Some(path) = &args.events_out {
+                let events = outcome
+                    .events
+                    .as_ref()
+                    .ok_or("fleet produced no event stream")?;
+                write_events(events, path)?;
+            }
+            serve_outcome_http(
+                &args,
+                outcome.metrics.as_ref(),
+                outcome.events.clone(),
+                fleet_state_json(&outcome),
+            )?;
             Ok(())
         }
         "tournament" => {
@@ -1063,11 +1595,19 @@ fn run(argv: &[String]) -> Result<(), String> {
             // Latency calibration is wall-clock and text-only; JSON output
             // is the deterministic contract, so skip the extra runs there.
             config.calibrate_latency = !args.json;
+            config.collect_metrics = args.metrics_out.is_some();
             let outcome = run_tournament(&config).map_err(|e| e.to_string())?;
             if args.json {
                 println!("{}", outcome.to_json().map_err(|e| e.to_string())?);
             } else {
                 tournament_summary(&outcome);
+            }
+            if let Some(path) = &args.metrics_out {
+                let rollup = outcome
+                    .metrics
+                    .as_ref()
+                    .ok_or("tournament produced no metrics rollup")?;
+                write_metrics(rollup, path)?;
             }
             Ok(())
         }
@@ -1132,7 +1672,104 @@ fn run(argv: &[String]) -> Result<(), String> {
                     .ok_or("cluster produced no metrics rollup")?;
                 write_metrics(rollup, path)?;
             }
+            if let Some(path) = &args.events_out {
+                let events = outcome
+                    .events
+                    .as_ref()
+                    .ok_or("cluster produced no event stream")?;
+                write_events(events, path)?;
+            }
+            serve_outcome_http(
+                &args,
+                outcome.metrics.as_ref(),
+                outcome.events.clone(),
+                cluster_state_json(&outcome),
+            )?;
             Ok(())
+        }
+        "events" => {
+            let events = load_or_record_events(&args)?;
+            if let Some(token) = &args.cause {
+                let id = EventId::parse(token).map_err(|e| e.to_string())?;
+                return print_causal_chain(&events, id);
+            }
+            let kind = args
+                .kind
+                .as_deref()
+                .map(EventKind::parse)
+                .transpose()
+                .map_err(|e| e.to_string())?;
+            let filtered: Vec<EventRecord> = events
+                .into_iter()
+                .filter(|e| kind.is_none_or(|k| e.kind == k))
+                .filter(|e| args.host.is_none_or(|scope| e.scope == scope))
+                .filter(|e| args.tick_from.is_none_or(|from| e.tick >= from))
+                .filter(|e| args.tick_to.is_none_or(|to| e.tick <= to))
+                .collect();
+            if let Some(path) = &args.events_out {
+                write_events(&filtered, path)?;
+            } else if args.json {
+                print!("{}", events_to_jsonl(&filtered));
+            } else {
+                for event in &filtered {
+                    println!("{}", render_event(event));
+                }
+                println!("{} events", filtered.len());
+            }
+            Ok(())
+        }
+        "metrics-diff" => {
+            let [a_path, b_path] = args.positional.as_slice() else {
+                return Err(
+                    "metrics-diff expects exactly two snapshot paths (from --metrics-out *.json)"
+                        .into(),
+                );
+            };
+            let rows =
+                diff_metric_values(&load_metric_values(a_path)?, &load_metric_values(b_path)?);
+            let mut failures = 0usize;
+            for row in &rows {
+                let tolerance = args
+                    .threshold_for
+                    .iter()
+                    .find(|(name, _)| *name == row.metric)
+                    .map(|(_, tol)| *tol)
+                    .unwrap_or(args.threshold);
+                if row.rel > tolerance {
+                    failures += 1;
+                    println!(
+                        "FAIL {:<44} a={} b={} rel={:.6} tolerance={}",
+                        row.key, row.a, row.b, row.rel, tolerance
+                    );
+                }
+            }
+            println!(
+                "metrics-diff: {} series compared, {} beyond tolerance",
+                rows.len(),
+                failures
+            );
+            if failures > 0 {
+                // A plain exit keeps CI semantics crisp: nonzero means
+                // the gate tripped, stderr stays free for real errors.
+                std::process::exit(1);
+            }
+            Ok(())
+        }
+        "promlint" => {
+            let path = args.positional.first().map(String::as_str).unwrap_or("-");
+            let text = read_text_input(path)?;
+            match promlint::validate(&text) {
+                Ok(()) => {
+                    println!("{path}: exposition lints clean");
+                    Ok(())
+                }
+                Err(errors) => {
+                    for error in &errors {
+                        println!("{path}: {error}");
+                    }
+                    std::process::exit(1);
+                }
+            }
         }
         other => Err(format!("unknown command `{other}`")),
     }
@@ -1144,6 +1781,76 @@ mod tests {
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_introspection_flags() {
+        let a = parse_args(&argv(
+            "run --http 127.0.0.1:0 --http-linger 2 --events-out ev.jsonl --metrics-out m.json",
+        ))
+        .unwrap();
+        assert_eq!(a.http.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(a.http_linger, 2);
+        assert_eq!(a.events_out.as_deref(), Some("ev.jsonl"));
+        assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
+    }
+
+    #[test]
+    fn parses_events_filters_and_diff_positionals() {
+        let a = parse_args(&argv(
+            "events --events-in ev.jsonl --kind migrate --host 2 --tick-from 10 --tick-to 20 --cause 2:17",
+        ))
+        .unwrap();
+        assert_eq!(a.events_in.as_deref(), Some("ev.jsonl"));
+        assert_eq!(a.kind.as_deref(), Some("migrate"));
+        assert_eq!(a.host, Some(2));
+        assert_eq!(a.tick_from, Some(10));
+        assert_eq!(a.tick_to, Some(20));
+        assert_eq!(a.cause.as_deref(), Some("2:17"));
+        let d = parse_args(&argv(
+            "metrics-diff a.json b.json --threshold 0.05 --threshold-for stayaway_throttles_total=0.2",
+        ))
+        .unwrap();
+        assert_eq!(
+            d.positional,
+            vec!["a.json".to_string(), "b.json".to_string()]
+        );
+        assert_eq!(d.threshold, 0.05);
+        assert_eq!(
+            d.threshold_for,
+            vec![("stayaway_throttles_total".to_string(), 0.2)]
+        );
+        assert!(parse_args(&argv("metrics-diff a b --threshold-for nope")).is_err());
+    }
+
+    #[test]
+    fn metrics_diff_flags_missing_and_changed_series() {
+        let series = |key: &str, value: f64| MetricSeries {
+            key: key.into(),
+            metric: key.into(),
+            value,
+        };
+        let a = vec![series("x_total", 10.0), series("only_a", 1.0)];
+        let b = vec![series("x_total", 11.0)];
+        let rows = diff_metric_values(&a, &b);
+        assert_eq!(rows.len(), 2);
+        let only = rows.iter().find(|r| r.key == "only_a").unwrap();
+        assert!(
+            only.rel.is_infinite(),
+            "a vanished series must trip any gate"
+        );
+        let x = rows.iter().find(|r| r.key == "x_total").unwrap();
+        assert!((x.rel - 1.0 / 11.0).abs() < 1e-12);
+        assert!(diff_metric_values(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_series_are_excluded_from_the_gate() {
+        assert!(is_wall_clock("stayaway_controller_stage_nanos", None));
+        assert!(is_wall_clock("anything", Some("nanos")));
+        assert!(!is_wall_clock("stayaway_throttles_total", None));
+        assert_eq!(relative_difference(0.0, 0.0), 0.0);
+        assert_eq!(relative_difference(2.0, 1.0), 0.5);
     }
 
     #[test]
@@ -1354,7 +2061,8 @@ mod tests {
         let config = ControllerConfig::default();
         for p in ["stay-away", "none", "always", "reactive", "static", "null"] {
             let (out, policy, cap) =
-                run_policy_by_name(&scenario, p, &config, &SourceSpec::Sim, 1, 30, None).unwrap();
+                run_policy_by_name(&scenario, p, &config, &SourceSpec::Sim, 1, 30, None, None)
+                    .unwrap();
             assert_eq!(out.timeline.len(), 30);
             assert_eq!(cap, scenario.host_spec().cpu_cores);
             // Only the controller counts its periods and learns templates.
@@ -1362,9 +2070,17 @@ mod tests {
             assert_eq!(policy.stats().periods > 0, is_stayaway);
             assert_eq!(policy.supports_templates(), is_stayaway);
         }
-        assert!(
-            run_policy_by_name(&scenario, "bogus", &config, &SourceSpec::Sim, 1, 10, None).is_err()
-        );
+        assert!(run_policy_by_name(
+            &scenario,
+            "bogus",
+            &config,
+            &SourceSpec::Sim,
+            1,
+            10,
+            None,
+            None
+        )
+        .is_err());
     }
 
     #[test]
